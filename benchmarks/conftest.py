@@ -1,0 +1,48 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+One :class:`Workbench` is shared across every benchmark module, so a
+simulation run (e.g. the focused-policy runs used by Figures 4, 5, 6 and 8)
+is executed once and reused.  Scale is controlled by the
+``REPRO_BENCH_INSTRUCTIONS`` environment variable (default 8000 dynamic
+instructions per benchmark kernel -- large enough for stable shapes, small
+enough for a laptop run; the paper uses 100M-instruction traces on a C
+simulator).
+
+Each figure's rendered table is printed and also written to
+``results/<figure>.txt`` next to this directory.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.figure import FigureData
+from repro.experiments.harness import Workbench
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_instructions() -> int:
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "8000"))
+
+
+@pytest.fixture(scope="session")
+def workbench() -> Workbench:
+    return Workbench(instructions=bench_instructions())
+
+
+@pytest.fixture(scope="session")
+def save_figure():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(figure: FigureData) -> FigureData:
+        text = str(figure)
+        print("\n" + text)
+        slug = figure.figure_id.lower().replace(" ", "").replace(".", "")
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        return figure
+
+    return save

@@ -1,0 +1,69 @@
+"""Ablation: finite L2 plus 200-cycle memory (Section 2.1 validation).
+
+The paper simulates an infinite 20-cycle L2 to cut warm-up time and
+verifies that a finite L2 with 200-cycle memory gives a very similar CPI
+breakdown "except for a somewhat larger CPI contribution from memory".
+This ablation replays that validation.
+"""
+
+import dataclasses
+
+from repro.analysis.breakdown import FIGURE5_SEGMENTS, cpi_breakdown
+from repro.core.config import clustered_machine
+from repro.core.simulator import ClusteredSimulator
+from repro.experiments.figure import FigureData
+from repro.memory.cache import CacheConfig, MemoryConfig
+from repro.workloads.suite import get_kernel
+
+KERNELS = ("mcf", "vpr", "gcc")
+
+FINITE_L2 = MemoryConfig(
+    l2=CacheConfig(
+        size_bytes=1024 * 1024, associativity=8, line_bytes=64, hit_latency=20
+    ),
+    memory_latency=200,
+)
+
+
+def compare(workbench) -> FigureData:
+    figure = FigureData(
+        figure_id="Ablation finite L2",
+        title="4x2w CPI breakdown: infinite vs finite L2 (+200-cycle memory)",
+        headers=["kernel", "l2_model", *FIGURE5_SEGMENTS],
+        notes=[
+            "paper: very similar breakdown, except a larger memory "
+            "contribution; infinite-L2 results conservatively overestimate "
+            "clustering's impact",
+        ],
+    )
+    for name in KERNELS:
+        spec = get_kernel(name)
+        prepared = workbench.prepare(spec)
+        for label, memory in (("infinite", MemoryConfig()), ("finite", FINITE_L2)):
+            config = dataclasses.replace(clustered_machine(4), memory=memory)
+            sim = ClusteredSimulator(
+                config, max_cycles=256 * len(prepared.trace) + 10_000
+            )
+            result = sim.run(
+                prepared.trace, prepared.dependences, prepared.mispredicted
+            )
+            segments = cpi_breakdown(result).segments
+            figure.add_row(name, label, *[segments[s] for s in FIGURE5_SEGMENTS])
+    return figure
+
+
+def test_finite_l2_validation(benchmark, workbench, save_figure):
+    figure = benchmark.pedantic(compare, args=(workbench,), rounds=1, iterations=1)
+    save_figure(figure)
+    mem_index = list(figure.headers).index("mem_latency")
+    for name in KERNELS:
+        rows = [row for row in figure.rows if row[0] == name]
+        infinite = next(r for r in rows if r[1] == "infinite")
+        finite = next(r for r in rows if r[1] == "finite")
+        # Finite L2 + DRAM can only add memory cycles.
+        assert finite[mem_index] >= infinite[mem_index] - 1e-9
+        # Non-memory structure stays similar: compare the remaining
+        # segments' totals within a loose band.
+        other_inf = sum(infinite[2:]) - infinite[mem_index]
+        other_fin = sum(finite[2:]) - finite[mem_index]
+        assert other_fin <= other_inf * 1.5 + 0.2, (name, other_inf, other_fin)

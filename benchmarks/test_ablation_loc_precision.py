@@ -1,0 +1,60 @@
+"""Ablation: LoC counter precision (Section 7).
+
+The paper: "stratifying LoC into 16 levels produces results almost
+equivalent to a counter with unlimited precision", and the 16 levels can be
+held in 4 bits with probabilistic updates.  We compare the three storage
+modes end to end under the stall-over-steer policy.
+"""
+
+from repro.core.config import monolithic_machine
+from repro.experiments.figure import FigureData
+from repro.experiments.harness import Workbench
+from repro.workloads.suite import get_kernel
+
+MODES = ("exact", "stratified", "probabilistic")
+KERNELS = ("gzip", "vpr", "gap", "twolf")
+
+
+def sweep(instructions: int) -> FigureData:
+    figure = FigureData(
+        figure_id="Ablation LoC precision",
+        title="8x1w normalized CPI by LoC counter implementation (policy s)",
+        headers=["kernel", *MODES],
+        notes=[
+            "paper: 16 stratified levels ~ unlimited precision; 4-bit "
+            "probabilistic counters implement the 16 levels",
+        ],
+    )
+    benches = {
+        mode: Workbench(
+            instructions=instructions,
+            benchmarks=[get_kernel(k) for k in KERNELS],
+            loc_mode=mode,
+        )
+        for mode in MODES
+    }
+    for name in KERNELS:
+        spec = get_kernel(name)
+        row = []
+        for mode in MODES:
+            bench = benches[mode]
+            base = bench.run(spec, monolithic_machine(), "l").cpi
+            result = bench.run(spec, bench.clustered(8), "s")
+            row.append(result.cpi / base)
+        figure.add_row(name, *row)
+    return figure
+
+
+def test_loc_precision_sweep(benchmark, save_figure):
+    from conftest import bench_instructions
+
+    figure = benchmark.pedantic(
+        sweep, args=(bench_instructions(),), rounds=1, iterations=1
+    )
+    save_figure(figure)
+    for row in figure.rows:
+        exact, stratified, probabilistic = row[1:]
+        # Quantization costs little (paper: "almost equivalent").
+        assert abs(stratified - exact) < 0.08, row
+        # The 4-bit probabilistic implementation stays in the same regime.
+        assert abs(probabilistic - exact) < 0.12, row

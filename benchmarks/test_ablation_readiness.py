@@ -1,0 +1,73 @@
+"""Extension: readiness-aware load balancing (the paper's closing question).
+
+Section 7: the residual gap "seems to require tracking exactly when and
+where each instruction will be ready", because the least-full cluster is
+not always the right target for a balanced instruction.  We give steering
+exactly that oracle signal (ready-pressure per cluster) and measure how
+much of the residual it recovers -- the answer, matching the paper's
+pessimism about fetch-order steering, is "only a little".
+"""
+
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.scheduling.policies import LocScheduler
+from repro.core.simulator import ClusteredSimulator
+from repro.core.steering.readiness import ReadinessAwareSteering
+from repro.criticality.loc import LocPredictor, PredictorSuite
+from repro.criticality.trainer import ChunkedCriticalityTrainer
+from repro.experiments.figure import FigureData
+
+KERNELS = ("vortex", "twolf", "parser", "vpr", "gzip")
+
+
+def run_ready(workbench, spec) -> float:
+    prepared = workbench.prepare(spec)
+    suite = PredictorSuite(loc_predictor=LocPredictor(seed=workbench.seed))
+    trainer = ChunkedCriticalityTrainer(suite)
+
+    def make_sim():
+        return ClusteredSimulator(
+            clustered_machine(8),
+            steering=ReadinessAwareSteering(),
+            scheduler=LocScheduler(),
+            predictors=suite,
+            trainer=trainer,
+            max_cycles=64 * len(prepared.trace) + 10_000,
+        )
+
+    make_sim().run(prepared.trace, prepared.dependences, prepared.mispredicted)
+    return make_sim().run(
+        prepared.trace, prepared.dependences, prepared.mispredicted
+    ).cpi
+
+
+def sweep(workbench) -> FigureData:
+    figure = FigureData(
+        figure_id="Ablation readiness",
+        title="8x1w normalized CPI: occupancy- vs readiness-based balancing",
+        headers=["kernel", "policy_p", "readiness_aware"],
+        notes=[
+            "paper closing discussion: optimal balance needs readiness "
+            "tracking; gains under fetch-order steering remain small",
+        ],
+    )
+    from repro.workloads.suite import get_kernel
+
+    for name in KERNELS:
+        spec = get_kernel(name)
+        base = workbench.run(spec, monolithic_machine(), "l").cpi
+        p = workbench.run(spec, clustered_machine(8), "p").cpi
+        ready = run_ready(workbench, spec)
+        figure.add_row(name, p / base, ready / base)
+    return figure
+
+
+def test_readiness_signal(benchmark, workbench, save_figure):
+    figure = benchmark.pedantic(sweep, args=(workbench,), rounds=1, iterations=1)
+    save_figure(figure)
+    deltas = [row[1] - row[2] for row in figure.rows]
+    # The oracle readiness signal never hurts much...
+    assert all(d > -0.05 for d in deltas), figure.rows
+    # ...and on average gives at most a small gain: steering in fetch
+    # order, not the balance signal, is the remaining bottleneck.
+    mean_gain = sum(deltas) / len(deltas)
+    assert -0.02 < mean_gain < 0.08, deltas

@@ -1,0 +1,88 @@
+"""Ablation: the stall-over-steer LoC threshold (Section 5).
+
+The paper reports empirically that a 30% threshold "strikes a good
+balance": too low and fetch-critical code stalls needlessly; too high and
+execute-critical chains get load-balanced apart.  We sweep the threshold on
+the execute-critical kernels stall-over-steer targets.
+"""
+
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.scheduling.policies import LocScheduler
+from repro.core.simulator import ClusteredSimulator
+from repro.core.steering.dependence import (
+    CriticalitySteering,
+    CriticalitySteeringConfig,
+)
+from repro.criticality.loc import LocPredictor, PredictorSuite
+from repro.criticality.trainer import ChunkedCriticalityTrainer
+from repro.experiments.figure import FigureData
+from repro.workloads.suite import get_kernel
+
+THRESHOLDS = (0.05, 0.30, 0.60, 1.01)  # 1.01 disables stalling entirely
+KERNELS = ("gzip", "gap", "vpr")
+
+
+def run_with_threshold(workbench, spec, threshold: float) -> float:
+    prepared = workbench.prepare(spec)
+    config = clustered_machine(8)
+    suite = PredictorSuite(loc_predictor=LocPredictor(seed=workbench.seed))
+    trainer = ChunkedCriticalityTrainer(suite)
+
+    def make_sim():
+        steering = CriticalitySteering(
+            CriticalitySteeringConfig(
+                preference="loc",
+                stall_over_steer=True,
+                stall_loc_threshold=min(threshold, 1.0),
+            )
+        )
+        if threshold > 1.0:  # disable: plain LoC steering
+            steering = CriticalitySteering(
+                CriticalitySteeringConfig(preference="loc")
+            )
+        return ClusteredSimulator(
+            config,
+            steering=steering,
+            scheduler=LocScheduler(),
+            predictors=suite,
+            trainer=trainer,
+            max_cycles=64 * len(prepared.trace) + 10_000,
+        )
+
+    make_sim().run(prepared.trace, prepared.dependences, prepared.mispredicted)
+    result = make_sim().run(
+        prepared.trace, prepared.dependences, prepared.mispredicted
+    )
+    return result.cpi
+
+
+def sweep(workbench) -> FigureData:
+    figure = FigureData(
+        figure_id="Ablation stall threshold",
+        title="8x1w normalized CPI vs stall-over-steer LoC threshold",
+        headers=["kernel", *[f"thr={t}" for t in THRESHOLDS]],
+        notes=["paper: 30% strikes a good balance (Section 5)"],
+    )
+    for name in KERNELS:
+        spec = get_kernel(name)
+        base = workbench.run(spec, monolithic_machine(), "l").cpi
+        row = [
+            run_with_threshold(workbench, spec, threshold) / base
+            for threshold in THRESHOLDS
+        ]
+        figure.add_row(name, *row)
+    return figure
+
+
+def test_stall_threshold_sweep(benchmark, workbench, save_figure):
+    figure = benchmark.pedantic(sweep, args=(workbench,), rounds=1, iterations=1)
+    save_figure(figure)
+    for row in figure.rows:
+        values = row[1:]
+        at_30 = values[1]
+        disabled = values[-1]
+        # The paper's 30% threshold is never far from the swept optimum...
+        assert at_30 <= min(values) + 0.06, row
+        # ...and on execute-critical kernels it beats not stalling at all.
+        if row[0] in ("gzip", "gap"):
+            assert at_30 <= disabled + 0.01, row

@@ -1,0 +1,26 @@
+"""Figure 2: idealized list scheduling.
+
+Paper shape: clustered configurations are within ~2% of the monolithic
+machine on average (ours is looser on short traces but must stay small);
+penalties grow with cluster count; bzip2/crafty/vpr are the worst cases.
+"""
+
+from repro.experiments.fig02 import run_figure2
+
+
+def test_figure2(benchmark, workbench, save_figure):
+    figure = benchmark.pedantic(
+        run_figure2, args=(workbench,), rounds=1, iterations=1
+    )
+    save_figure(figure)
+
+    ave = figure.row_for("AVE")
+    # Shape 1: the idealized penalty is small everywhere.
+    assert all(value < 1.08 for value in ave[1:]), ave
+    # Shape 2: penalties do not shrink as clusters narrow.
+    assert ave[1] <= ave[2] + 0.01 and ave[2] <= ave[3] + 0.01
+    # Shape 3: the 8x1w worst case is a convergent-dataflow benchmark.
+    worst = max(
+        (row for row in figure.rows if row[0] != "AVE"), key=lambda r: r[3]
+    )
+    assert worst[0] in ("bzip2", "crafty", "vpr"), worst

@@ -1,0 +1,34 @@
+"""Figure 5: critical-path breakdown under focused steering/scheduling.
+
+Paper shape: stacks sum to the normalized CPI; the monolithic machine has
+no forwarding or clustering contention; both grow with cluster count.
+"""
+
+from repro.experiments.fig05 import run_figure5
+
+
+def test_figure5(benchmark, workbench, save_figure):
+    figure = benchmark.pedantic(
+        run_figure5, args=(workbench,), rounds=1, iterations=1
+    )
+    save_figure(figure)
+
+    headers = list(figure.headers)
+    fwd = headers.index("fwd_delay")
+    contention = headers.index("contention")
+
+    # Stacks sum to the total column.
+    for row in figure.rows:
+        assert abs(sum(row[2:-1]) - row[-1]) < 1e-9
+
+    # Monolithic rows carry no forwarding delay.
+    for row in figure.rows:
+        if row[1] == 1:
+            assert row[fwd] == 0.0
+
+    # Clustering penalties (fwd + contention) grow with cluster count on
+    # the suite average.
+    ave = {row[1]: row for row in figure.rows if row[0] == "AVE"}
+    penalty = {k: ave[k][fwd] + ave[k][contention] for k in (1, 2, 4, 8)}
+    assert penalty[1] <= penalty[2] + 0.01
+    assert penalty[2] <= penalty[8] + 0.01

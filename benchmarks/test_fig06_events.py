@@ -1,0 +1,35 @@
+"""Figure 6: classification of critical-path stall events.
+
+Paper shape: (a) contention events predominantly hit predicted-critical
+instructions; (b) load-balance steering dominates forwarding delay, except
+in convergent-dataflow benchmarks where dyadics matter.
+"""
+
+from repro.experiments.fig06 import run_figure6
+
+
+def test_figure6(benchmark, workbench, save_figure):
+    figure = benchmark.pedantic(
+        run_figure6, args=(workbench,), rounds=1, iterations=1
+    )
+    save_figure(figure)
+
+    headers = list(figure.headers)
+    crit = headers.index("contention:critical")
+    other = headers.index("contention:other")
+    load_bal = headers.index("fwd:load_bal")
+    dyadic = headers.index("fwd:dyadic")
+    fwd_other = headers.index("fwd:other")
+
+    ave8 = next(r for r in figure.rows if r[0] == "AVE" and r[1] == 8)
+    # 6(a): the majority of critical contention hits predicted-critical
+    # instructions (the paper: as much as two-thirds).
+    assert ave8[crit] >= ave8[other], ave8
+    # 6(b): load-balance steering is the dominant forwarding cause on
+    # average for the narrow-cluster machine.
+    assert ave8[load_bal] >= ave8[dyadic], ave8
+    assert ave8[load_bal] >= ave8[fwd_other], ave8
+    # ...except in the convergent-dataflow benchmark, where dyadics
+    # dominate (paper: bzip2 and crafty).
+    bzip2_rows = [row for row in figure.rows if row[0] == "bzip2"]
+    assert any(row[dyadic] > row[load_bal] for row in bzip2_rows), bzip2_rows

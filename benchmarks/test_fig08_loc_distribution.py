@@ -1,0 +1,31 @@
+"""Figure 8: the distribution of likelihood-of-criticality values.
+
+Paper shape: a large never-critical spike (53% of dynamic instructions in
+the 0-5% bin) and a wide spread above the Fields binary threshold -- wide
+enough that a binary classification loses real information.
+"""
+
+from repro.experiments.fig08 import run_figure8
+
+
+def test_figure8(benchmark, workbench, save_figure):
+    figure = benchmark.pedantic(
+        run_figure8, args=(workbench,), rounds=1, iterations=1
+    )
+    save_figure(figure)
+
+    percents = figure.column("percent")
+    assert abs(sum(percents) - 100.0) < 1e-6
+    # A substantial never-critical population exists (paper: 53% in the
+    # 0-5% bin; our kernels' static footprints are tiny, so the spike is
+    # smaller -- see EXPERIMENTS.md).
+    assert percents[0] > 10.0
+    assert percents[0] == max(percents[:3])
+    # The figure's actual point: LoC is a wide spectrum, not a binary.
+    # Mass must exist both below and above the Fields 12.5% threshold,
+    # across several distinct bins.
+    below = sum(percents[:3])
+    above = sum(percents[3:])
+    assert below > 10.0 and above > 10.0, percents
+    non_trivial_bins = [p for p in percents if p > 0.5]
+    assert len(non_trivial_bins) >= 6, percents

@@ -1,0 +1,57 @@
+"""Figure 14: the paper's three policies, stacked on the focused baseline.
+
+Paper shape: each added policy reduces the average clustering penalty
+(LoC scheduling always helps; stall-over-steer helps the execute-critical
+benchmarks strongly; proactive load-balancing helps the 8-cluster machine),
+for a total penalty reduction of roughly half to two-thirds.
+"""
+
+from repro.experiments.fig14 import run_figure14
+
+
+def test_figure14(benchmark, workbench, save_figure):
+    figure = benchmark.pedantic(
+        run_figure14, args=(workbench,), rounds=1, iterations=1
+    )
+    save_figure(figure)
+
+    ave = {
+        (row[1], row[2]): row[3] for row in figure.rows if row[0] == "AVE"
+    }
+    # LoC scheduling improves on focused at every cluster count.
+    for clusters in (2, 4, 8):
+        assert ave[(clusters, "l")] <= ave[(clusters, "focused")] + 0.005
+
+    # The full stack beats the focused baseline everywhere.
+    assert ave[(2, "s")] < ave[(2, "focused")] + 0.005
+    assert ave[(4, "s")] < ave[(4, "focused")] + 0.005
+    assert ave[(8, "p")] < ave[(8, "focused")]
+
+    # Total penalty reduction is substantial (paper: 42-66%).
+    for clusters, best in ((2, "s"), (4, "s"), (8, "p")):
+        focused_penalty = ave[(clusters, "focused")] - 1.0
+        best_penalty = ave[(clusters, best)] - 1.0
+        if focused_penalty > 0.02:
+            reduction = (focused_penalty - best_penalty) / focused_penalty
+            assert reduction > 0.25, (clusters, focused_penalty, best_penalty)
+
+
+def test_figure14_stall_over_steer_helps_execute_critical(
+    benchmark, workbench, save_figure
+):
+    """Section 7: gap/gzip/perl/vpr benefit most from stall-over-steer."""
+
+    def compute():
+        return run_figure14(workbench)
+
+    figure = benchmark.pedantic(compute, rounds=1, iterations=1)
+    helped = 0
+    for name in ("gap", "gzip", "perl", "vpr"):
+        rows = {
+            row[2]: row[3]
+            for row in figure.rows
+            if row[0] == name and row[1] == 8
+        }
+        if rows["s"] < rows["focused"]:
+            helped += 1
+    assert helped >= 3

@@ -1,0 +1,51 @@
+"""Table 1: the machine configurations under test.
+
+Not a measurement -- renders the simulated machine parameters and checks
+they match the paper's Table 1, then times configuration construction (a
+trivial baseline that also verifies the benchmark harness itself works).
+"""
+
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.experiments.figure import FigureData
+
+
+def build_table1() -> FigureData:
+    figure = FigureData(
+        figure_id="Table 1",
+        title="Machine configurations (monolithic totals and splits)",
+        headers=[
+            "config",
+            "clusters",
+            "width/cluster",
+            "int",
+            "fp",
+            "mem",
+            "window/cluster",
+            "rob",
+            "fwd",
+        ],
+    )
+    for count in (1, 2, 4, 8):
+        config = monolithic_machine() if count == 1 else clustered_machine(count)
+        cluster = config.cluster
+        figure.add_row(
+            config.name,
+            count,
+            cluster.issue_width,
+            cluster.int_ports,
+            cluster.fp_ports,
+            cluster.mem_ports,
+            cluster.window_size,
+            config.rob_size,
+            config.forwarding_latency,
+        )
+    return figure
+
+
+def test_table1(benchmark, save_figure):
+    figure = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    save_figure(figure)
+    mono = figure.row_for("1x8w")
+    assert mono[2] == 8 and mono[6] == 128 and mono[7] == 256
+    narrow = figure.row_for("8x1w")
+    assert narrow[4] == 1 and narrow[5] == 1  # rounded-up fp/mem ports

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Custom workload: write your own kernel and analyze it.
+
+Shows the full public API surface end to end:
+
+1. write a kernel in the mini assembly (here: the paper's Figure 12 loop --
+   an array search with an early exit, compiled to two loop-carried
+   dependences);
+2. execute it to a dynamic trace;
+3. simulate it on a clustered machine with the policy stack of your choice;
+4. inspect steering decisions and the critical path.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from collections import Counter
+
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.rename import extract_dependences
+from repro.core.simulator import ClusteredSimulator
+from repro.criticality.critical_path import analyze_critical_path
+from repro.experiments.harness import build_policy
+from repro.frontend.branch_predictor import (
+    GshareBranchPredictor,
+    annotate_mispredictions,
+)
+from repro.util.rng import seeded_rng
+from repro.util.tables import format_table
+from repro.vm.assembler import assemble
+from repro.vm.interpreter import run
+
+# The paper's Figure 12(a): for (i = 0; i < N; ++i) if (A[i] == a) break;
+# compiled, as in Figure 12(b), with two separate loop-carried dependences
+# (the index in r4, the pointer in r2).
+FIGURE12_SOURCE = """
+# r0: the value searched for, r2: pointer into A, r4: i, r5: N
+search:
+    li   r4, 0
+    li   r2, 1024
+loop:
+    addi r4, r4, 1          # loop-carried dependence 1 (index)
+    ld   r7, 0(r2)          # A[i]
+    cmple r3, r4, r5
+    lda:
+    addi r2, r2, 1          # loop-carried dependence 2 (pointer)
+    cmpeq r6, r7, r0
+    bne  r6, found          # early exit (rarely taken)
+    bne  r3, loop
+found:
+    br   search             # restart the search forever
+"""
+
+
+def build_trace(instructions=6000):
+    rng = seeded_rng("figure12")
+    memory = {1024 + i: rng.randrange(1000) for i in range(4096)}
+    # Plant the searched-for value sparsely so the early exit fires rarely.
+    value = 7777
+    for pos in range(200, 4096, 391):
+        memory[1024 + pos] = value
+    return run(
+        assemble(FIGURE12_SOURCE),
+        instructions,
+        initial_memory=memory,
+        initial_regs={0: value, 5: 4096},
+    )
+
+
+def main() -> None:
+    trace = build_trace()
+    deps = extract_dependences(trace)
+    mispredicted = frozenset(
+        annotate_mispredictions(trace, GshareBranchPredictor())
+    )
+    print(f"trace: {len(trace)} instructions, "
+          f"{len(mispredicted)} mispredicted branches\n")
+
+    rows = []
+    mono = ClusteredSimulator(monolithic_machine(), max_cycles=500_000).run(
+        trace, deps, mispredicted
+    )
+    for policy_name in ("dependence", "focused", "p"):
+        steering, scheduler, needs_predictors = build_policy(policy_name)
+        extra = {}
+        if needs_predictors:
+            from repro.criticality.loc import PredictorSuite
+            from repro.criticality.trainer import ChunkedCriticalityTrainer
+
+            suite = PredictorSuite()
+            extra = dict(
+                predictors=suite, trainer=ChunkedCriticalityTrainer(suite)
+            )
+        sim = ClusteredSimulator(
+            clustered_machine(8),
+            steering=steering,
+            scheduler=scheduler,
+            max_cycles=500_000,
+            **extra,
+        )
+        result = sim.run(trace, deps, mispredicted)
+        analysis = analyze_critical_path(result.records)
+        causes = Counter(rec.steer_cause.value for rec in result.records)
+        rows.append(
+            [
+                policy_name,
+                result.cpi / mono.cpi,
+                analysis.breakdown["fwd_delay"],
+                analysis.breakdown["contention"],
+                causes.most_common(1)[0][0],
+            ]
+        )
+    print(format_table(
+        ["policy", "norm_cpi_8x1w", "fwd_cycles", "contention_cycles",
+         "top_steer_cause"],
+        rows,
+    ))
+    print(
+        "\nFigure 12's divergent trees punish naive collocation on 1-wide "
+        "clusters; proactive load-balancing (policy p) spreads the "
+        "consumers while keeping each recurrence local."
+    )
+
+
+if __name__ == "__main__":
+    main()

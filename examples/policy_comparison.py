@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Policy comparison: the paper's Figure 14 walk, one benchmark at a time.
+
+For each requested benchmark and cluster count, runs the full ladder of
+steering/scheduling policies -- modulo, load-balance, dependence, focused,
++LoC (l), +stall-over-steer (s), +proactive (p) -- and prints normalized
+CPI so the contribution of each policy is visible.
+
+Usage::
+
+    python examples/policy_comparison.py [kernel ...]
+"""
+
+import sys
+
+from repro.core.config import monolithic_machine
+from repro.core.scheduling.policies import OldestFirstScheduler
+from repro.core.simulator import ClusteredSimulator
+from repro.core.steering.simple import LoadBalanceSteering, ModuloSteering
+from repro.experiments.harness import Workbench
+from repro.util.tables import format_table
+from repro.workloads.suite import get_kernel, suite_names
+
+LADDER = ["modulo", "loadbal", "dependence", "focused", "l", "s", "p"]
+
+
+def run_simple(bench, spec, config, steering_class):
+    prepared = bench.prepare(spec)
+    sim = ClusteredSimulator(
+        config,
+        steering=steering_class(),
+        scheduler=OldestFirstScheduler(),
+        max_cycles=64 * len(prepared.trace) + 10_000,
+    )
+    return sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["gzip", "vpr"]
+    bench = Workbench(instructions=8000)
+    for name in names:
+        if name not in suite_names():
+            raise SystemExit(f"unknown kernel {name!r}; choose from {suite_names()}")
+        spec = get_kernel(name)
+        base = bench.run(spec, monolithic_machine(), "l").cpi
+        rows = []
+        for clusters in (2, 4, 8):
+            config = bench.clustered(clusters)
+            row = [f"{clusters} clusters"]
+            for policy in LADDER:
+                if policy == "modulo":
+                    cpi = run_simple(bench, spec, config, ModuloSteering).cpi
+                elif policy == "loadbal":
+                    cpi = run_simple(bench, spec, config, LoadBalanceSteering).cpi
+                else:
+                    cpi = bench.run(spec, config, policy).cpi
+                row.append(cpi / base)
+            rows.append(row)
+        print(f"\n== {name}: normalized CPI by policy (vs monolithic+LoC) ==")
+        print(format_table(["config", *LADDER], rows))
+    print(
+        "\nEach column adds one idea: dependence steering beats locality-"
+        "blind policies; criticality focuses it; LoC, stall-over-steer and "
+        "proactive load-balancing are the paper's three contributions."
+    )
+
+
+if __name__ == "__main__":
+    main()

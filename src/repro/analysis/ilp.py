@@ -1,0 +1,37 @@
+"""Available-vs-achieved ILP profiling (Figure 15).
+
+The paper computes available ILP cycle-by-cycle as the number of ready
+instructions across all clusters, and achieved ILP as the mean number of
+instructions issued on cycles with a given availability.  The clustered
+machine's weakness shows as a sag when available ILP is close to the
+aggregate issue width: exploiting it all requires exactly one ready
+instruction per (1-wide) cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.results import IlpProfile
+
+
+def merge_profiles(profiles: Iterable[IlpProfile]) -> IlpProfile:
+    """Cycle-weighted merge of per-benchmark profiles (Figure 15 averages
+    over all benchmarks)."""
+    merged = IlpProfile()
+    for profile in profiles:
+        for available, cycles in profile.cycle_count.items():
+            merged.cycle_count[available] = (
+                merged.cycle_count.get(available, 0) + cycles
+            )
+            merged.issued_sum[available] = (
+                merged.issued_sum.get(available, 0) + profile.issued_sum[available]
+            )
+    return merged
+
+
+def efficiency_at(profile: IlpProfile, available: int) -> float:
+    """Achieved / min(available, machine-width-agnostic cap) utility."""
+    if available <= 0:
+        return 0.0
+    return profile.achieved(available) / available

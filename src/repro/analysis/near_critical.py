@@ -1,0 +1,61 @@
+"""Near-critical-path analysis (the Section 3 caveat, after Fields 2003).
+
+The paper warns that its attributions "are not always unique -- previous
+work has demonstrated the presence of parallel critical and near-critical
+paths.  Thus, a performance improvement is not guaranteed if slowdowns on
+only one critical path are addressed."  This module quantifies that caveat
+for a run: how much of the instruction stream sits within ``k`` cycles of
+criticality (global slack <= k), and how much runtime could shift onto a
+parallel path if the nominal critical path were fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.instruction import InFlight
+from repro.criticality.critical_path import analyze_critical_path
+from repro.criticality.slack import compute_global_slack
+
+
+@dataclass(frozen=True)
+class NearCriticalProfile:
+    """How concentrated criticality is in one run."""
+
+    # Fraction of dynamic instructions with slack exactly 0 (including,
+    # but not limited to, the walked critical path).
+    zero_slack_fraction: float
+    # Fraction within `threshold` cycles of critical.
+    near_critical_fraction: float
+    threshold: int
+    # Of the zero-slack instructions, the fraction the single backward walk
+    # actually visited -- below 1.0 means parallel critical paths exist and
+    # the attribution is not unique (the paper's caveat).
+    walk_coverage_of_zero_slack: float
+
+
+def near_critical_profile(
+    records: Sequence[InFlight],
+    config: MachineConfig,
+    threshold: int = 5,
+) -> NearCriticalProfile:
+    """Quantify parallel (near-)criticality for a completed run."""
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    slacks = compute_global_slack(records, config)
+    walk = analyze_critical_path(records).critical_indices
+
+    total = len(records)
+    zero = sum(1 for s in slacks if s == 0)
+    near = sum(1 for s in slacks if s <= threshold)
+    walked_zero = sum(
+        1 for rec, s in zip(records, slacks) if s == 0 and rec.index in walk
+    )
+    return NearCriticalProfile(
+        zero_slack_fraction=zero / total if total else 0.0,
+        near_critical_fraction=near / total if total else 0.0,
+        threshold=threshold,
+        walk_coverage_of_zero_slack=walked_zero / zero if zero else 1.0,
+    )

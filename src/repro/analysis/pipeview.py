@@ -1,0 +1,98 @@
+"""Text pipeline diagrams ("pipeview") for simulated instruction windows.
+
+Renders a slice of a run as one row per instruction and one column per
+cycle, in the style of classic pipeline viewers::
+
+    #12 c2 ld   r4<-r2      D..rrEEE--C
+    #13 c0 addi r2<-r2      Dw...rE---C
+
+Markers: ``D`` dispatch, ``w`` waiting for operands, ``r`` ready but not
+issued (contention -- the cycles Figure 6a counts), ``E`` executing,
+``-`` completed and awaiting in-order commit, ``C`` commit.  The cluster
+column makes steering decisions visible; ``*`` flags instructions whose
+critical operand arrived over the interconnect (forwarding delay).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.instruction import InFlight
+
+
+def render_pipeline(
+    records: Sequence[InFlight],
+    start: int = 0,
+    count: int = 24,
+    max_width: int = 100,
+) -> str:
+    """Render ``count`` instructions starting at trace index ``start``."""
+    window = [r for r in records if start <= r.index < start + count]
+    if not window:
+        raise ValueError(f"no records in [{start}, {start + count})")
+    first_cycle = min(r.dispatch_time for r in window)
+    last_cycle = max(r.commit_time for r in window)
+    span = last_cycle - first_cycle + 1
+    clipped = span > max_width
+
+    label_rows = []
+    for rec in window:
+        flag = "*" if rec.critical_operand_forwarded else " "
+        label = (
+            f"#{rec.index:<5d} c{rec.cluster}{flag} "
+            f"{rec.instr.opcode:<6s}"
+        )
+        label_rows.append((label, _lane(rec, first_cycle, min(span, max_width))))
+
+    header_pad = " " * len(label_rows[0][0])
+    ruler = _ruler(first_cycle, min(span, max_width))
+    lines = [f"{header_pad}{ruler}"]
+    lines.extend(f"{label}{lane}" for label, lane in label_rows)
+    if clipped:
+        lines.append(f"(timeline clipped at {max_width} of {span} cycles)")
+    return "\n".join(lines)
+
+
+def _lane(rec: InFlight, first_cycle: int, width: int) -> str:
+    lane = []
+    for offset in range(width):
+        cycle = first_cycle + offset
+        if cycle < rec.dispatch_time or cycle > rec.commit_time:
+            lane.append(" ")
+        elif cycle == rec.dispatch_time:
+            lane.append("D")
+        elif cycle == rec.commit_time:
+            lane.append("C")
+        elif cycle < rec.ready_time:
+            lane.append("w")
+        elif cycle < rec.issue_time:
+            lane.append("r")
+        elif cycle < rec.complete_time:
+            lane.append("E")
+        else:
+            lane.append("-")
+    return "".join(lane)
+
+
+def _ruler(first_cycle: int, width: int) -> str:
+    ruler = []
+    for offset in range(width):
+        cycle = first_cycle + offset
+        ruler.append("|" if cycle % 10 == 0 else ".")
+    return "".join(ruler) + f"  (cycle {first_cycle}..{first_cycle + width - 1})"
+
+
+def contention_hotspots(
+    records: Sequence[InFlight], top: int = 5
+) -> list[tuple[int, int, int]]:
+    """The instructions that waited longest while ready.
+
+    Returns (trace index, pc, contention cycles), worst first -- a quick
+    way to find Figure 7-style scheduling pathologies in a run.
+    """
+    ranked = sorted(records, key=lambda r: -r.contention_cycles)
+    return [
+        (r.index, r.instr.pc, r.contention_cycles)
+        for r in ranked[:top]
+        if r.contention_cycles > 0
+    ]

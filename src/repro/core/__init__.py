@@ -1,0 +1,37 @@
+"""Core timing model: machine configs, clustered simulator, policies."""
+
+from repro.core.config import (
+    ClusterConfig,
+    MachineConfig,
+    PAPER_CLUSTER_COUNTS,
+    clustered_machine,
+    monolithic_machine,
+)
+from repro.core.instruction import (
+    CommitReason,
+    DispatchReason,
+    InFlight,
+    SteerCause,
+)
+from repro.core.rename import Dependences, build_consumer_lists, extract_dependences
+from repro.core.results import IlpProfile, SimulationResult
+from repro.core.simulator import ClusteredSimulator, SimulationDeadlock
+
+__all__ = [
+    "ClusterConfig",
+    "ClusteredSimulator",
+    "CommitReason",
+    "Dependences",
+    "DispatchReason",
+    "IlpProfile",
+    "InFlight",
+    "MachineConfig",
+    "PAPER_CLUSTER_COUNTS",
+    "SimulationDeadlock",
+    "SimulationResult",
+    "SteerCause",
+    "build_consumer_lists",
+    "clustered_machine",
+    "extract_dependences",
+    "monolithic_machine",
+]

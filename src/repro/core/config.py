@@ -1,0 +1,134 @@
+"""Machine configurations: the monolithic baseline and its clustered splits.
+
+Table 1 defines the 8-wide monolithic machine (1x8w).  The clustered
+machines divide its execution resources equally among the clusters
+(Section 2.1): 2x4w, 4x2w and 8x1w.  Partial resources round up, so each
+1-wide cluster keeps a memory port and a floating-point unit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.frontend.fetch import FrontEndConfig
+from repro.memory.cache import MemoryConfig
+from repro.vm.isa import OpClass
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Issue resources of one cluster."""
+
+    issue_width: int
+    int_ports: int
+    fp_ports: int
+    mem_ports: int
+    window_size: int
+
+    def __post_init__(self) -> None:
+        if min(
+            self.issue_width,
+            self.int_ports,
+            self.fp_ports,
+            self.mem_ports,
+            self.window_size,
+        ) <= 0:
+            raise ValueError(f"cluster resources must be positive: {self}")
+
+    def ports_for(self, opclass: OpClass) -> int:
+        """Number of issue ports usable by ``opclass``."""
+        if opclass in (OpClass.LOAD, OpClass.STORE):
+            return self.mem_ports
+        if opclass is OpClass.FP:
+            return self.fp_ports
+        return self.int_ports
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete machine: front end, clustered core, memory."""
+
+    num_clusters: int
+    cluster: ClusterConfig
+    rob_size: int = 256
+    dispatch_width: int = 8
+    commit_width: int = 8
+    forwarding_latency: int = 2
+    # Global-bypass transfers per cycle, machine-wide.  None models the
+    # paper's assumption of enough capacity for peak rates (Section 2.1);
+    # a finite value enables the limited-bandwidth analysis the paper
+    # defers ("beyond the scope of this paper").
+    forwarding_bandwidth: int | None = None
+    frontend: FrontEndConfig = field(default_factory=FrontEndConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_clusters <= 0:
+            raise ValueError("need at least one cluster")
+        if self.forwarding_latency < 0:
+            raise ValueError("forwarding latency cannot be negative")
+        if self.forwarding_bandwidth is not None and self.forwarding_bandwidth <= 0:
+            raise ValueError("forwarding bandwidth must be positive or None")
+        if self.rob_size < self.cluster.window_size * self.num_clusters:
+            raise ValueError("ROB smaller than aggregate scheduling window")
+
+    @property
+    def total_issue_width(self) -> int:
+        """Aggregate issue width across clusters."""
+        return self.num_clusters * self.cluster.issue_width
+
+    @property
+    def total_window_size(self) -> int:
+        """Aggregate scheduling-window capacity."""
+        return self.num_clusters * self.cluster.window_size
+
+    @property
+    def name(self) -> str:
+        """Paper-style configuration name, e.g. ``4x2w``."""
+        return f"{self.num_clusters}x{self.cluster.issue_width}w"
+
+
+# Table 1 totals for the monolithic machine.
+_TOTAL_WIDTH = 8
+_TOTAL_INT = 8
+_TOTAL_FP = 4
+_TOTAL_MEM = 4
+_TOTAL_WINDOW = 128
+
+
+def clustered_machine(
+    num_clusters: int,
+    forwarding_latency: int = 2,
+    **overrides,
+) -> MachineConfig:
+    """Build the paper's ``num_clusters``-way split of the 8-wide machine.
+
+    ``num_clusters`` must divide the 8-wide issue bandwidth; the paper's
+    configurations are 1 (monolithic), 2, 4 and 8.  Partial per-cluster
+    resources round up (Section 2.1, footnote 1).
+    """
+    if _TOTAL_WIDTH % num_clusters != 0:
+        raise ValueError(f"{num_clusters} clusters do not divide width {_TOTAL_WIDTH}")
+    cluster = ClusterConfig(
+        issue_width=_TOTAL_WIDTH // num_clusters,
+        int_ports=max(1, math.ceil(_TOTAL_INT / num_clusters)),
+        fp_ports=max(1, math.ceil(_TOTAL_FP / num_clusters)),
+        mem_ports=max(1, math.ceil(_TOTAL_MEM / num_clusters)),
+        window_size=_TOTAL_WINDOW // num_clusters,
+    )
+    return MachineConfig(
+        num_clusters=num_clusters,
+        cluster=cluster,
+        forwarding_latency=forwarding_latency,
+        **overrides,
+    )
+
+
+def monolithic_machine(**overrides) -> MachineConfig:
+    """The Table 1 baseline (1x8w).  Forwarding latency is irrelevant."""
+    return clustered_machine(1, **overrides)
+
+
+# The cluster counts evaluated throughout the paper.
+PAPER_CLUSTER_COUNTS = (2, 4, 8)

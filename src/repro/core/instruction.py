@@ -1,0 +1,125 @@
+"""Per-instruction microarchitectural state and event provenance.
+
+Besides the usual timing fields (dispatch/ready/issue/complete/commit), each
+in-flight instruction records *why* each pipeline event happened when it did:
+which constraint gated dispatch, which operand arrived last, whether that
+operand crossed clusters, and what steering decided.  The critical-path
+attribution in :mod:`repro.criticality.critical_path` is a deterministic
+backward walk over these recorded causes, so the cycle accounting of
+Figures 5 and 6 is exact rather than re-derived.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.rename import Dependences
+from repro.vm.trace import DynamicInstruction
+
+
+class DispatchReason(enum.Enum):
+    """The constraint that determined an instruction's dispatch time."""
+
+    START = "start"  # pipeline fill at the beginning of the run
+    FETCH_BANDWIDTH = "fetch_bw"  # in-order dispatch behind the previous instr
+    FETCH_REDIRECT = "fetch_redirect"  # waiting on a mispredicted branch
+    ROB_FULL = "rob_full"  # waiting on a commit to free a ROB entry
+    CLUSTER_FULL = "cluster_full"  # load-balance target windows all full
+    STEER_STALL = "steer_stall"  # stall-over-steer policy chose to wait
+
+
+class SteerCause(enum.Enum):
+    """Why steering placed an instruction on the cluster it chose."""
+
+    NO_PRODUCER = "no_producer"  # no in-flight producer; load-balanced
+    PRODUCER = "producer"  # collocated with the chosen producer
+    DYADIC = "dyadic"  # producers on different clusters; one chosen
+    LOAD_BALANCE_FULL = "load_bal_full"  # wanted producer's cluster, was full
+    PROACTIVE = "proactive"  # proactively load-balanced away
+    STALLED = "stalled"  # dispatched after a stall-over-steer wait
+
+
+class CommitReason(enum.Enum):
+    """The constraint that determined an instruction's commit time."""
+
+    COMPLETION = "completion"  # committed right after executing
+    COMMIT_ORDER = "commit_order"  # waited behind the previous commit
+
+
+class InFlight:
+    """Mutable microarchitectural state of one dynamic instruction."""
+
+    __slots__ = (
+        "instr",
+        "deps",
+        "cluster",
+        "dispatch_time",
+        "ready_time",
+        "issue_time",
+        "complete_time",
+        "commit_time",
+        "pending_deps",
+        "operand_avail",
+        "last_arriving_producer",
+        "critical_operand_forwarded",
+        "mem_latency_extra",
+        "latency",
+        "predicted_critical",
+        "loc",
+        "dispatch_reason",
+        "dispatch_pred",
+        "steer_cause",
+        "commit_reason",
+        "waiters",
+        "forwarded_to_clusters",
+    )
+
+    def __init__(self, instr: DynamicInstruction, deps: Dependences):
+        self.instr = instr
+        self.deps = deps
+        self.cluster: int = -1
+        self.dispatch_time: int = -1
+        self.ready_time: int = -1
+        self.issue_time: int = -1
+        self.complete_time: int = -1
+        self.commit_time: int = -1
+        # Dependence wake-up state.
+        self.pending_deps: int = 0
+        self.operand_avail: int = 0
+        self.last_arriving_producer: int | None = None
+        self.critical_operand_forwarded: bool = False
+        # Execution latency actually charged (base + cache time for loads).
+        self.mem_latency_extra: int = 0
+        self.latency: int = 0
+        # Predictor outputs sampled at steering time.
+        self.predicted_critical: bool = False
+        self.loc: float = 0.0
+        # Event provenance.
+        self.dispatch_reason: DispatchReason = DispatchReason.START
+        self.dispatch_pred: int | None = None
+        self.steer_cause: SteerCause = SteerCause.NO_PRODUCER
+        self.commit_reason: CommitReason = CommitReason.COMPLETION
+        # Consumers dispatched before this instruction issued.
+        self.waiters: list[InFlight] = []
+        # Remote clusters this value was forwarded to -> arrival time there
+        # (one transfer per (producer, cluster), reused by later consumers).
+        self.forwarded_to_clusters: dict[int, int] = {}
+
+    @property
+    def index(self) -> int:
+        """Trace index (program order)."""
+        return self.instr.index
+
+    @property
+    def contention_cycles(self) -> int:
+        """Cycles spent ready-but-not-issued (resource contention)."""
+        if self.issue_time < 0 or self.ready_time < 0:
+            return 0
+        return self.issue_time - self.ready_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InFlight(#{self.index} {self.instr.opcode} pc={self.instr.pc} "
+            f"cl={self.cluster} D={self.dispatch_time} R={self.ready_time} "
+            f"I={self.issue_time} E={self.complete_time} C={self.commit_time})"
+        )

@@ -1,0 +1,74 @@
+"""Register renaming / dependence extraction over a dynamic trace.
+
+The simulator, the idealized list scheduler and the criticality analyses all
+consume the same dependence information, so it is extracted once per trace:
+
+* register dependences -- each source register maps to the trace index of
+  its last writer;
+* memory dependences -- with perfect disambiguation (Table 1), a load
+  depends only on the most recent earlier store to the same address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.vm.trace import DynamicInstruction
+
+
+@dataclass(frozen=True, slots=True)
+class Dependences:
+    """Producers of one dynamic instruction, as trace indices.
+
+    ``reg_deps`` is parallel to the instruction's ``srcs`` tuple (deduplicated
+    and with untracked initial-state registers dropped).  ``mem_dep`` is the
+    forwarding store for a load, or None.
+    """
+
+    reg_deps: tuple[int, ...]
+    mem_dep: int | None
+
+    @property
+    def all_deps(self) -> tuple[int, ...]:
+        """Register and memory producers combined."""
+        if self.mem_dep is None:
+            return self.reg_deps
+        return self.reg_deps + (self.mem_dep,)
+
+
+def extract_dependences(
+    trace: Sequence[DynamicInstruction],
+) -> list[Dependences]:
+    """Compute producer indices for every instruction in ``trace``."""
+    last_writer: dict[int, int] = {}
+    last_store: dict[int, int] = {}
+    result: list[Dependences] = []
+    for instr in trace:
+        reg_deps: list[int] = []
+        for src in instr.srcs:
+            producer = last_writer.get(src)
+            if producer is not None and producer not in reg_deps:
+                reg_deps.append(producer)
+        mem_dep = None
+        if instr.is_load and instr.mem_addr is not None:
+            mem_dep = last_store.get(instr.mem_addr)
+            if mem_dep in reg_deps:
+                mem_dep = None
+        result.append(Dependences(tuple(reg_deps), mem_dep))
+        if instr.is_store and instr.mem_addr is not None:
+            last_store[instr.mem_addr] = instr.index
+        if instr.dest is not None:
+            last_writer[instr.dest] = instr.index
+    return result
+
+
+def build_consumer_lists(
+    dependences: Sequence[Dependences],
+) -> list[list[int]]:
+    """Invert :func:`extract_dependences`: consumers of each instruction."""
+    consumers: list[list[int]] = [[] for _ in dependences]
+    for index, deps in enumerate(dependences):
+        for producer in deps.all_deps:
+            consumers[producer].append(index)
+    return consumers

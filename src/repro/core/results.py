@@ -1,0 +1,83 @@
+"""Simulation results: per-run aggregates plus the full per-instruction record
+stream that the criticality analyses consume."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MachineConfig
+from repro.core.instruction import InFlight
+
+
+@dataclass
+class IlpProfile:
+    """Per-cycle (available ILP -> achieved ILP) accumulator (Figure 15)."""
+
+    issued_sum: dict[int, int] = field(default_factory=dict)
+    cycle_count: dict[int, int] = field(default_factory=dict)
+
+    def record(self, available: int, issued: int) -> None:
+        """Record one cycle with ``available`` ready and ``issued`` executed."""
+        self.issued_sum[available] = self.issued_sum.get(available, 0) + issued
+        self.cycle_count[available] = self.cycle_count.get(available, 0) + 1
+
+    def achieved(self, available: int) -> float:
+        """Mean instructions issued on cycles with ``available`` ready."""
+        count = self.cycle_count.get(available, 0)
+        if count == 0:
+            return 0.0
+        return self.issued_sum[available] / count
+
+    def series(self, max_available: int | None = None) -> list[tuple[int, float]]:
+        """(available, achieved) pairs sorted by available ILP."""
+        keys = sorted(self.cycle_count)
+        if max_available is not None:
+            keys = [k for k in keys if k <= max_available]
+        return [(k, self.achieved(k)) for k in keys]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced."""
+
+    config: MachineConfig
+    records: list[InFlight]
+    cycles: int
+    mispredicted: frozenset[int]
+    global_values: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    ilp_profile: IlpProfile | None = None
+    steering_name: str = ""
+    scheduler_name: str = ""
+
+    @property
+    def instructions(self) -> int:
+        """Number of committed instructions."""
+        return len(self.records)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per committed instruction."""
+        if not self.records:
+            return 0.0
+        return self.cycles / len(self.records)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return len(self.records) / self.cycles
+
+    @property
+    def global_values_per_instruction(self) -> float:
+        """Cross-cluster value transfers per instruction (Section 2.1 stat)."""
+        if not self.records:
+            return 0.0
+        return self.global_values / len(self.records)
+
+    @property
+    def total_contention_cycles(self) -> int:
+        """Raw (not criticality-weighted) ready-but-not-issued cycles."""
+        return sum(r.contention_cycles for r in self.records)

@@ -1,0 +1,15 @@
+"""Instruction-scheduling (issue priority) policies."""
+
+from repro.core.scheduling.policies import (
+    CriticalFirstScheduler,
+    LocScheduler,
+    OldestFirstScheduler,
+    SchedulingPolicy,
+)
+
+__all__ = [
+    "CriticalFirstScheduler",
+    "LocScheduler",
+    "OldestFirstScheduler",
+    "SchedulingPolicy",
+]

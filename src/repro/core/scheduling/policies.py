@@ -1,0 +1,59 @@
+"""Per-cluster instruction-scheduling (issue-priority) policies.
+
+Each cluster's scheduler picks among its ready instructions every cycle.
+The paper evaluates three priority functions:
+
+* **oldest-first** -- the classic baseline;
+* **critical-first** -- Fields et al.'s focused scheduling: predicted-critical
+  instructions beat predicted-non-critical ones, ties broken by age;
+* **LoC-priority** -- the paper's Section 4 policy: higher likelihood of
+  criticality issues first, ties broken by age, which lets the scheduler
+  prioritize *among* critical instructions (the spine-vs-rib example of
+  Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.core.instruction import InFlight
+
+
+class SchedulingPolicy:
+    """Orders ready instructions; lower keys issue first."""
+
+    name: str = "base"
+
+    def priority_key(self, instr: InFlight) -> tuple:
+        """Sort key for ``instr`` among this cycle's ready instructions."""
+        raise NotImplementedError
+
+
+class OldestFirstScheduler(SchedulingPolicy):
+    """Issue in program order."""
+
+    name = "oldest"
+
+    def priority_key(self, instr: InFlight) -> tuple:
+        return (instr.index,)
+
+
+class CriticalFirstScheduler(SchedulingPolicy):
+    """Binary focused scheduling: predicted-critical first, then oldest.
+
+    This reproduces the pathology of Section 4: two instructions both
+    predicted critical (e.g. a rib head and the spine) tie, and the tie
+    breaks toward the *older* one, which is usually the wrong choice.
+    """
+
+    name = "critical"
+
+    def priority_key(self, instr: InFlight) -> tuple:
+        return (0 if instr.predicted_critical else 1, instr.index)
+
+
+class LocScheduler(SchedulingPolicy):
+    """LoC-priority scheduling: higher likelihood of criticality first."""
+
+    name = "loc"
+
+    def priority_key(self, instr: InFlight) -> tuple:
+        return (-instr.loc, instr.index)

@@ -1,0 +1,40 @@
+"""Steering (cluster-assignment) policies."""
+
+from repro.core.steering.base import (
+    MachineView,
+    SteeringDecision,
+    SteeringPolicy,
+    least_loaded_cluster,
+    structural_stall,
+)
+from repro.core.steering.dependence import (
+    CriticalitySteering,
+    CriticalitySteeringConfig,
+    DependenceSteering,
+)
+from repro.core.steering.readiness import (
+    ReadinessAwareSteering,
+    least_ready_pressure_cluster,
+)
+from repro.core.steering.simple import LoadBalanceSteering, ModuloSteering
+from repro.core.steering.stall_baselines import (
+    AlwaysStallSteering,
+    OccupancyStallSteering,
+)
+
+__all__ = [
+    "AlwaysStallSteering",
+    "CriticalitySteering",
+    "CriticalitySteeringConfig",
+    "DependenceSteering",
+    "LoadBalanceSteering",
+    "MachineView",
+    "ModuloSteering",
+    "OccupancyStallSteering",
+    "ReadinessAwareSteering",
+    "SteeringDecision",
+    "SteeringPolicy",
+    "least_loaded_cluster",
+    "least_ready_pressure_cluster",
+    "structural_stall",
+]

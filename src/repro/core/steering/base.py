@@ -1,0 +1,104 @@
+"""Steering-policy interface.
+
+Steering (cluster assignment) happens at dispatch, in fetch order, one
+instruction at a time.  A policy sees the machine through the
+:class:`MachineView` protocol -- cluster occupancies plus the
+microarchitectural state of the instruction's producers -- and returns a
+:class:`SteeringDecision`: either a cluster, or "stall dispatch this cycle"
+(used by stall-over-steer and by the structural all-clusters-full case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.instruction import DispatchReason, InFlight, SteerCause
+
+
+class MachineView(Protocol):
+    """What a steering policy may observe (implemented by the simulator)."""
+
+    num_clusters: int
+    forwarding_latency: int
+    now: int
+
+    def window_free(self, cluster: int) -> int:
+        """Free scheduling-window entries at ``cluster``."""
+        ...
+
+    def cluster_load(self, cluster: int) -> int:
+        """In-flight (dispatched, un-issued) instructions at ``cluster``."""
+        ...
+
+    def record(self, index: int) -> InFlight:
+        """Microarchitectural state of a dispatched instruction."""
+        ...
+
+    def cluster_ready_pressure(self, cluster: int, horizon: int = 0) -> int:
+        """(Soon-)ready instructions competing for ``cluster``'s ports."""
+        ...
+
+
+@dataclass(frozen=True)
+class SteeringDecision:
+    """Outcome of one steering choice.
+
+    ``cluster`` is None to stall dispatch this cycle; ``stall_reason`` then
+    says why (STEER_STALL for a deliberate policy stall, CLUSTER_FULL for a
+    structural one).  ``blocking_cluster`` names the cluster whose window the
+    stall is waiting on, for critical-path attribution.
+    """
+
+    cluster: int | None
+    cause: SteerCause = SteerCause.NO_PRODUCER
+    stall_reason: DispatchReason | None = None
+    blocking_cluster: int | None = None
+
+    @property
+    def is_stall(self) -> bool:
+        return self.cluster is None
+
+
+class SteeringPolicy:
+    """Base class for steering policies."""
+
+    name: str = "base"
+
+    def reset(self) -> None:
+        """Clear per-run state (called once per simulation)."""
+
+    def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
+        """Pick a cluster (or stall) for ``instr``."""
+        raise NotImplementedError
+
+    def on_commit(self, instr: InFlight) -> None:
+        """Observe a retiring instruction (used by learning policies)."""
+
+
+def least_loaded_cluster(machine: MachineView, require_space: bool = True) -> int | None:
+    """The cluster with the fewest in-flight instructions.
+
+    With ``require_space``, clusters whose window is full are excluded and
+    None is returned when every window is full.  Ties break toward the
+    lowest-numbered cluster for determinism.
+    """
+    best = None
+    best_load = None
+    for cluster in range(machine.num_clusters):
+        if require_space and machine.window_free(cluster) <= 0:
+            continue
+        load = machine.cluster_load(cluster)
+        if best_load is None or load < best_load:
+            best, best_load = cluster, load
+    return best
+
+
+def structural_stall(machine: MachineView) -> SteeringDecision:
+    """The decision to return when every cluster window is full."""
+    fullest = max(range(machine.num_clusters), key=machine.cluster_load)
+    return SteeringDecision(
+        cluster=None,
+        stall_reason=DispatchReason.CLUSTER_FULL,
+        blocking_cluster=fullest,
+    )

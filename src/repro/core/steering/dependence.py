@@ -1,0 +1,250 @@
+"""Dependence-based steering (Kemp & Franklin style) and the paper's
+criticality-directed refinements, composed as one configurable policy stack.
+
+The baseline collocates a consumer with an in-flight producer, falling back
+to the least-loaded cluster.  The refinements, cumulative in the paper's
+Figure 14:
+
+* **focused steering** (Fields et al.): when several producers compete, the
+  one holding a *predicted-critical* producer wins;
+* **LoC preference**: ties among producers resolve toward the highest
+  likelihood of criticality;
+* **stall-over-steer** (Section 5): if the desired cluster is full and the
+  consumer's LoC is at or above a threshold (30% in the paper), stall
+  dispatch instead of load-balancing the critical chain away;
+* **proactive load-balancing** (Section 6): steer only the most critical
+  consumer to the producer's cluster and push the rest away, using a
+  retire-time-learned table of "balance candidate" PCs plus the
+  followed-producer rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instruction import DispatchReason, InFlight, SteerCause
+from repro.core.steering.base import (
+    MachineView,
+    SteeringDecision,
+    SteeringPolicy,
+    least_loaded_cluster,
+    structural_stall,
+)
+from repro.util.counters import SaturatingCounter
+
+
+class DependenceSteering(SteeringPolicy):
+    """Plain dependence-based steering with load-balance fallback."""
+
+    name = "dependence"
+
+    def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
+        producers = self._in_flight_producers(instr, machine)
+        if not producers:
+            cluster = least_loaded_cluster(machine)
+            if cluster is None:
+                return structural_stall(machine)
+            return SteeringDecision(cluster, SteerCause.NO_PRODUCER)
+
+        ranked = self._ranked_producers(producers)
+        clusters = {p.cluster for p in producers}
+        cause = SteerCause.DYADIC if len(clusters) > 1 else SteerCause.PRODUCER
+        # "Whenever there is a choice of cluster to which a consumer can be
+        # sent": any producer's cluster keeps locality, so try them all in
+        # preference order before giving up.
+        for producer in ranked:
+            if machine.window_free(producer.cluster) > 0:
+                return SteeringDecision(producer.cluster, cause)
+        return self._handle_full_desired(instr, machine, ranked[0], ranked[0].cluster)
+
+    def _handle_full_desired(
+        self,
+        instr: InFlight,
+        machine: MachineView,
+        preferred: InFlight,
+        desired: int,
+    ) -> SteeringDecision:
+        """Desired cluster is full: baseline behaviour is to load-balance."""
+        cluster = least_loaded_cluster(machine)
+        if cluster is None:
+            return structural_stall(machine)
+        return SteeringDecision(cluster, SteerCause.LOAD_BALANCE_FULL)
+
+    def _in_flight_producers(
+        self, instr: InFlight, machine: MachineView
+    ) -> list[InFlight]:
+        """Register producers whose value is not yet visible everywhere.
+
+        A producer still matters to steering while its result has not been
+        broadcast to remote clusters: until ``complete + forwarding`` has
+        passed, collocating with it saves the forwarding latency.
+        """
+        producers = []
+        horizon = machine.now + 1
+        for dep in instr.deps.reg_deps:
+            producer = machine.record(dep)
+            if (
+                producer.complete_time < 0
+                or producer.complete_time + machine.forwarding_latency >= horizon
+            ):
+                producers.append(producer)
+        return producers
+
+    def _ranked_producers(self, producers: list[InFlight]) -> list[InFlight]:
+        """Producers in preference order (best first).
+
+        Baseline preference: the most recently fetched producer -- the
+        youngest in-flight operand is the one most likely to arrive last, so
+        collocating with it hides the most latency.
+        """
+        return sorted(producers, key=lambda p: p.index, reverse=True)
+
+
+@dataclass
+class CriticalitySteeringConfig:
+    """Knobs for the criticality-directed steering stack."""
+
+    # 'binary' prefers predicted-critical producers (focused steering);
+    # 'loc' prefers the highest-LoC producer (used once LoC exists).
+    preference: str = "binary"
+    stall_over_steer: bool = False
+    stall_loc_threshold: float = 0.30
+    proactive: bool = False
+    # Proactive override (Section 7): refuse to load-balance a consumer whose
+    # LoC exceeds ``keep_min_loc`` and is at least ``keep_fraction`` of the
+    # producer's LoC -- it is probably the most critical consumer.
+    keep_min_loc: float = 0.05
+    keep_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.preference not in ("binary", "loc"):
+            raise ValueError(f"unknown preference {self.preference!r}")
+        if not 0.0 <= self.stall_loc_threshold <= 1.0:
+            raise ValueError("stall_loc_threshold must be in [0, 1]")
+
+
+class CriticalitySteering(DependenceSteering):
+    """Dependence steering plus the paper's criticality policies."""
+
+    def __init__(self, config: CriticalitySteeringConfig | None = None):
+        self.config = config or CriticalitySteeringConfig()
+        parts = ["focused" if self.config.preference == "binary" else "loc"]
+        if self.config.stall_over_steer:
+            parts.append("stall")
+        if self.config.proactive:
+            parts.append("proactive")
+        self.name = "+".join(parts)
+        self.reset()
+
+    def reset(self) -> None:
+        # Producers already followed by one consumer (proactive rule).
+        self._followed: set[int] = set()
+        # Highest consumer LoC seen per producing instruction (trace index).
+        self._max_consumer_loc: dict[int, float] = {}
+        # Learned balance-candidate table, PC-indexed.  A PC trains toward
+        # "candidate" whenever a retiring instance was not its producer's most
+        # critical consumer.
+        self._balance_candidates: dict[int, SaturatingCounter] = {}
+
+    def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
+        producers = self._in_flight_producers(instr, machine)
+        if not producers:
+            cluster = least_loaded_cluster(machine)
+            if cluster is None:
+                return structural_stall(machine)
+            return SteeringDecision(cluster, SteerCause.NO_PRODUCER)
+
+        ranked = self._ranked_producers(producers)
+        preferred = ranked[0]
+        clusters = {p.cluster for p in producers}
+        cause = SteerCause.DYADIC if len(clusters) > 1 else SteerCause.PRODUCER
+
+        self._note_consumer(instr, producers)
+        if self.config.proactive and self._should_balance_away(instr, preferred):
+            cluster = least_loaded_cluster(machine)
+            if cluster is None:
+                return structural_stall(machine)
+            self._followed.add(preferred.index)
+            return SteeringDecision(cluster, SteerCause.PROACTIVE)
+
+        for producer in ranked:
+            if machine.window_free(producer.cluster) > 0:
+                self._followed.add(producer.index)
+                return SteeringDecision(producer.cluster, cause)
+        return self._handle_full_desired(instr, machine, preferred, preferred.cluster)
+
+    def on_commit(self, instr: InFlight) -> None:
+        """Retire-time learning of balance candidates (Section 7)."""
+        if not self.config.proactive:
+            return
+        for dep in instr.deps.reg_deps:
+            best = self._max_consumer_loc.get(dep)
+            if best is None:
+                continue
+            counter = self._balance_candidates.get(instr.instr.pc)
+            if counter is None:
+                counter = SaturatingCounter(bits=2, increment=1, decrement=1, threshold=2)
+                self._balance_candidates[instr.instr.pc] = counter
+            counter.train(instr.loc < best)
+            # The per-value records are no longer needed once a consumer of
+            # the value retires behind it; allow the dict to stay bounded.
+            if len(self._max_consumer_loc) > 65536:
+                self._max_consumer_loc.clear()
+
+    def _ranked_producers(self, producers: list[InFlight]) -> list[InFlight]:
+        if self.config.preference == "binary":
+            # Focused steering: a predicted-critical producer always wins.
+            return sorted(
+                producers,
+                key=lambda p: (p.predicted_critical, p.index),
+                reverse=True,
+            )
+        return sorted(producers, key=lambda p: (p.loc, p.index), reverse=True)
+
+    def _handle_full_desired(
+        self,
+        instr: InFlight,
+        machine: MachineView,
+        preferred: InFlight,
+        desired: int,
+    ) -> SteeringDecision:
+        if (
+            self.config.stall_over_steer
+            and instr.loc >= self.config.stall_loc_threshold
+        ):
+            return SteeringDecision(
+                cluster=None,
+                stall_reason=DispatchReason.STEER_STALL,
+                blocking_cluster=desired,
+            )
+        cluster = least_loaded_cluster(machine)
+        if cluster is None:
+            return structural_stall(machine)
+        return SteeringDecision(cluster, SteerCause.LOAD_BALANCE_FULL)
+
+    def _note_consumer(self, instr: InFlight, producers: list[InFlight]) -> None:
+        """Track the most critical consumer seen for each produced value."""
+        for producer in producers:
+            best = self._max_consumer_loc.get(producer.index)
+            if best is None or instr.loc > best:
+                self._max_consumer_loc[producer.index] = instr.loc
+
+    def _should_balance_away(self, instr: InFlight, preferred: InFlight) -> bool:
+        """Proactive rule: push this consumer off the producer's cluster?"""
+        config = self.config
+        # Retire-time learning is the strongest signal: a PC that keeps
+        # retiring as not-its-producer's-most-critical-consumer is balanced
+        # away even if its own LoC is respectable (Figure 13(b): the loads
+        # make room for the recurrence).
+        counter = self._balance_candidates.get(instr.instr.pc)
+        if counter is not None and counter.predict():
+            return True
+        # Single-consumer rule: the producer has already been followed --
+        # unless the override says this is the most critical consumer
+        # (LoC above 5% and at least half the producer's).
+        if (
+            instr.loc > config.keep_min_loc
+            and instr.loc >= config.keep_fraction * preferred.loc
+        ):
+            return False
+        return preferred.index in self._followed

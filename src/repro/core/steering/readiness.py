@@ -1,0 +1,85 @@
+"""Readiness-aware load balancing (the paper's closing discussion).
+
+Section 7 attributes the residual ~5% gap to "an inefficient distribution
+of ready instructions across the clusters": when proactive load-balancing
+pushes a consumer away, "these instructions must be assigned to a cluster
+that does not already have (and will not soon have) ready instructions.  In
+other words, choosing the least-full cluster in these circumstances is not
+always appropriate."
+
+This policy explores that idea: wherever the criticality stack would pick
+the least-*loaded* cluster, it instead picks the cluster with the least
+*ready pressure* -- the number of instructions already ready (or becoming
+ready within a short horizon) that will compete for the same issue ports.
+The simulator exposes this through the ``cluster_ready_pressure`` view
+method (steering in a real machine would need to track readiness
+explicitly, which is exactly the implementation difficulty the paper's
+Section 8 anticipates -- this is a limit study, like the paper's own
+proactive implementation).
+"""
+
+from __future__ import annotations
+
+from repro.core.instruction import InFlight, SteerCause
+from repro.core.steering.base import (
+    MachineView,
+    SteeringDecision,
+    structural_stall,
+)
+from repro.core.steering.dependence import (
+    CriticalitySteering,
+    CriticalitySteeringConfig,
+)
+
+
+def least_ready_pressure_cluster(
+    machine: MachineView, horizon: int
+) -> int | None:
+    """Cluster with the fewest (soon-)ready instructions and window space."""
+    best = None
+    best_key = None
+    for cluster in range(machine.num_clusters):
+        if machine.window_free(cluster) <= 0:
+            continue
+        pressure = machine.cluster_ready_pressure(cluster, horizon)
+        key = (pressure, machine.cluster_load(cluster))
+        if best_key is None or key < best_key:
+            best, best_key = cluster, key
+    return best
+
+
+class ReadinessAwareSteering(CriticalitySteering):
+    """The full policy stack with readiness-aware load balancing."""
+
+    def __init__(
+        self,
+        config: CriticalitySteeringConfig | None = None,
+        horizon: int = 2,
+    ):
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        super().__init__(
+            config
+            or CriticalitySteeringConfig(
+                preference="loc", stall_over_steer=True, proactive=True
+            )
+        )
+        self.horizon = horizon
+        self.name += "+ready"
+
+    def _balance_target(self, machine: MachineView) -> int | None:
+        return least_ready_pressure_cluster(machine, self.horizon)
+
+    # Override the two load-balance sites of the parent class.
+    def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
+        decision = super().choose(instr, machine)
+        if decision.is_stall or decision.cause not in (
+            SteerCause.NO_PRODUCER,
+            SteerCause.PROACTIVE,
+            SteerCause.LOAD_BALANCE_FULL,
+        ):
+            return decision
+        target = self._balance_target(machine)
+        if target is None:
+            return structural_stall(machine)
+        return SteeringDecision(target, decision.cause)

@@ -1,0 +1,49 @@
+"""Dependence-oblivious steering baselines.
+
+These are not evaluated in the paper's figures but serve as sanity bounds
+and test fixtures: modulo (round-robin) steering ignores locality entirely;
+pure load-balance steering optimizes only occupancy.
+"""
+
+from __future__ import annotations
+
+from repro.core.instruction import InFlight, SteerCause
+from repro.core.steering.base import (
+    MachineView,
+    SteeringDecision,
+    SteeringPolicy,
+    least_loaded_cluster,
+    structural_stall,
+)
+
+
+class ModuloSteering(SteeringPolicy):
+    """Round-robin cluster assignment."""
+
+    name = "modulo"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
+        for offset in range(machine.num_clusters):
+            cluster = (self._next + offset) % machine.num_clusters
+            if machine.window_free(cluster) > 0:
+                self._next = (cluster + 1) % machine.num_clusters
+                return SteeringDecision(cluster, SteerCause.NO_PRODUCER)
+        return structural_stall(machine)
+
+
+class LoadBalanceSteering(SteeringPolicy):
+    """Always pick the least-loaded cluster."""
+
+    name = "loadbal"
+
+    def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
+        cluster = least_loaded_cluster(machine)
+        if cluster is None:
+            return structural_stall(machine)
+        return SteeringDecision(cluster, SteerCause.NO_PRODUCER)

@@ -1,0 +1,88 @@
+"""Stall-decision baselines contrasted with LoC-gated stalling (Section 5).
+
+The paper credits Gonzalez et al. with observing that stalling the front
+end can beat load-balancing, but argues their control signal -- "the number
+of in-flight instructions at each cluster" -- is "a very coarse, and
+potentially misleading, measure": what actually determines whether stalling
+helps is whether the code is execute-critical (stall) or fetch-critical
+(keep fetching).  These two baselines make that argument testable:
+
+* :class:`AlwaysStallSteering` stalls whenever the desired cluster is full
+  (the upper bound on stalling);
+* :class:`OccupancyStallSteering` stalls when the desired cluster is full
+  and machine-wide occupancy exceeds a threshold (a Gonzalez-style
+  load-driven rule).
+
+``benchmarks/test_ablation_stall_signal.py`` compares both against the
+paper's LoC-gated stall-over-steer.
+"""
+
+from __future__ import annotations
+
+from repro.core.instruction import DispatchReason, InFlight, SteerCause
+from repro.core.steering.base import (
+    MachineView,
+    SteeringDecision,
+    least_loaded_cluster,
+    structural_stall,
+)
+from repro.core.steering.dependence import DependenceSteering
+
+
+class AlwaysStallSteering(DependenceSteering):
+    """Dependence steering that always stalls on a full desired cluster."""
+
+    name = "stall-always"
+
+    def _handle_full_desired(
+        self,
+        instr: InFlight,
+        machine: MachineView,
+        preferred: InFlight,
+        desired: int,
+    ) -> SteeringDecision:
+        return SteeringDecision(
+            cluster=None,
+            stall_reason=DispatchReason.STEER_STALL,
+            blocking_cluster=desired,
+        )
+
+
+class OccupancyStallSteering(DependenceSteering):
+    """Gonzalez-style: cluster load, not criticality, drives the stall.
+
+    When the desired cluster is full, stall if total window occupancy is at
+    or above ``occupancy_threshold`` (the back end looks busy, so fetching
+    faster cannot help); otherwise load-balance.
+    """
+
+    def __init__(self, occupancy_threshold: float = 0.75, window_size: int = 0):
+        if not 0.0 <= occupancy_threshold <= 1.0:
+            raise ValueError("occupancy_threshold must be in [0, 1]")
+        self.occupancy_threshold = occupancy_threshold
+        self._window_size = window_size
+        self.name = f"stall-occupancy@{occupancy_threshold:.2f}"
+
+    def _handle_full_desired(
+        self,
+        instr: InFlight,
+        machine: MachineView,
+        preferred: InFlight,
+        desired: int,
+    ) -> SteeringDecision:
+        total = sum(
+            machine.cluster_load(c) for c in range(machine.num_clusters)
+        )
+        capacity = total + sum(
+            machine.window_free(c) for c in range(machine.num_clusters)
+        )
+        if capacity and total / capacity >= self.occupancy_threshold:
+            return SteeringDecision(
+                cluster=None,
+                stall_reason=DispatchReason.STEER_STALL,
+                blocking_cluster=desired,
+            )
+        cluster = least_loaded_cluster(machine)
+        if cluster is None:
+            return structural_stall(machine)
+        return SteeringDecision(cluster, SteerCause.LOAD_BALANCE_FULL)

@@ -1,0 +1,33 @@
+"""Criticality analysis: critical path, slack, predictors, online training."""
+
+from repro.criticality.critical_path import (
+    CATEGORIES,
+    CriticalPathResult,
+    analyze_critical_path,
+    critical_flags,
+)
+from repro.criticality.graph import Edge, iter_edges, node_time, validate_timing
+from repro.criticality.loc import LocPredictor, PredictorSuite
+from repro.criticality.predictor import BinaryCriticalityPredictor
+from repro.criticality.slack import compute_global_slack, slack_histogram
+from repro.criticality.token_detector import TokenPassingTrainer
+from repro.criticality.trainer import ChunkedCriticalityTrainer, NullTrainer
+
+__all__ = [
+    "BinaryCriticalityPredictor",
+    "CATEGORIES",
+    "ChunkedCriticalityTrainer",
+    "CriticalPathResult",
+    "Edge",
+    "LocPredictor",
+    "NullTrainer",
+    "PredictorSuite",
+    "TokenPassingTrainer",
+    "analyze_critical_path",
+    "compute_global_slack",
+    "critical_flags",
+    "iter_edges",
+    "node_time",
+    "slack_histogram",
+    "validate_timing",
+]

@@ -1,0 +1,97 @@
+"""Explicit Fields dependence graph over a simulated run.
+
+Each committed instruction contributes three nodes -- D (dispatch), E
+(execute-complete), C (commit) -- and edges for every modelled constraint.
+The simulator's recorded event times must satisfy every edge
+(``t(dst) >= t(src) + weight``); :func:`validate_timing` checks this, which
+is the master invariant test tying the timing model to the critical-path
+model.  The graph is also what the slack analysis and the example explorer
+walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.instruction import DispatchReason, InFlight
+
+D, E, C = "D", "E", "C"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One constraint: ``time(dst) >= time(src) + weight``."""
+
+    src_kind: str
+    src_index: int
+    dst_kind: str
+    dst_index: int
+    weight: int
+    label: str
+
+
+def node_time(record: InFlight, kind: str) -> int:
+    """Recorded wall-clock time of one node."""
+    if kind == D:
+        return record.dispatch_time
+    if kind == E:
+        return record.complete_time
+    if kind == C:
+        return record.commit_time
+    raise ValueError(f"unknown node kind {kind!r}")
+
+
+def iter_edges(
+    records: Sequence[InFlight], config: MachineConfig
+) -> Iterator[Edge]:
+    """Generate every modelled constraint edge for a committed run."""
+    fwd = config.forwarding_latency
+    rob = config.rob_size
+    depth = config.frontend.depth_to_dispatch
+    base = records[0].index
+
+    def in_range(index: int) -> bool:
+        return 0 <= index - base < len(records)
+
+    for rec in records:
+        i = rec.index
+        # Intra-instruction: D -> E (window entry + execution), E -> C.
+        yield Edge(D, i, E, i, 1 + rec.latency, "execute")
+        yield Edge(E, i, C, i, 1, "commit")
+        # In-order dispatch and commit.
+        if in_range(i - 1):
+            yield Edge(D, i - 1, D, i, 0, "inorder_dispatch")
+            yield Edge(C, i - 1, C, i, 0, "inorder_commit")
+        # ROB pressure.
+        if in_range(i - rob):
+            yield Edge(C, i - rob, D, i, 0, "rob")
+        # Misprediction redirect (recorded provenance).
+        if rec.dispatch_reason is DispatchReason.FETCH_REDIRECT and in_range(
+            rec.dispatch_pred
+        ):
+            yield Edge(E, rec.dispatch_pred, D, i, depth, "redirect")
+        # Dataflow.
+        for dep in rec.deps.all_deps:
+            if not in_range(dep):
+                continue
+            producer = records[dep - base]
+            is_mem = rec.deps.mem_dep == dep
+            crossed = not is_mem and producer.cluster != rec.cluster
+            weight = rec.latency + (fwd if crossed else 0)
+            yield Edge(E, dep, E, i, weight, "data")
+
+
+def validate_timing(
+    records: Sequence[InFlight], config: MachineConfig
+) -> list[Edge]:
+    """Return every edge the recorded times violate (should be empty)."""
+    base = records[0].index
+    violations = []
+    for edge in iter_edges(records, config):
+        src = node_time(records[edge.src_index - base], edge.src_kind)
+        dst = node_time(records[edge.dst_index - base], edge.dst_kind)
+        if dst < src + edge.weight:
+            violations.append(edge)
+    return violations

@@ -1,0 +1,102 @@
+"""The likelihood-of-criticality (LoC) predictor (Sections 4 and 7).
+
+An instruction's LoC is the fraction of its past dynamic instances that were
+critical.  Three storage modes are provided, matching the paper's Section 7
+discussion:
+
+* ``probabilistic`` -- 16 levels held in 4 bits with probabilistic counter
+  updates (Riley & Zilles), the paper's proposed implementation;
+* ``stratified`` -- exact counts quantized to 16 levels (the idealized
+  version the probabilistic counter approximates);
+* ``exact`` -- unlimited-precision frequency (the upper bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.counters import (
+    ExactFrequencyCounter,
+    ProbabilisticLevelCounter,
+    StratifiedFrequencyCounter,
+)
+from repro.util.rng import seeded_rng
+
+MODES = ("probabilistic", "stratified", "exact")
+
+
+@dataclass
+class LocPredictor:
+    """PC-indexed estimator of the likelihood of criticality."""
+
+    mode: str = "probabilistic"
+    levels: int = 16
+    seed: int = 0
+    _table: dict[int, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown LoC mode {self.mode!r}; want one of {MODES}")
+        if self.levels < 2:
+            raise ValueError("need at least 2 LoC levels")
+
+    def _new_counter(self, pc: int):
+        if self.mode == "probabilistic":
+            return ProbabilisticLevelCounter(
+                levels=self.levels, rng=seeded_rng("loc", self.seed, pc)
+            )
+        if self.mode == "stratified":
+            return StratifiedFrequencyCounter(levels=self.levels)
+        return ExactFrequencyCounter()
+
+    def train(self, pc: int, critical: bool) -> None:
+        """Update the LoC estimate for ``pc`` with one observed instance."""
+        counter = self._table.get(pc)
+        if counter is None:
+            counter = self._new_counter(pc)
+            self._table[pc] = counter
+        counter.train(critical)
+
+    def value(self, pc: int) -> float:
+        """Current LoC estimate in [0, 1]; 0.0 for never-seen PCs."""
+        counter = self._table.get(pc)
+        return counter.fraction if counter is not None else 0.0
+
+    def known_pcs(self) -> list[int]:
+        """PCs with at least one training event."""
+        return list(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+@dataclass
+class PredictorSuite:
+    """The binary and LoC predictors trained together from one detector.
+
+    This is the object the simulator samples at dispatch
+    (:meth:`predict_critical` / :meth:`loc`) and the trainer updates at
+    retirement (:meth:`train`).
+    """
+
+    binary: "BinaryCriticalityPredictor" = None  # type: ignore[assignment]
+    loc_predictor: LocPredictor = field(default_factory=LocPredictor)
+
+    def __post_init__(self) -> None:
+        if self.binary is None:
+            from repro.criticality.predictor import BinaryCriticalityPredictor
+
+            self.binary = BinaryCriticalityPredictor()
+
+    def train(self, pc: int, critical: bool) -> None:
+        """Train both predictors with one detected instance."""
+        self.binary.train(pc, critical)
+        self.loc_predictor.train(pc, critical)
+
+    def predict_critical(self, pc: int) -> bool:
+        """Binary criticality prediction for ``pc``."""
+        return self.binary.predict(pc)
+
+    def loc(self, pc: int) -> float:
+        """Likelihood-of-criticality estimate for ``pc``."""
+        return self.loc_predictor.value(pc)

@@ -1,0 +1,46 @@
+"""The binary (Fields-style) criticality predictor.
+
+A PC-indexed table of 6-bit saturating counters that increment by 8 when an
+instance trains critical and decrement by 1 otherwise; a PC predicts
+critical when its counter is at or above 8.  One-in-eight instances being
+critical therefore suffices for a critical classification -- the coarseness
+the LoC metric (Section 4) is designed to fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.counters import SaturatingCounter
+
+
+@dataclass
+class BinaryCriticalityPredictor:
+    """PC-indexed critical / not-critical classifier."""
+
+    bits: int = 6
+    increment: int = 8
+    decrement: int = 1
+    threshold: int = 8
+    _table: dict[int, SaturatingCounter] = field(default_factory=dict)
+
+    def train(self, pc: int, critical: bool) -> None:
+        """Update the counter for ``pc`` with one observed instance."""
+        counter = self._table.get(pc)
+        if counter is None:
+            counter = SaturatingCounter(
+                bits=self.bits,
+                increment=self.increment,
+                decrement=self.decrement,
+                threshold=self.threshold,
+            )
+            self._table[pc] = counter
+        counter.train(critical)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted criticality of the instruction at ``pc``."""
+        counter = self._table.get(pc)
+        return counter.predict() if counter is not None else False
+
+    def __len__(self) -> int:
+        return len(self._table)

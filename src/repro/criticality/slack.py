@@ -1,0 +1,101 @@
+"""Global slack analysis (Fields et al., ISCA 2002; discussed in Section 4).
+
+An instruction's global slack is the number of cycles its completion could
+be delayed without lengthening the run.  The paper contrasts slack with LoC:
+slack is a per-*instance* cycle count with huge variance across instances of
+one static instruction (a correctly predicted branch has enormous slack, a
+mispredicted one has none), which is why LoC -- a per-static-instruction
+frequency -- is the more practical steering metric.
+
+Latest-allowable times are computed by one backward pass over the Fields
+edges; all cross-instruction edges point from lower to higher trace indices,
+so reverse trace order is a reverse topological order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.instruction import DispatchReason, InFlight
+from repro.core.rename import build_consumer_lists
+
+
+def compute_global_slack(
+    records: Sequence[InFlight], config: MachineConfig
+) -> list[int]:
+    """Per-instruction global slack of the E (completion) node, in cycles."""
+    n = len(records)
+    if n == 0:
+        return []
+    base = records[0].index
+    if base != 0:
+        raise ValueError("slack analysis expects the full run (base index 0)")
+    fwd = config.forwarding_latency
+    rob = config.rob_size
+    depth = config.frontend.depth_to_dispatch
+
+    consumers = build_consumer_lists([r.deps for r in records])
+    # Redirect targets: instruction whose dispatch a mispredicted branch gates.
+    redirect_target: dict[int, int] = {}
+    for rec in records:
+        if (
+            rec.dispatch_reason is DispatchReason.FETCH_REDIRECT
+            and rec.dispatch_pred is not None
+            and 0 <= rec.dispatch_pred - base < n
+        ):
+            redirect_target[rec.dispatch_pred - base] = rec.index - base
+
+    INF = float("inf")
+    latest_d = [INF] * n
+    latest_e = [INF] * n
+    latest_c = [INF] * n
+    latest_c[n - 1] = records[n - 1].commit_time
+
+    for i in range(n - 1, -1, -1):
+        rec = records[i]
+        # C_i constraints: in-order commit and ROB release.
+        bound = latest_c[i]
+        if i + 1 < n:
+            bound = min(bound, latest_c[i + 1])
+        if i + rob < n:
+            bound = min(bound, latest_d[i + rob])
+        latest_c[i] = bound if bound != INF else rec.commit_time
+
+        # E_i constraints: commit, consumers' execution, redirect release.
+        bound = latest_c[i] - 1
+        for consumer_offset in consumers[i]:
+            consumer = records[consumer_offset]
+            is_mem = consumer.deps.mem_dep == rec.index
+            crossed = not is_mem and consumer.cluster != rec.cluster
+            weight = consumer.latency + (fwd if crossed else 0)
+            bound = min(bound, latest_e[consumer_offset] - weight)
+        target = redirect_target.get(i)
+        if target is not None:
+            bound = min(bound, latest_d[target] - depth)
+        latest_e[i] = bound
+
+        # D_i constraints: own execution and in-order dispatch.
+        bound = latest_e[i] - (1 + rec.latency)
+        if i + 1 < n:
+            bound = min(bound, latest_d[i + 1])
+        latest_d[i] = bound
+
+    return [int(latest_e[i] - records[i].complete_time) for i in range(n)]
+
+
+def slack_histogram(
+    slacks: Sequence[int], bin_width: int = 5, max_bins: int = 20
+) -> list[tuple[str, int]]:
+    """Bucket slack values for display; the last bin is open-ended."""
+    bins = [0] * max_bins
+    for slack in slacks:
+        bins[min(max_bins - 1, slack // bin_width)] += 1
+    labelled = []
+    for i, count in enumerate(bins):
+        low = i * bin_width
+        label = f"{low}-{low + bin_width - 1}"
+        if i == max_bins - 1:
+            label = f">={low}"
+        labelled.append((label, count))
+    return labelled

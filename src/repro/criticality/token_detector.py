@@ -1,0 +1,214 @@
+"""Token-passing criticality detector (Fields, Rubin & Bodik, ISCA 2001).
+
+The paper's Section 8 notes that "dynamic profiling of the critical path
+requires that a token-passing predictor be built into the pipeline".  This
+module implements that hardware mechanism: plant a token at a sampled
+instruction's E node, propagate it forward only along *last-arriving*
+edges, and declare the origin critical if the token is still alive after a
+fixed distance.  A token that dies means some other chain determined the
+machine's progress, i.e. the origin had slack.
+
+Our simulator records each event's gating cause, so propagation is exact:
+a committing instruction's nodes inherit a token precisely when their
+recorded last-arriving predecessor holds it.  Commits happen in program
+order and every gating predecessor is older, so one pass over the retiring
+stream suffices -- exactly the pipeline-integrated detector the paper
+assumes, in contrast to the chunked offline analysis of
+:class:`repro.criticality.trainer.ChunkedCriticalityTrainer` (the two are
+compared by ``benchmarks/test_ablation_detector.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instruction import CommitReason, DispatchReason, InFlight
+from repro.criticality.loc import PredictorSuite
+
+# Node kinds, matching the Fields three-node model.
+_D, _E, _C = 0, 1, 2
+
+
+@dataclass
+class _Token:
+    origin_index: int
+    origin_pc: int
+    planted_at: int  # commit sequence number
+    holders: set = None  # {(kind, trace index)} currently holding this token
+    newest_holder: int = 0
+
+
+class TokenPassingTrainer:
+    """Online criticality detector with the simulator trainer interface.
+
+    Every ``plant_interval`` commits, a token is planted at the committing
+    instruction's E node (up to ``num_tokens`` live at once -- Fields'
+    detector uses a token array).  Each token propagates along
+    last-arriving edges; if any node still holds it ``survival_distance``
+    commits later, the origin instruction trains critical, otherwise
+    non-critical.
+    """
+
+    #: In-order commit bounds co-residence: a node of instruction j can
+    #: only gate instructions dispatched while j was still in flight, i.e.
+    #: within ROB-size trace indices.
+    GATING_RANGE = 256
+
+    def __init__(
+        self,
+        suite: PredictorSuite,
+        plant_interval: int = 32,
+        survival_distance: int = 384,
+        num_tokens: int = 8,
+    ):
+        if plant_interval < 1:
+            raise ValueError("plant_interval must be positive")
+        if num_tokens < 1:
+            raise ValueError("need at least one token slot")
+        if survival_distance <= self.GATING_RANGE:
+            raise ValueError(
+                "survival_distance must exceed the gating range "
+                f"({self.GATING_RANGE}): a stranded token can only be "
+                "detected dead once its newest holder falls out of range"
+            )
+        self.suite = suite
+        self.plant_interval = plant_interval
+        self.survival_distance = survival_distance
+        self.num_tokens = num_tokens
+        self._tokens: list[_Token] = []
+        self._commits = 0
+        self.tokens_planted = 0
+        self.tokens_survived = 0
+        self.tokens_resolved = 0
+
+    # ------------------------------------------------------------------
+    # Trainer interface
+    # ------------------------------------------------------------------
+    def on_commit(self, record: InFlight) -> None:
+        """Observe one retiring instruction."""
+        self._commits += 1
+        live = []
+        for token in self._tokens:
+            self._propagate(token, record)
+            if not self._resolve_if_due(token, record.index):
+                live.append(token)
+        self._tokens = live
+        if (
+            len(self._tokens) < self.num_tokens
+            and self._commits % self.plant_interval == 0
+        ):
+            self._plant(record)
+
+    def finish(self) -> None:
+        """Resolve trailing tokens at the end of a run."""
+        for token in self._tokens:
+            # Survived to the end of the run if anything still holds it.
+            self._train(token, bool(token.holders))
+        self._tokens = []
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _plant(self, record: InFlight) -> None:
+        # Seed the E node only: survival must mean the origin's *execution*
+        # gated later progress.  Seeding C as well would let a dead token
+        # ride the in-order commit chain (whose timing the origin did not
+        # determine) and regain life through ROB-full gating.
+        self._tokens.append(
+            _Token(
+                origin_index=record.index,
+                origin_pc=record.instr.pc,
+                planted_at=self._commits,
+                holders={(_E, record.index)},
+                newest_holder=record.index,
+            )
+        )
+        self.tokens_planted += 1
+
+    def _propagate(self, token: _Token, record: InFlight) -> None:
+        """Inherit the token onto this record's nodes where last-arriving
+        predecessors hold it."""
+        holders = token.holders
+        index = record.index
+        inherited = False
+
+        # D node: gated by fetch order, a redirect, ROB release or a
+        # window-freeing issue -- all recorded with their predecessor.
+        pred = record.dispatch_pred
+        reason = record.dispatch_reason
+        d_holds = False
+        if pred is not None:
+            if reason is DispatchReason.FETCH_BANDWIDTH:
+                d_holds = (_D, pred) in holders
+            elif reason is DispatchReason.FETCH_REDIRECT:
+                d_holds = (_E, pred) in holders
+            elif reason is DispatchReason.ROB_FULL:
+                d_holds = (_C, pred) in holders
+            else:  # CLUSTER_FULL / STEER_STALL: gated by a freeing issue
+                d_holds = (_E, pred) in holders
+        if d_holds:
+            holders.add((_D, index))
+            inherited = True
+
+        # E node: gated by the dispatch (window entry) or the last-arriving
+        # operand.
+        operand_gated = (
+            record.last_arriving_producer is not None
+            and record.operand_avail == record.ready_time
+            and record.operand_avail > record.dispatch_time + 1
+        )
+        if operand_gated:
+            e_holds = (_E, record.last_arriving_producer) in holders
+        else:
+            e_holds = d_holds
+        if e_holds:
+            holders.add((_E, index))
+            inherited = True
+
+        # C node: gated by completion or by the previous commit.  C-chain
+        # inheritance keeps the token available for ROB-full gating but
+        # does not by itself count as survival: riding the in-order commit
+        # chain is not execution criticality (same convention as the
+        # chunked analysis and Figure 8).
+        if record.commit_reason is CommitReason.COMMIT_ORDER:
+            c_holds = (_C, index - 1) in holders
+        else:
+            c_holds = e_holds
+        if c_holds:
+            holders.add((_C, index))
+
+        if inherited and index > token.newest_holder:
+            token.newest_holder = index
+        # Hardware keeps a small window of token state; prune nodes too old
+        # to gate anything still in flight.
+        if len(holders) > 2048:
+            cutoff = index - self.GATING_RANGE
+            token.holders = {h for h in holders if h[1] >= cutoff}
+
+    def _resolve_if_due(self, token: _Token, current_index: int) -> bool:
+        """Resolve the token if its fate is known; True when resolved."""
+        age = self._commits - token.planted_at
+        # A token whose newest holder has fallen out of gating range is
+        # dead; one that kept propagating for the survival distance marks
+        # its origin critical.
+        dead = current_index - token.newest_holder > self.GATING_RANGE
+        if dead or not token.holders:
+            self._train(token, False)
+            return True
+        if age >= self.survival_distance:
+            self._train(token, True)
+            return True
+        return False
+
+    def _train(self, token: _Token, survived: bool) -> None:
+        self.suite.train(token.origin_pc, survived)
+        self.tokens_resolved += 1
+        if survived:
+            self.tokens_survived += 1
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of resolved tokens that survived (criticality rate)."""
+        if not self.tokens_resolved:
+            return 0.0
+        return self.tokens_survived / self.tokens_resolved

@@ -1,0 +1,63 @@
+"""Online criticality detection: the paper's sampling detector.
+
+Fields et al. build a token-passing critical-path detector into the
+pipeline; it samples the retiring stream and classifies sampled instructions
+as critical or not, feeding the predictors.  We substitute the exact
+analysis the detector approximates: the retiring stream is buffered into
+consecutive chunks and each chunk's critical path is extracted with
+:func:`repro.criticality.critical_path.analyze_critical_path`; every
+instruction in the chunk then trains the predictors with its observed
+criticality (DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from repro.core.instruction import InFlight
+from repro.criticality.critical_path import analyze_critical_path
+from repro.criticality.loc import PredictorSuite
+
+
+class ChunkedCriticalityTrainer:
+    """Buffers committed instructions; trains predictors per chunk."""
+
+    def __init__(self, suite: PredictorSuite, chunk_size: int = 2048):
+        if chunk_size < 2:
+            raise ValueError("chunk_size must be at least 2")
+        self.suite = suite
+        self.chunk_size = chunk_size
+        self._buffer: list[InFlight] = []
+        self.chunks_processed = 0
+        self.instances_trained = 0
+
+    def on_commit(self, record: InFlight) -> None:
+        """Observe one retiring instruction (simulator hook)."""
+        self._buffer.append(record)
+        if len(self._buffer) >= self.chunk_size:
+            self._train_chunk()
+
+    def finish(self) -> None:
+        """Flush the trailing partial chunk at the end of a run."""
+        if len(self._buffer) > 1:
+            self._train_chunk()
+        self._buffer.clear()
+
+    def _train_chunk(self) -> None:
+        chunk = self._buffer
+        result = analyze_critical_path(chunk)
+        critical = result.critical_indices
+        train = self.suite.train
+        for record in chunk:
+            train(record.instr.pc, record.index in critical)
+        self.instances_trained += len(chunk)
+        self.chunks_processed += 1
+        self._buffer = []
+
+
+class NullTrainer:
+    """A trainer that observes nothing (frozen predictors)."""
+
+    def on_commit(self, record: InFlight) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass

@@ -1,0 +1,59 @@
+"""Experiment harness: one module per reproduced figure or in-text claim."""
+
+from repro.experiments.aggregate import average_figures, run_seeded
+from repro.experiments.fig02 import run_figure2
+from repro.experiments.fig04 import run_figure4
+from repro.experiments.fig05 import run_figure5
+from repro.experiments.fig06 import run_figure6
+from repro.experiments.fig08 import run_figure8
+from repro.experiments.fig14 import run_figure14
+from repro.experiments.fig15 import run_figure15
+from repro.experiments.figure import FigureData
+from repro.experiments.harness import (
+    DEFAULT_INSTRUCTIONS,
+    POLICY_NAMES,
+    PreparedWorkload,
+    Workbench,
+    build_policy,
+)
+from repro.experiments.intext import (
+    run_consumer_stats,
+    run_global_values,
+    run_loc_priority_study,
+)
+
+# Registry used by examples and the benchmark harness.
+EXPERIMENTS = {
+    "figure2": run_figure2,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "figure8": run_figure8,
+    "figure14": run_figure14,
+    "figure15": run_figure15,
+    "global_values": run_global_values,
+    "loc_priority": run_loc_priority_study,
+    "consumer_stats": run_consumer_stats,
+}
+
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "average_figures",
+    "run_seeded",
+    "EXPERIMENTS",
+    "FigureData",
+    "POLICY_NAMES",
+    "PreparedWorkload",
+    "Workbench",
+    "build_policy",
+    "run_consumer_stats",
+    "run_figure14",
+    "run_figure15",
+    "run_figure2",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure8",
+    "run_global_values",
+    "run_loc_priority_study",
+]

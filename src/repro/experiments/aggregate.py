@@ -1,0 +1,88 @@
+"""Multi-seed aggregation (the paper's three-sample methodology).
+
+Section 2.1: "For each benchmark, we average results from three 100 million
+instruction runs ... starting at 3, 5 and 8 billion instructions into the
+run."  Our analogue: run the same experiment with several workload data
+seeds and average the numeric cells of the resulting figures, reporting the
+spread so the stability of each shape is visible.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+from repro.experiments.figure import FigureData
+from repro.experiments.harness import Workbench
+
+
+def run_seeded(
+    experiment: Callable[[Workbench], FigureData],
+    seeds: Sequence[int] = (0, 1, 2),
+    instructions: int = 8000,
+    benchmarks=None,
+    **workbench_kwargs,
+) -> FigureData:
+    """Run ``experiment`` once per seed and average the numeric cells.
+
+    Rows are matched positionally (every seed produces the same row
+    structure since only workload data changes).  Non-numeric cells must
+    agree across seeds.  The returned figure carries a per-column
+    max-spread note.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    figures = []
+    for seed in seeds:
+        bench = Workbench(
+            instructions=instructions,
+            seed=seed,
+            benchmarks=benchmarks,
+            **workbench_kwargs,
+        )
+        figures.append(experiment(bench))
+    return average_figures(figures, seeds)
+
+
+def average_figures(
+    figures: Sequence[FigureData], seeds: Sequence[int]
+) -> FigureData:
+    """Cell-wise average of structurally identical figures."""
+    first = figures[0]
+    for other in figures[1:]:
+        if len(other.rows) != len(first.rows) or list(other.headers) != list(
+            first.headers
+        ):
+            raise ValueError("figures have different structure across seeds")
+
+    merged = FigureData(
+        figure_id=first.figure_id,
+        title=f"{first.title} (mean of {len(figures)} seeds)",
+        headers=first.headers,
+        notes=list(first.notes),
+    )
+    worst_spread = 0.0
+    for row_index in range(len(first.rows)):
+        cells = []
+        for col_index in range(len(first.headers)):
+            values = [fig.rows[row_index][col_index] for fig in figures]
+            if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                   for v in values):
+                finite = [v for v in values if not math.isnan(v)]
+                if not finite:
+                    cells.append(float("nan"))
+                    continue
+                mean = sum(finite) / len(finite)
+                cells.append(mean)
+                worst_spread = max(worst_spread, max(finite) - min(finite))
+            else:
+                if any(v != values[0] for v in values):
+                    raise ValueError(
+                        f"non-numeric cell differs across seeds: {values}"
+                    )
+                cells.append(values[0])
+        merged.rows.append(tuple(cells))
+    merged.notes.append(
+        f"seeds {list(seeds)}; worst per-cell spread {worst_spread:.4f}"
+    )
+    return merged

@@ -1,0 +1,59 @@
+"""Figure 2: idealized list scheduling.
+
+For each benchmark, list-schedule the monolithic machine's retired trace
+onto the 2-, 4- and 8-cluster configurations and report CPI normalized to
+the list-scheduled 1x8w configuration.  The paper's finding: all clustered
+configurations average under ~2% slower, with bzip2, crafty and vpr the
+outliers (convergent dataflow, Section 2.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.experiments.figure import FigureData
+from repro.experiments.harness import Workbench
+from repro.idealized.list_scheduler import list_schedule
+
+CLUSTER_COUNTS = (2, 4, 8)
+
+
+def run_figure2(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
+    """Reproduce Figure 2 rows (one per benchmark, plus the average)."""
+    figure = FigureData(
+        figure_id="Figure 2",
+        title="Idealized list scheduling (normalized CPI vs 1x8w)",
+        headers=["benchmark", "2x4w", "4x2w", "8x1w"],
+        notes=[
+            "paper: all configurations average < 2% slower than monolithic; "
+            "bzip2/crafty/vpr worst (convergent dataflow)",
+        ],
+    )
+    sums = [0.0] * len(CLUSTER_COUNTS)
+    for spec in bench.benchmarks:
+        prepared = bench.prepare(spec)
+        mono = bench.run(spec, monolithic_machine(), "dependence")
+        latencies = [rec.latency for rec in mono.records]
+        base = list_schedule(
+            prepared.trace,
+            prepared.dependences,
+            prepared.mispredicted,
+            monolithic_machine(),
+            latencies,
+        ).cpi
+        normalized = []
+        for i, count in enumerate(CLUSTER_COUNTS):
+            config = clustered_machine(count, forwarding_latency=forwarding_latency)
+            result = list_schedule(
+                prepared.trace,
+                prepared.dependences,
+                prepared.mispredicted,
+                config,
+                latencies,
+            )
+            value = result.cpi / base
+            normalized.append(value)
+            sums[i] += value
+        figure.add_row(spec.name, *normalized)
+    count = len(bench.benchmarks)
+    figure.add_row("AVE", *[s / count for s in sums])
+    return figure

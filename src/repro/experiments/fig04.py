@@ -1,0 +1,42 @@
+"""Figure 4: focused steering and scheduling (the state of the art).
+
+The same configurations as Figure 2, but simulated with Fields et al.'s
+focused policy instead of idealized scheduling.  The paper's finding: the
+2-cluster machine is usually within 5% of monolithic, the 4-cluster machine
+shows slowdowns over 10%, and the 8-cluster machine averages ~20% -- an
+order of magnitude worse than the idealized potential.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure import FigureData
+from repro.experiments.harness import Workbench
+
+CLUSTER_COUNTS = (2, 4, 8)
+
+
+def run_figure4(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
+    """Reproduce Figure 4 rows (one per benchmark, plus the average)."""
+    figure = FigureData(
+        figure_id="Figure 4",
+        title="Focused steering and scheduling (normalized CPI vs 1x8w)",
+        headers=["benchmark", "2x4w", "4x2w", "8x1w"],
+        notes=[
+            "paper: ~5% (2 clusters), >10% on several (4 clusters), "
+            "~20% average (8 clusters)",
+        ],
+    )
+    sums = [0.0] * len(CLUSTER_COUNTS)
+    for spec in bench.benchmarks:
+        base = bench.monolithic_baseline(spec, policy="focused").cpi
+        normalized = []
+        for i, count in enumerate(CLUSTER_COUNTS):
+            config = bench.clustered(count, forwarding_latency)
+            result = bench.run(spec, config, "focused")
+            value = result.cpi / base
+            normalized.append(value)
+            sums[i] += value
+        figure.add_row(spec.name, *normalized)
+    count = len(bench.benchmarks)
+    figure.add_row("AVE", *[s / count for s in sums])
+    return figure

@@ -1,0 +1,54 @@
+"""Figure 5: critical-path breakdown under focused steering and scheduling.
+
+For the monolithic and 2-/4-/8-cluster machines, every cycle of runtime is
+attributed to one critical-path category; stacks are normalized to the
+monolithic machine's CPI, so the total column reproduces Figure 4's bars
+while the segments show *where* the extra cycles went (forwarding delay and
+contention grow with cluster count).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import FIGURE5_SEGMENTS, cpi_breakdown
+from repro.core.config import monolithic_machine
+from repro.experiments.figure import FigureData
+from repro.experiments.harness import Workbench
+
+CONFIG_LABELS = (1, 2, 4, 8)
+
+
+def run_figure5(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
+    """Reproduce Figure 5: one row per (benchmark, cluster count)."""
+    figure = FigureData(
+        figure_id="Figure 5",
+        title="Critical path breakdown, focused steering (normalized CPI)",
+        headers=["benchmark", "clusters", *FIGURE5_SEGMENTS, "total"],
+        notes=[
+            "segments sum to the run's CPI normalized to the monolithic "
+            "machine; fwd_delay and contention are the clustering penalties",
+            "'commit' cycles are folded into 'execute' as in the paper's "
+            "seven-segment stacks",
+        ],
+    )
+    averages = {
+        label: [0.0] * (len(FIGURE5_SEGMENTS) + 1) for label in CONFIG_LABELS
+    }
+    for spec in bench.benchmarks:
+        base_cpi = bench.run(spec, monolithic_machine(), "focused").cpi
+        for label in CONFIG_LABELS:
+            config = (
+                monolithic_machine()
+                if label == 1
+                else bench.clustered(label, forwarding_latency)
+            )
+            result = bench.run(spec, config, "focused")
+            segments = cpi_breakdown(result).normalized(base_cpi)
+            values = [segments[name] for name in FIGURE5_SEGMENTS]
+            total = sum(values)
+            figure.add_row(spec.name, label, *values, total)
+            for i, value in enumerate([*values, total]):
+                averages[label][i] += value
+    count = len(bench.benchmarks)
+    for label in CONFIG_LABELS:
+        figure.add_row("AVE", label, *[v / count for v in averages[label]])
+    return figure

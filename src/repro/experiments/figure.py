@@ -1,0 +1,56 @@
+"""Common result container for reproduced tables and figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.util.tables import format_table
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure/table: labelled rows plus provenance notes."""
+
+    figure_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{self.figure_id}: row has {len(cells)} cells, "
+                f"want {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, label: object) -> Sequence[object]:
+        """The first row whose first cell equals ``label``."""
+        for row in self.rows:
+            if row[0] == label:
+                return row
+        raise KeyError(f"{self.figure_id}: no row labelled {label!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (machine-readable experiment output)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def __str__(self) -> str:
+        header = f"== {self.figure_id}: {self.title} =="
+        body = format_table(self.headers, self.rows)
+        notes = "\n".join(f"note: {note}" for note in self.notes)
+        return "\n".join(part for part in (header, body, notes) if part)

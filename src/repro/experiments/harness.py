@@ -1,0 +1,198 @@
+"""Shared experiment harness.
+
+A :class:`Workbench` prepares workload traces once (dependences and
+mispredictions are configuration-independent), builds the paper's policy
+stacks by name, and runs simulations with the paper's predictor-warm-up
+methodology: every measured run is preceded by a warm-up run of the same
+machine and policy that trains the criticality/LoC predictors online, then
+the measurement run continues training from the warm state (Section 2.1
+"after warming up the branch predictor and cache"; the criticality predictor
+warms the same way).
+
+Policy names (matching Figure 14's bar labels):
+
+* ``dependence`` -- dependence-based steering, oldest-first scheduling
+  (no criticality; a pre-Fields baseline).
+* ``focused``    -- Fields et al.'s focused steering and scheduling.
+* ``l``          -- + LoC-based scheduling (Section 4).
+* ``s``          -- + stall-over-steer (Section 5).
+* ``p``          -- + proactive load-balancing (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import MachineConfig, clustered_machine, monolithic_machine
+from repro.core.rename import Dependences, extract_dependences
+from repro.core.results import SimulationResult
+from repro.core.scheduling.policies import (
+    CriticalFirstScheduler,
+    LocScheduler,
+    OldestFirstScheduler,
+)
+from repro.core.simulator import ClusteredSimulator
+from repro.core.steering.dependence import (
+    CriticalitySteering,
+    CriticalitySteeringConfig,
+    DependenceSteering,
+)
+from repro.criticality.loc import LocPredictor, PredictorSuite
+from repro.criticality.trainer import ChunkedCriticalityTrainer
+from repro.frontend.branch_predictor import (
+    GshareBranchPredictor,
+    annotate_mispredictions,
+)
+from repro.vm.trace import DynamicInstruction
+from repro.workloads.common import KernelSpec
+from repro.workloads.suite import SUITE
+
+POLICY_NAMES = ("dependence", "focused", "l", "s", "p")
+
+DEFAULT_INSTRUCTIONS = 12_000
+# A generous bound: no sane run needs more cycles than ~20 per instruction.
+_MAX_CPI_GUARD = 64
+
+
+@dataclass(frozen=True)
+class PreparedWorkload:
+    """A trace with its configuration-independent annotations."""
+
+    name: str
+    trace: tuple[DynamicInstruction, ...]
+    dependences: tuple[Dependences, ...]
+    mispredicted: frozenset[int]
+
+
+def build_policy(name: str):
+    """Construct fresh (steering, scheduler, needs_predictors) for ``name``."""
+    if name == "dependence":
+        return DependenceSteering(), OldestFirstScheduler(), False
+    if name == "focused":
+        steering = CriticalitySteering(CriticalitySteeringConfig(preference="binary"))
+        return steering, CriticalFirstScheduler(), True
+    if name == "l":
+        steering = CriticalitySteering(CriticalitySteeringConfig(preference="loc"))
+        return steering, LocScheduler(), True
+    if name == "s":
+        steering = CriticalitySteering(
+            CriticalitySteeringConfig(preference="loc", stall_over_steer=True)
+        )
+        return steering, LocScheduler(), True
+    if name == "p":
+        steering = CriticalitySteering(
+            CriticalitySteeringConfig(
+                preference="loc", stall_over_steer=True, proactive=True
+            )
+        )
+        return steering, LocScheduler(), True
+    raise ValueError(f"unknown policy {name!r}; want one of {POLICY_NAMES}")
+
+
+class Workbench:
+    """Caches prepared workloads and canonical runs for one experiment pass."""
+
+    def __init__(
+        self,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        seed: int = 0,
+        benchmarks: Sequence[KernelSpec] | None = None,
+        loc_mode: str = "probabilistic",
+    ):
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        self.instructions = instructions
+        self.seed = seed
+        self.benchmarks = tuple(benchmarks if benchmarks is not None else SUITE)
+        self.loc_mode = loc_mode
+        self._prepared: dict[str, PreparedWorkload] = {}
+        self._run_cache: dict[tuple, SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    def prepare(self, spec: KernelSpec) -> PreparedWorkload:
+        """Generate (once) the trace, dependences and mispredictions."""
+        cached = self._prepared.get(spec.name)
+        if cached is not None:
+            return cached
+        trace = tuple(spec.generate(self.instructions, seed=self.seed))
+        dependences = tuple(extract_dependences(trace))
+        mispredicted = frozenset(
+            annotate_mispredictions(trace, GshareBranchPredictor())
+        )
+        prepared = PreparedWorkload(spec.name, trace, dependences, mispredicted)
+        self._prepared[spec.name] = prepared
+        return prepared
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: KernelSpec,
+        config: MachineConfig,
+        policy: str,
+        collect_ilp: bool = False,
+        warm: bool = True,
+    ) -> SimulationResult:
+        """Run ``spec`` on ``config`` under ``policy`` (cached)."""
+        # MachineConfig is a frozen dataclass tree, so the full config can
+        # key the cache -- two configs differing only in, say, forwarding
+        # bandwidth or memory hierarchy must not collide.
+        key = (spec.name, config, policy, collect_ilp)
+        cached = self._run_cache.get(key)
+        if cached is not None:
+            return cached
+        prepared = self.prepare(spec)
+        result = self._run_once(prepared, config, policy, collect_ilp, warm)
+        self._run_cache[key] = result
+        return result
+
+    def monolithic_baseline(self, spec: KernelSpec, policy: str = "l") -> SimulationResult:
+        """The 1x8w run results are normalized against."""
+        return self.run(spec, monolithic_machine(), policy)
+
+    def clustered(self, num_clusters: int, forwarding_latency: int = 2) -> MachineConfig:
+        """Convenience passthrough."""
+        return clustered_machine(num_clusters, forwarding_latency=forwarding_latency)
+
+    # ------------------------------------------------------------------
+    def _run_once(
+        self,
+        prepared: PreparedWorkload,
+        config: MachineConfig,
+        policy: str,
+        collect_ilp: bool,
+        warm: bool,
+    ) -> SimulationResult:
+        max_cycles = _MAX_CPI_GUARD * len(prepared.trace) + 10_000
+        steering, scheduler, needs_predictors = build_policy(policy)
+        suite = None
+        trainer = None
+        if needs_predictors:
+            suite = PredictorSuite(
+                loc_predictor=LocPredictor(mode=self.loc_mode, seed=self.seed)
+            )
+            trainer = ChunkedCriticalityTrainer(suite)
+            if warm:
+                warm_sim = ClusteredSimulator(
+                    config,
+                    steering=steering,
+                    scheduler=scheduler,
+                    predictors=suite,
+                    trainer=trainer,
+                    max_cycles=max_cycles,
+                )
+                warm_sim.run(
+                    prepared.trace, prepared.dependences, prepared.mispredicted
+                )
+                # Fresh policy state for the measured run; predictors stay warm.
+                steering, scheduler, __ = build_policy(policy)
+        sim = ClusteredSimulator(
+            config,
+            steering=steering,
+            scheduler=scheduler,
+            predictors=suite,
+            trainer=trainer,
+            collect_ilp=collect_ilp,
+            max_cycles=max_cycles,
+        )
+        return sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)

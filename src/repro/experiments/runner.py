@@ -1,0 +1,112 @@
+"""Command-line experiment runner.
+
+Regenerate any reproduced figure from a shell::
+
+    python -m repro.experiments figure4
+    python -m repro.experiments figure14 --instructions 20000 --out results/
+    python -m repro.experiments all --benchmarks vpr gzip
+
+Experiment names are the keys of :data:`repro.experiments.EXPERIMENTS`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.aggregate import run_seeded
+from repro.experiments.harness import DEFAULT_INSTRUCTIONS, Workbench
+from repro.workloads.suite import get_kernel, suite_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and in-text claims.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=DEFAULT_INSTRUCTIONS,
+        help="dynamic instructions per benchmark kernel "
+        f"(default {DEFAULT_INSTRUCTIONS})",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="KERNEL",
+        help=f"restrict the suite (default: all 12); from: {', '.join(suite_names())}",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload data seed")
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="average over this many seeds (the paper averages 3 samples)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        help="also write each figure's table to this directory",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --out, also write machine-readable <figure>.json files",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+
+    benchmarks = None
+    if args.benchmarks:
+        benchmarks = [get_kernel(name) for name in args.benchmarks]
+    bench = Workbench(
+        instructions=args.instructions, seed=args.seed, benchmarks=benchmarks
+    )
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        start = time.time()
+        if args.seeds > 1:
+            figure = run_seeded(
+                EXPERIMENTS[name],
+                seeds=range(args.seed, args.seed + args.seeds),
+                instructions=args.instructions,
+                benchmarks=benchmarks,
+            )
+        else:
+            figure = EXPERIMENTS[name](bench)
+        elapsed = time.time() - start
+        print(f"\n{figure}\n[{name}: {elapsed:.1f}s]")
+        if args.out:
+            slug = figure.figure_id.lower().replace(" ", "").replace(".", "")
+            (args.out / f"{slug}.txt").write_text(str(figure) + "\n")
+            if args.json:
+                (args.out / f"{slug}.json").write_text(
+                    json.dumps(figure.to_dict(), indent=2) + "\n"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

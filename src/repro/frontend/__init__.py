@@ -1,0 +1,20 @@
+"""Front end: branch prediction and the fetch/dispatch timing model."""
+
+from repro.frontend.branch_predictor import (
+    AlwaysTakenPredictor,
+    BranchPredictor,
+    GshareBranchPredictor,
+    OraclePredictor,
+    annotate_mispredictions,
+)
+from repro.frontend.fetch import FrontEndConfig, FrontEndModel
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BranchPredictor",
+    "FrontEndConfig",
+    "FrontEndModel",
+    "GshareBranchPredictor",
+    "OraclePredictor",
+    "annotate_mispredictions",
+]

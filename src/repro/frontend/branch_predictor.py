@@ -1,0 +1,92 @@
+"""Branch predictors for the front end.
+
+Table 1 specifies a gshare predictor with 16 bits of global history.  We also
+provide always-taken and oracle predictors as test and bounding baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class BranchPredictor:
+    """Interface: predict a conditional branch, then train on the outcome."""
+
+    def predict(self, pc: int) -> bool:
+        """Return the predicted direction for the branch at ``pc``."""
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the resolved direction and update global history."""
+        raise NotImplementedError
+
+
+@dataclass
+class GshareBranchPredictor(BranchPredictor):
+    """Classic gshare: PC xor global-history indexes 2-bit counters."""
+
+    history_bits: int = 16
+    _history: int = 0
+    _counters: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.history_bits <= 30:
+            raise ValueError(f"history_bits out of range: {self.history_bits}")
+        self._mask = (1 << self.history_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        # 2-bit counters initialized to weakly taken (2); >= 2 predicts taken.
+        return self._counters.get(self._index(pc), 2) >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters.get(index, 2)
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[index] = counter
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+
+@dataclass
+class AlwaysTakenPredictor(BranchPredictor):
+    """Static predictor; useful for tests and as a pessimistic bound."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+@dataclass
+class OraclePredictor(BranchPredictor):
+    """Perfect predictor; bounds the benefit of branch prediction."""
+
+    def predict(self, pc: int) -> bool:  # pragma: no cover - trivial
+        raise RuntimeError("oracle predictions are resolved by the caller")
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+def annotate_mispredictions(trace, predictor: BranchPredictor | None = None):
+    """Run ``predictor`` over ``trace``; return a set of mispredicted indices.
+
+    Unconditional branches and halts always predict correctly.  A ``None``
+    predictor means oracle (empty set).
+    """
+    if predictor is None or isinstance(predictor, OraclePredictor):
+        return set()
+    mispredicted = set()
+    for instr in trace:
+        if not instr.is_conditional_branch:
+            continue
+        if predictor.predict(instr.pc) != instr.taken:
+            mispredicted.add(instr.index)
+        predictor.update(instr.pc, instr.taken)
+    return mispredicted

@@ -1,0 +1,124 @@
+"""Front-end timing model: 8-wide fetch, 13 stages to dispatch (Table 1).
+
+The model is trace-driven: it streams the *correct-path* dynamic trace, but
+honours the timing constraints a real front end would impose:
+
+* at most ``width`` instructions enter the fetch buffer per cycle;
+* fetch past a mispredicted branch blocks until that branch resolves, and the
+  redirected instructions then take ``depth`` cycles to reach dispatch
+  (pipeline refill);
+* optionally, a taken branch ends the fetch group for that cycle;
+* the fetch buffer is finite, so dispatch stalls backpressure fetch.
+
+Wrong-path instructions are not modelled (the machine has perfect memory
+disambiguation and we do not model wrong-path cache pollution), matching the
+paper's trace-driven simulator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.vm.trace import DynamicInstruction
+
+
+@dataclass(frozen=True)
+class FrontEndConfig:
+    """Front-end parameters (defaults are the paper's Table 1)."""
+
+    width: int = 8
+    depth_to_dispatch: int = 13
+    buffer_size: int = 16
+    break_on_taken_branch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.depth_to_dispatch < 0 or self.buffer_size <= 0:
+            raise ValueError(f"invalid front-end config: {self}")
+
+
+class FrontEndModel:
+    """Streams a dynamic trace under fetch-bandwidth and redirect constraints.
+
+    Protocol (driven by the simulator once per cycle):
+
+    1. ``tick(now)`` -- fetch up to ``width`` instructions into the buffer.
+    2. ``peek()`` / ``pop()`` -- the dispatch stage consumes buffered
+       instructions in order.
+    3. ``resolve_misprediction(index, when)`` -- called when a mispredicted
+       branch finishes executing; fetch resumes ``depth_to_dispatch`` cycles
+       later.
+    """
+
+    def __init__(
+        self,
+        trace: Sequence[DynamicInstruction],
+        mispredicted: frozenset[int] | set[int],
+        config: FrontEndConfig | None = None,
+    ):
+        self._trace = trace
+        self._mispredicted = mispredicted
+        self.config = config or FrontEndConfig()
+        self._cursor = 0
+        self._buffer: deque[DynamicInstruction] = deque()
+        # The first instructions reach dispatch after the pipeline fills.
+        self._unblock_time = self.config.depth_to_dispatch
+        self._blocked_on: int | None = None
+        # Provenance for critical-path attribution: the first instruction
+        # fetched after a misprediction redirect is gated by that branch.
+        self._pending_redirect: int | None = None
+        self._redirect_sources: dict[int, int] = {}
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every trace instruction has been consumed by dispatch."""
+        return self._cursor >= len(self._trace) and not self._buffer
+
+    @property
+    def blocked_on(self) -> int | None:
+        """Index of the mispredicted branch fetch is waiting on, if any."""
+        return self._blocked_on
+
+    def tick(self, now: int) -> None:
+        """Fetch up to ``width`` instructions into the buffer this cycle."""
+        if self._blocked_on is not None or now < self._unblock_time:
+            return
+        fetched = 0
+        config = self.config
+        while (
+            fetched < config.width
+            and self._cursor < len(self._trace)
+            and len(self._buffer) < config.buffer_size
+        ):
+            instr = self._trace[self._cursor]
+            self._buffer.append(instr)
+            self._cursor += 1
+            fetched += 1
+            if self._pending_redirect is not None:
+                self._redirect_sources[instr.index] = self._pending_redirect
+                self._pending_redirect = None
+            if instr.index in self._mispredicted:
+                self._blocked_on = instr.index
+                break
+            if config.break_on_taken_branch and instr.is_branch and instr.taken:
+                break
+
+    def peek(self) -> DynamicInstruction | None:
+        """Next buffered instruction available for dispatch, or None."""
+        return self._buffer[0] if self._buffer else None
+
+    def pop(self) -> DynamicInstruction:
+        """Consume the instruction returned by :meth:`peek`."""
+        return self._buffer.popleft()
+
+    def resolve_misprediction(self, index: int, when: int) -> None:
+        """Resume fetch after the mispredicted branch ``index`` resolves."""
+        if self._blocked_on == index:
+            self._blocked_on = None
+            self._unblock_time = when + self.config.depth_to_dispatch
+            self._pending_redirect = index
+
+    def redirect_source(self, index: int) -> int | None:
+        """The mispredicted branch gating instruction ``index``, if any."""
+        return self._redirect_sources.get(index)

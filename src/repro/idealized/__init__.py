@@ -1,0 +1,10 @@
+"""Idealized list scheduling (the Section 2.2 potential study)."""
+
+from repro.idealized.list_scheduler import (
+    ListScheduleResult,
+    PRIORITY_MODES,
+    list_schedule,
+)
+from repro.idealized.regions import split_regions
+
+__all__ = ["ListScheduleResult", "PRIORITY_MODES", "list_schedule", "split_regions"]

@@ -1,0 +1,361 @@
+"""The idealized list scheduler (Section 2.2).
+
+A global-view scheduler that performs steering and slotting in one pass over
+the retired trace, establishing the performance *potential* of a clustered
+configuration.  Idealizations, per the paper:
+
+* a monolithic view of all in-flight instructions -- only the functional
+  units are clustered;
+* exact future knowledge within each region -- priorities favour
+  instructions heading long dataflow chains and those on the backward slice
+  of the region's mispredicted branch;
+* locality awareness -- candidate clusters are compared by achievable start
+  time, which automatically prefers a producer's cluster (a remote cluster
+  sees the operand ``forwarding_latency`` cycles later).
+
+Constraints honoured, per the paper: per-cycle issue-width and port limits
+of the modelled cluster, the global communication penalty, the front end's
+fetch bandwidth, and branch-misprediction latency (a region fetched after a
+mispredicted branch cannot start before the branch's schedule time plus the
+pipeline depth).
+
+Priority modes implement the Section 4 in-text experiment: ``oracle`` (exact
+future knowledge), ``loc`` (likelihood of criticality only) and ``binary``
+(Fields-style critical/not-critical only).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.rename import Dependences, build_consumer_lists
+from repro.idealized.regions import split_regions
+from repro.vm.isa import OpClass
+from repro.vm.trace import DynamicInstruction
+
+PRIORITY_MODES = ("oracle", "loc", "binary")
+
+# Priority bonus for instructions on a mispredicted branch's backward slice:
+# larger than any achievable dataflow depth within a region.
+_SLICE_BONUS = 1_000_000
+
+
+@dataclass
+class ListScheduleResult:
+    """Outcome of scheduling one full trace."""
+
+    total_cycles: int
+    instructions: int
+    regions: int
+    replications: int = 0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction of the idealized schedule."""
+        return self.total_cycles / self.instructions if self.instructions else 0.0
+
+
+def _port_class(opclass: OpClass) -> int:
+    if opclass in (OpClass.LOAD, OpClass.STORE):
+        return 2
+    if opclass is OpClass.FP:
+        return 1
+    return 0
+
+
+class _ClusterTable:
+    """Per-cluster, per-cycle port occupancy."""
+
+    def __init__(self, config: MachineConfig):
+        cluster = config.cluster
+        self._limits = (cluster.int_ports, cluster.fp_ports, cluster.mem_ports)
+        self._width = cluster.issue_width
+        # cycle -> [int_used, fp_used, mem_used, total_used]
+        self._used: dict[int, list[int]] = {}
+
+    def place(self, earliest: int, pclass: int) -> int:
+        """Find and claim the first cycle >= earliest with a free port."""
+        t = earliest
+        while True:
+            used = self._used.get(t)
+            if used is None:
+                used = [0, 0, 0, 0]
+                self._used[t] = used
+            if used[3] < self._width and used[pclass] < self._limits[pclass]:
+                used[pclass] += 1
+                used[3] += 1
+                return t
+            t += 1
+
+    def probe(self, earliest: int, pclass: int) -> int:
+        """Like :meth:`place` but without claiming the slot."""
+        t = earliest
+        while True:
+            used = self._used.get(t)
+            if used is None:
+                return t
+            if used[3] < self._width and used[pclass] < self._limits[pclass]:
+                return t
+            t += 1
+
+
+def list_schedule(
+    trace: Sequence[DynamicInstruction],
+    dependences: Sequence[Dependences],
+    mispredicted: frozenset[int],
+    config: MachineConfig,
+    latencies: Sequence[int],
+    priority_mode: str = "oracle",
+    loc_table: dict[int, float] | None = None,
+    binary_table: dict[int, bool] | None = None,
+    max_region: int = 256,
+    allow_replication: bool = False,
+) -> ListScheduleResult:
+    """Build an idealized schedule and return its span.
+
+    ``latencies`` must give each instruction's execution latency as observed
+    on the monolithic machine (so cache behaviour is held constant across
+    configurations).
+
+    ``allow_replication`` permits re-executing a producer on the consumer's
+    cluster (one level deep) when the replica finishes before the forwarded
+    value would arrive -- the technique advocated for statically-scheduled
+    clustered machines.  The paper's footnote 4 claims dynamic machines do
+    not need it; ``benchmarks/test_ablation_replication.py`` verifies.
+    """
+    if priority_mode not in PRIORITY_MODES:
+        raise ValueError(f"unknown priority mode {priority_mode!r}")
+    if priority_mode == "loc" and loc_table is None:
+        raise ValueError("loc priority mode needs a loc_table")
+    if priority_mode == "binary" and binary_table is None:
+        raise ValueError("binary priority mode needs a binary_table")
+
+    consumers = build_consumer_lists(dependences)
+    regions = split_regions(trace, mispredicted, max_length=max_region)
+    fwd = config.forwarding_latency
+    depth_to_dispatch = config.frontend.depth_to_dispatch
+    fetch_width = config.frontend.width
+
+    # finish[i]: cycle the result of i is available at its own cluster;
+    # placed_cluster[i]: where it ran.
+    finish = [0] * len(trace)
+    placed_cluster = [0] * len(trace)
+
+    total_end = 0
+    replications = 0
+    # Fetch stream state: the cycle the next region's first instruction can
+    # dispatch (reset by misprediction redirects).
+    fetch_base = depth_to_dispatch
+
+    for start, stop in regions:
+        region_end, redirect, region_replications = _schedule_region(
+            trace,
+            dependences,
+            consumers,
+            config,
+            latencies,
+            start,
+            stop,
+            fetch_base,
+            fetch_width,
+            fwd,
+            finish,
+            placed_cluster,
+            priority_mode,
+            loc_table,
+            binary_table,
+            mispredicted,
+            allow_replication,
+        )
+        total_end = max(total_end, region_end)
+        replications += region_replications
+        if redirect is not None:
+            fetch_base = redirect + depth_to_dispatch
+        else:
+            # Seamless fetch into the next region.
+            fetch_base = fetch_base + max(1, (stop - start) // fetch_width)
+
+    return ListScheduleResult(
+        total_cycles=total_end,
+        instructions=len(trace),
+        regions=len(regions),
+        replications=replications,
+    )
+
+
+def _schedule_region(
+    trace,
+    dependences,
+    consumers,
+    config: MachineConfig,
+    latencies,
+    start: int,
+    stop: int,
+    fetch_base: int,
+    fetch_width: int,
+    fwd: int,
+    finish,
+    placed_cluster,
+    priority_mode: str,
+    loc_table,
+    binary_table,
+    mispredicted,
+    allow_replication: bool = False,
+) -> tuple[int, int | None, int]:
+    """Schedule one region; return (end, redirect time or None, replicas)."""
+    priorities = _region_priorities(
+        trace, dependences, consumers, latencies, start, stop,
+        priority_mode, loc_table, binary_table, mispredicted,
+    )
+    tables = [_ClusterTable(config) for _ in range(config.num_clusters)]
+
+    pending = [0] * (stop - start)
+    for i in range(start, stop):
+        pending[i - start] = sum(1 for d in dependences[i].all_deps if d >= start)
+    ready: list[tuple[float, int]] = [
+        (-priorities[i - start], i) for i in range(start, stop) if pending[i - start] == 0
+    ]
+    heapq.heapify(ready)
+
+    region_end = fetch_base
+    redirect = None
+    replications = 0
+    num_clusters = config.num_clusters
+
+    def replica_option(dep: int, cluster: int) -> tuple[int, int] | None:
+        """(ready, port class) for re-executing ``dep`` on ``cluster``.
+
+        One level deep: the replica's own operands come from their original
+        placements (forwarded if remote).  Loads and stores are never
+        replicated (they would re-occupy a memory port and re-access the
+        cache); neither are branches.
+        """
+        producer = trace[dep]
+        if producer.opclass not in (
+            OpClass.INT_ALU,
+            OpClass.INT_MUL,
+            OpClass.FP,
+        ) or producer.dest is None:
+            return None
+        ready = fetch_base + (dep - start) // fetch_width
+        for ddep in dependences[dep].all_deps:
+            if ddep < start:
+                continue
+            is_mem = dependences[dep].mem_dep == ddep
+            penalty = 0 if (is_mem or placed_cluster[ddep] == cluster) else fwd
+            ready = max(ready, finish[ddep] + penalty)
+        return ready, _port_class(producer.opclass)
+
+    while ready:
+        __, i = heapq.heappop(ready)
+        instr = trace[i]
+        pclass = _port_class(instr.opclass)
+        fetch_time = fetch_base + (i - start) // fetch_width
+
+        # Earliest data-ready time per cluster, optionally improved by
+        # replicating remote producers locally.
+        local_ready = [fetch_time] * num_clusters
+        replicas: list[list[tuple[int, int, int]]] = [
+            [] for __ in range(num_clusters)
+        ]
+        for dep in dependences[i].all_deps:
+            if dep < start:
+                continue
+            is_mem = dependences[i].mem_dep == dep
+            for c in range(num_clusters):
+                penalty = 0 if (is_mem or placed_cluster[dep] == c) else fwd
+                avail = finish[dep] + penalty
+                if allow_replication and penalty:
+                    option = replica_option(dep, c)
+                    if option is not None:
+                        rep_ready, rep_pclass = option
+                        rep_slot = tables[c].probe(rep_ready, rep_pclass)
+                        rep_avail = rep_slot + latencies[dep]
+                        if rep_avail < avail:
+                            avail = rep_avail
+                            replicas[c].append((dep, rep_ready, rep_pclass))
+                if avail > local_ready[c]:
+                    local_ready[c] = avail
+
+        best_cluster = 0
+        best_time = None
+        for c in range(num_clusters):
+            t = tables[c].probe(local_ready[c], pclass)
+            if best_time is None or t < best_time:
+                best_cluster, best_time = c, t
+        # Materialize any replicas the chosen cluster's timing relied on.
+        for dep, rep_ready, rep_pclass in replicas[best_cluster]:
+            rep_slot = tables[best_cluster].place(rep_ready, rep_pclass)
+            rep_avail = rep_slot + latencies[dep]
+            replications += 1
+            if rep_avail > local_ready[best_cluster]:
+                local_ready[best_cluster] = rep_avail
+        placed = tables[best_cluster].place(local_ready[best_cluster], pclass)
+        placed_cluster[i] = best_cluster
+        finish[i] = placed + latencies[i]
+        if finish[i] > region_end:
+            region_end = finish[i]
+        if instr.index in mispredicted:
+            redirect = finish[i]
+
+        for consumer in consumers[i]:
+            if consumer < stop:
+                pending[consumer - start] -= 1
+                if pending[consumer - start] == 0:
+                    heapq.heappush(
+                        ready, (-priorities[consumer - start], consumer)
+                    )
+
+    return region_end, redirect, replications
+
+
+def _region_priorities(
+    trace,
+    dependences,
+    consumers,
+    latencies,
+    start: int,
+    stop: int,
+    priority_mode: str,
+    loc_table,
+    binary_table,
+    mispredicted,
+) -> list[float]:
+    """Per-instruction scheduling priority within one region."""
+    n = stop - start
+    if priority_mode == "loc":
+        return [loc_table.get(trace[i].pc, 0.0) for i in range(start, stop)]
+    if priority_mode == "binary":
+        return [
+            1.0 if binary_table.get(trace[i].pc, False) else 0.0
+            for i in range(start, stop)
+        ]
+
+    # Oracle: dataflow height within the region...
+    depth = [0.0] * n
+    for i in range(stop - 1, start - 1, -1):
+        best = 0.0
+        for consumer in consumers[i]:
+            if consumer < stop and depth[consumer - start] > best:
+                best = depth[consumer - start]
+        depth[i - start] = latencies[i] + best
+
+    # ...plus a dominant bonus on the backward slice of the terminating
+    # mispredicted branch (resolving it sooner shortens the next region's
+    # start).
+    if stop - 1 >= start and trace[stop - 1].index in mispredicted:
+        on_slice = [False] * n
+        on_slice[n - 1] = True
+        for i in range(stop - 1, start - 1, -1):
+            if not on_slice[i - start]:
+                continue
+            for dep in dependences[i].all_deps:
+                if dep >= start:
+                    on_slice[dep - start] = True
+        for k in range(n):
+            if on_slice[k]:
+                depth[k] += _SLICE_BONUS
+    return depth

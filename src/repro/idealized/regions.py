@@ -1,0 +1,39 @@
+"""Region partitioning for the idealized study (Section 2.2, footnote 2).
+
+The paper list-schedules the whole execution trace by dividing it into
+regions separated by mispredicted branches (the fetch-serializing events a
+real machine cannot schedule across), summing the spans of the per-region
+schedules as a conservative estimate of total runtime.  We additionally cap
+region length at the ROB size, since no schedule could hold more
+instructions in flight than the ROB admits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.vm.trace import DynamicInstruction
+
+
+def split_regions(
+    trace: Sequence[DynamicInstruction],
+    mispredicted: frozenset[int] | set[int],
+    max_length: int = 256,
+) -> list[tuple[int, int]]:
+    """Return half-open ``(start, stop)`` index ranges covering the trace.
+
+    A region ends just after a mispredicted branch, or at ``max_length``,
+    whichever comes first.
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be positive")
+    regions = []
+    start = 0
+    for i, instr in enumerate(trace):
+        ends_region = instr.index in mispredicted or (i - start + 1) >= max_length
+        if ends_region:
+            regions.append((start, i + 1))
+            start = i + 1
+    if start < len(trace):
+        regions.append((start, len(trace)))
+    return regions

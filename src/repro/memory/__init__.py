@@ -1,0 +1,10 @@
+"""Data-memory hierarchy timing models."""
+
+from repro.memory.cache import (
+    CacheConfig,
+    MemoryConfig,
+    MemoryHierarchy,
+    SetAssociativeCache,
+)
+
+__all__ = ["CacheConfig", "MemoryConfig", "MemoryHierarchy", "SetAssociativeCache"]

@@ -1,0 +1,107 @@
+"""Data-cache timing model.
+
+Table 1: a 32KB 4-way set-associative L1 with 2-cycle access backed by an
+infinite L2 with a 20-cycle access time.  The paper uses the infinite L2 to
+keep simulations short; it verifies that conclusions also hold with a finite
+L2 and 200-cycle memory, so we expose those as configuration too.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int = 32 * 1024
+    associativity: int = 4
+    line_bytes: int = 64
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ValueError(f"cache geometry does not divide evenly: {self}")
+        if self.hit_latency < 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError(f"invalid cache config: {self}")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets implied by the geometry."""
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache tracking tags only (timing, not data)."""
+
+    def __init__(self, config: CacheConfig | None = None):
+        self.config = config or CacheConfig()
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.config.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch ``addr``; return True on hit.  Misses allocate (LRU evict)."""
+        line = addr // self.config.line_bytes
+        set_index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[tag] = None
+        if len(ways) > self.config.associativity:
+            ways.popitem(last=False)
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit; 0.0 before any access."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """The full data-memory hierarchy timing (Table 1 defaults)."""
+
+    l1: CacheConfig = CacheConfig()
+    l2_latency: int = 20
+    # Table 1 uses an infinite L2.  Setting ``l2`` to a finite geometry plus a
+    # ``memory_latency`` reproduces the paper's finite-L2 validation runs.
+    l2: CacheConfig | None = None
+    memory_latency: int = 200
+
+
+class MemoryHierarchy:
+    """Latency oracle for loads and stores, shared by all clusters."""
+
+    def __init__(self, config: MemoryConfig | None = None):
+        self.config = config or MemoryConfig()
+        self.l1 = SetAssociativeCache(self.config.l1)
+        self.l2 = SetAssociativeCache(self.config.l2) if self.config.l2 else None
+
+    def load_latency(self, addr: int) -> int:
+        """Cycles from issue to data return for a load at ``addr``."""
+        if self.l1.access(addr):
+            return self.config.l1.hit_latency
+        if self.l2 is None:
+            return self.config.l2_latency
+        if self.l2.access(addr):
+            return self.config.l2.hit_latency
+        return self.config.memory_latency
+
+    def store_access(self, addr: int) -> None:
+        """Stores allocate in the cache but retire without stalling.
+
+        The machine has perfect disambiguation and a store buffer; store
+        latency is hidden, so only the tag state is updated.
+        """
+        if not self.l1.access(addr) and self.l2 is not None:
+            self.l2.access(addr)

@@ -1,0 +1,21 @@
+"""Shared utilities: counters, deterministic RNG, table rendering."""
+
+from repro.util.counters import (
+    ExactFrequencyCounter,
+    ProbabilisticLevelCounter,
+    SaturatingCounter,
+    StratifiedFrequencyCounter,
+)
+from repro.util.rng import seeded_rng
+from repro.util.tables import format_histogram, format_stacked_rows, format_table
+
+__all__ = [
+    "ExactFrequencyCounter",
+    "ProbabilisticLevelCounter",
+    "SaturatingCounter",
+    "StratifiedFrequencyCounter",
+    "seeded_rng",
+    "format_histogram",
+    "format_stacked_rows",
+    "format_table",
+]

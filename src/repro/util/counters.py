@@ -1,0 +1,156 @@
+"""Saturating and probabilistic counters used by the criticality predictors.
+
+The paper's focused-scheduling baseline (Fields et al.) uses 6-bit saturating
+counters that increment by 8 when an instruction trains critical and decrement
+by 1 otherwise, with a predict-critical threshold of 8 (Section 4, footnote 6).
+
+The likelihood-of-criticality predictor (Section 7) stratifies LoC into 16
+levels stored in 4 bits, maintained with probabilistic counter updates in the
+style of Riley & Zilles (2005): on each training event the counter moves one
+level toward the observed outcome with a probability chosen so that the
+steady-state level tracks the underlying criticality frequency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SaturatingCounter:
+    """A saturating up/down counter.
+
+    Parameters mirror the Fields predictor: ``bits`` bounds the value to
+    ``[0, 2**bits - 1]``; ``increment``/``decrement`` are the step sizes for
+    the two training directions; ``threshold`` is the predict-true cutoff.
+    """
+
+    bits: int = 6
+    increment: int = 8
+    decrement: int = 1
+    threshold: int = 8
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"bits must be positive, got {self.bits}")
+        self._max = (1 << self.bits) - 1
+        if not 0 <= self.value <= self._max:
+            raise ValueError(f"value {self.value} out of range for {self.bits} bits")
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable counter value."""
+        return self._max
+
+    def train(self, outcome: bool) -> None:
+        """Move the counter toward ``outcome`` (True = critical)."""
+        if outcome:
+            self.value = min(self._max, self.value + self.increment)
+        else:
+            self.value = max(0, self.value - self.decrement)
+
+    def predict(self) -> bool:
+        """Return True when the counter is at or above the threshold."""
+        return self.value >= self.threshold
+
+
+@dataclass
+class ProbabilisticLevelCounter:
+    """A ``levels``-level counter updated probabilistically.
+
+    Level ``k`` of ``L`` levels represents an estimated frequency of
+    ``k / (L - 1)``.  On a training event with outcome ``o`` (0 or 1) the
+    counter moves one level toward ``o`` with probability proportional to the
+    distance between ``o`` and the current estimate.  In steady state the
+    expected level equals the underlying outcome frequency: at level ``k`` the
+    up-rate is ``p * (1 - k/(L-1))`` and the down-rate ``(1-p) * k/(L-1)``,
+    which balance exactly when ``k/(L-1) == p``.
+
+    With ``levels=16`` this is the paper's 4-bit LoC counter.
+    """
+
+    levels: int = 16
+    level: int = 0
+    rng: random.Random = field(default_factory=random.Random, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ValueError(f"need at least 2 levels, got {self.levels}")
+        if not 0 <= self.level < self.levels:
+            raise ValueError(f"level {self.level} out of range")
+
+    @property
+    def fraction(self) -> float:
+        """The frequency estimate represented by the current level."""
+        return self.level / (self.levels - 1)
+
+    def train(self, outcome: bool) -> None:
+        """Probabilistically move one level toward ``outcome``."""
+        estimate = self.fraction
+        if outcome:
+            move_probability = 1.0 - estimate
+            if move_probability > 0 and self.rng.random() < move_probability:
+                self.level += 1
+        else:
+            move_probability = estimate
+            if move_probability > 0 and self.rng.random() < move_probability:
+                self.level -= 1
+
+
+@dataclass
+class ExactFrequencyCounter:
+    """Unbounded-precision frequency counter (the LoC ablation baseline).
+
+    Tracks the exact fraction of training events with outcome True.
+    """
+
+    hits: int = 0
+    total: int = 0
+
+    @property
+    def fraction(self) -> float:
+        """Observed frequency of True outcomes; 0.0 before any training."""
+        if self.total == 0:
+            return 0.0
+        return self.hits / self.total
+
+    def train(self, outcome: bool) -> None:
+        """Record one outcome."""
+        self.total += 1
+        if outcome:
+            self.hits += 1
+
+
+@dataclass
+class StratifiedFrequencyCounter:
+    """Exact frequency counter quantized to a fixed number of levels.
+
+    Used by the ablation comparing 16-level stratification against unlimited
+    precision (Section 7: "stratifying LoC into 16 levels produces results
+    almost equivalent to a counter with unlimited precision").
+    """
+
+    levels: int = 16
+    hits: int = 0
+    total: int = 0
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ValueError(f"need at least 2 levels, got {self.levels}")
+
+    @property
+    def fraction(self) -> float:
+        """Observed frequency, rounded to the nearest representable level."""
+        if self.total == 0:
+            return 0.0
+        exact = self.hits / self.total
+        steps = self.levels - 1
+        return round(exact * steps) / steps
+
+    def train(self, outcome: bool) -> None:
+        """Record one outcome."""
+        self.total += 1
+        if outcome:
+            self.hits += 1

@@ -1,0 +1,70 @@
+"""Plain-text table and histogram rendering for experiment output.
+
+The benchmark harness prints the same rows and series the paper's figures
+plot; these helpers keep that output aligned and readable without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in rendered_rows)
+    return "\n".join(body)
+
+
+def format_histogram(
+    bins: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+) -> str:
+    """Render a labelled horizontal bar histogram."""
+    if len(bins) != len(values):
+        raise ValueError("bins and values must have equal length")
+    peak = max(values) if values else 0.0
+    label_width = max((len(b) for b in bins), default=0)
+    lines = []
+    for label, value in zip(bins, values):
+        bar_length = 0 if peak == 0 else round(width * value / peak)
+        lines.append(f"{label.rjust(label_width)} | {'#' * bar_length} {value:.2f}")
+    return "\n".join(lines)
+
+
+def format_stacked_rows(
+    labels: Sequence[str],
+    components: dict[str, Sequence[float]],
+) -> str:
+    """Render stacked-bar data (one component column per stack segment)."""
+    headers = ["config", *components.keys(), "total"]
+    rows = []
+    for i, label in enumerate(labels):
+        segment_values = [components[name][i] for name in components]
+        rows.append([label, *segment_values, sum(segment_values)])
+    return format_table(headers, rows)

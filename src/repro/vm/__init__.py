@@ -1,0 +1,41 @@
+"""Mini-ISA virtual machine: assembler, interpreter and trace records."""
+
+from repro.vm.assembler import AssemblyError, Program, assemble
+from repro.vm.interpreter import ExecutionError, MachineState, iter_trace, run
+from repro.vm.isa import (
+    BASE_LATENCY,
+    FP_REG_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_REGS,
+    OPCODES,
+    ZERO_REG,
+    OpClass,
+    StaticInstruction,
+    parse_register,
+    register_name,
+)
+from repro.vm.trace import DynamicInstruction, effective_sources
+
+__all__ = [
+    "AssemblyError",
+    "BASE_LATENCY",
+    "DynamicInstruction",
+    "ExecutionError",
+    "FP_REG_BASE",
+    "MachineState",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "NUM_REGS",
+    "OPCODES",
+    "OpClass",
+    "Program",
+    "StaticInstruction",
+    "ZERO_REG",
+    "assemble",
+    "effective_sources",
+    "iter_trace",
+    "parse_register",
+    "register_name",
+    "run",
+]

@@ -1,0 +1,201 @@
+"""Two-pass assembler for the mini ISA.
+
+Accepts the textual assembly used by the workload kernels::
+
+    loop:
+        ld   r7, 0(r2)      # A[i]
+        addi r2, r2, 1
+        cmpeq r6, r7, r0
+        bne  r6, done
+        bne  r3, loop
+    done:
+        halt
+
+Syntax: one instruction per line; ``label:`` lines (or prefixes) define
+branch targets; ``#`` starts a comment; memory operands are written
+``offset(base)`` with the offset in words.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.vm.isa import (
+    FP_DEST_OPS,
+    FP_SRC_OPS,
+    OPCODES,
+    StaticInstruction,
+    is_fp_register,
+    parse_register,
+)
+
+_MEM_OPERAND = re.compile(r"^(-?\d+)\((\w+)\)$")
+_LABEL = re.compile(r"^([A-Za-z_]\w*):")
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed assembly input."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: instructions plus label metadata."""
+
+    instructions: tuple[StaticInstruction, ...]
+    labels: dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> StaticInstruction:
+        return self.instructions[pc]
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` text into a :class:`Program`."""
+    stripped_lines = _strip(source)
+    labels = _collect_labels(stripped_lines)
+    instructions = []
+    pc = 0
+    for line_number, text in stripped_lines:
+        body = _LABEL.sub("", text).strip()
+        if not body:
+            continue
+        instructions.append(_parse_instruction(line_number, pc, body, labels))
+        pc += 1
+    if not instructions:
+        raise AssemblyError(0, "empty program")
+    return Program(tuple(instructions), labels)
+
+
+def _strip(source: str) -> list[tuple[int, str]]:
+    """Drop comments and blank lines; keep original line numbers."""
+    result = []
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("#", 1)[0].strip()
+        if text:
+            result.append((line_number, text))
+    return result
+
+
+def _collect_labels(lines: list[tuple[int, str]]) -> dict[str, int]:
+    labels: dict[str, int] = {}
+    pc = 0
+    for line_number, text in lines:
+        match = _LABEL.match(text)
+        if match:
+            name = match.group(1)
+            if name in labels:
+                raise AssemblyError(line_number, f"duplicate label {name!r}")
+            if name in OPCODES:
+                raise AssemblyError(line_number, f"label {name!r} shadows an opcode")
+            labels[name] = pc
+            text = _LABEL.sub("", text).strip()
+        if text:
+            pc += 1
+    return labels
+
+
+def _parse_instruction(
+    line_number: int, pc: int, body: str, labels: dict[str, int]
+) -> StaticInstruction:
+    parts = body.replace(",", " ").split()
+    opcode = parts[0].lower()
+    spec = OPCODES.get(opcode)
+    if spec is None:
+        raise AssemblyError(line_number, f"unknown opcode {opcode!r}")
+    operands = parts[1:]
+    if len(operands) != len(spec.operands):
+        raise AssemblyError(
+            line_number,
+            f"{opcode} expects {len(spec.operands)} operands, got {len(operands)}",
+        )
+
+    dest: int | None = None
+    srcs: list[int] = []
+    imm = 0
+    mem_base: int | None = None
+    mem_offset = 0
+    target: int | None = None
+
+    for kind, token in zip(spec.operands, operands):
+        if kind == "d":
+            dest = _register(line_number, token)
+        elif kind == "s":
+            srcs.append(_register(line_number, token))
+        elif kind == "i":
+            try:
+                imm = int(token, 0)
+            except ValueError as exc:
+                raise AssemblyError(line_number, f"bad immediate {token!r}") from exc
+        elif kind == "m":
+            match = _MEM_OPERAND.match(token)
+            if not match:
+                raise AssemblyError(
+                    line_number, f"bad memory operand {token!r} (want offset(base))"
+                )
+            mem_offset = int(match.group(1))
+            mem_base = _register(line_number, match.group(2))
+            srcs.append(mem_base)
+        elif kind == "t":
+            if token not in labels:
+                raise AssemblyError(line_number, f"undefined label {token!r}")
+            target = labels[token]
+        else:  # pragma: no cover - spec strings are fixed above
+            raise AssemblyError(line_number, f"bad operand spec {kind!r}")
+
+    _check_register_classes(line_number, opcode, dest, srcs)
+    return StaticInstruction(
+        pc=pc,
+        opcode=opcode,
+        opclass=spec.opclass,
+        dest=dest,
+        srcs=tuple(srcs),
+        imm=imm,
+        mem_base=mem_base,
+        mem_offset=mem_offset,
+        target=target,
+    )
+
+
+def _register(line_number: int, token: str) -> int:
+    try:
+        return parse_register(token)
+    except ValueError as exc:
+        raise AssemblyError(line_number, str(exc)) from exc
+
+
+def _check_register_classes(
+    line_number: int, opcode: str, dest: int | None, srcs: list[int]
+) -> None:
+    """Validate int-vs-fp register usage for the opcode."""
+    spec = OPCODES[opcode]
+    if dest is not None:
+        want_fp = opcode in FP_DEST_OPS
+        if is_fp_register(dest) != want_fp:
+            raise AssemblyError(
+                line_number,
+                f"{opcode} destination must be "
+                f"{'floating-point' if want_fp else 'integer'}",
+            )
+    if opcode in ("fld", "fst", "ld", "st"):
+        # Base register is always integer; for fst the value register is fp.
+        base = srcs[-1]
+        if is_fp_register(base):
+            raise AssemblyError(line_number, f"{opcode} base register must be integer")
+        if opcode == "fst" and not is_fp_register(srcs[0]):
+            raise AssemblyError(line_number, "fst value register must be fp")
+        if opcode == "st" and is_fp_register(srcs[0]):
+            raise AssemblyError(line_number, "st value register must be integer")
+    elif opcode in FP_SRC_OPS and spec.operands.count("s") == 2:
+        if not all(is_fp_register(s) for s in srcs):
+            raise AssemblyError(line_number, f"{opcode} sources must be fp")
+    elif opcode == "cvtif" and is_fp_register(srcs[0]):
+        raise AssemblyError(line_number, "cvtif source must be integer")
+    elif opcode == "cvtfi" and not is_fp_register(srcs[0]):
+        raise AssemblyError(line_number, "cvtfi source must be fp")

@@ -1,0 +1,215 @@
+"""The mini instruction set used by the synthetic workloads.
+
+The paper evaluates Alpha binaries; we substitute a small Alpha-flavoured
+register ISA that preserves the properties the evaluation depends on:
+
+* three-address integer ALU ops (so dyadic convergence exists),
+* explicit loads/stores with register+offset addressing,
+* compare-and-branch sequences (``cmpeq`` + ``bne``) exactly as in the
+  paper's Figure 12 assembly,
+* distinct operation classes (integer ALU, integer multiply, floating point,
+  load, store, branch) so the clustered machine's per-class issue ports are
+  exercised.
+
+Registers live in one namespace: integer registers ``r0``..``r31`` map to ids
+0..31 (``r31`` is hard-wired zero, as on Alpha) and floating-point registers
+``f0``..``f15`` map to ids 32..47.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 16
+ZERO_REG = 31
+FP_REG_BASE = NUM_INT_REGS
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an operation (selects port and latency)."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    FP = "fp"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether this class occupies a memory port."""
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+
+# Execution latency in cycles, excluding cache access time for loads.  These
+# match Table 1's "instruction latencies match the Alpha 21264": single-cycle
+# integer ALU, 7-cycle integer multiply, 4-cycle floating point, and a 3-cycle
+# load-to-use (1 cycle of address generation here + the 2-cycle L1 in
+# repro.memory).
+BASE_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 7,
+    OpClass.FP: 4,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+}
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode.
+
+    ``operands`` is a format string over the characters:
+      ``d`` destination register, ``s`` source register, ``i`` immediate,
+      ``m`` memory operand ``offset(base)`` (adds the base as a source),
+      ``t`` branch target label.
+    """
+
+    name: str
+    opclass: OpClass
+    operands: str
+    is_conditional_branch: bool = False
+
+
+OPCODES: dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in [
+        # Integer ALU, register forms.
+        OpSpec("add", OpClass.INT_ALU, "dss"),
+        OpSpec("sub", OpClass.INT_ALU, "dss"),
+        OpSpec("and", OpClass.INT_ALU, "dss"),
+        OpSpec("or", OpClass.INT_ALU, "dss"),
+        OpSpec("xor", OpClass.INT_ALU, "dss"),
+        OpSpec("sll", OpClass.INT_ALU, "dss"),
+        OpSpec("srl", OpClass.INT_ALU, "dss"),
+        OpSpec("cmpeq", OpClass.INT_ALU, "dss"),
+        OpSpec("cmplt", OpClass.INT_ALU, "dss"),
+        OpSpec("cmple", OpClass.INT_ALU, "dss"),
+        # Integer ALU, immediate forms.
+        OpSpec("addi", OpClass.INT_ALU, "dsi"),
+        OpSpec("subi", OpClass.INT_ALU, "dsi"),
+        OpSpec("andi", OpClass.INT_ALU, "dsi"),
+        OpSpec("ori", OpClass.INT_ALU, "dsi"),
+        OpSpec("xori", OpClass.INT_ALU, "dsi"),
+        OpSpec("slli", OpClass.INT_ALU, "dsi"),
+        OpSpec("srli", OpClass.INT_ALU, "dsi"),
+        OpSpec("cmpeqi", OpClass.INT_ALU, "dsi"),
+        OpSpec("cmplti", OpClass.INT_ALU, "dsi"),
+        OpSpec("cmplei", OpClass.INT_ALU, "dsi"),
+        OpSpec("li", OpClass.INT_ALU, "di"),
+        OpSpec("mov", OpClass.INT_ALU, "ds"),
+        # Integer multiply.
+        OpSpec("mul", OpClass.INT_MUL, "dss"),
+        OpSpec("muli", OpClass.INT_MUL, "dsi"),
+        # Floating point.
+        OpSpec("fadd", OpClass.FP, "dss"),
+        OpSpec("fsub", OpClass.FP, "dss"),
+        OpSpec("fmul", OpClass.FP, "dss"),
+        OpSpec("cvtif", OpClass.FP, "ds"),
+        OpSpec("cvtfi", OpClass.FP, "ds"),
+        # Memory.
+        OpSpec("ld", OpClass.LOAD, "dm"),
+        OpSpec("st", OpClass.STORE, "sm"),
+        OpSpec("fld", OpClass.LOAD, "dm"),
+        OpSpec("fst", OpClass.STORE, "sm"),
+        # Control.
+        OpSpec("br", OpClass.BRANCH, "t"),
+        OpSpec("beq", OpClass.BRANCH, "st", is_conditional_branch=True),
+        OpSpec("bne", OpClass.BRANCH, "st", is_conditional_branch=True),
+        OpSpec("halt", OpClass.BRANCH, ""),
+    ]
+}
+
+# Opcodes whose destination or sources are floating-point registers; used by
+# the assembler to validate register classes.
+FP_DEST_OPS = frozenset({"fadd", "fsub", "fmul", "cvtif", "fld"})
+FP_SRC_OPS = frozenset({"fadd", "fsub", "fmul", "cvtfi", "fst"})
+
+
+def register_name(reg: int) -> str:
+    """Human-readable name for a register id."""
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register id {reg} out of range")
+    if reg < NUM_INT_REGS:
+        return f"r{reg}"
+    return f"f{reg - FP_REG_BASE}"
+
+
+def parse_register(token: str) -> int:
+    """Parse ``rN`` / ``fN`` into a register id."""
+    token = token.strip()
+    if len(token) < 2 or token[0] not in "rf":
+        raise ValueError(f"bad register {token!r}")
+    try:
+        index = int(token[1:])
+    except ValueError as exc:
+        raise ValueError(f"bad register {token!r}") from exc
+    if token[0] == "r":
+        if not 0 <= index < NUM_INT_REGS:
+            raise ValueError(f"integer register out of range: {token!r}")
+        return index
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register out of range: {token!r}")
+    return FP_REG_BASE + index
+
+
+def is_fp_register(reg: int) -> bool:
+    """Whether a register id names a floating-point register."""
+    return reg >= FP_REG_BASE
+
+
+@dataclass(frozen=True)
+class StaticInstruction:
+    """One assembled instruction.
+
+    ``dest`` is a register id or None; ``srcs`` is the tuple of source
+    register ids (excluding the hard-wired zero register is the renamer's
+    job, not the assembler's).  For memory ops ``mem_base`` duplicates the
+    base-address register (also present in ``srcs``) and ``mem_offset`` is
+    the word offset.  For branches ``target`` is the target pc.
+    """
+
+    pc: int
+    opcode: str
+    opclass: OpClass
+    dest: int | None
+    srcs: tuple[int, ...]
+    imm: int = 0
+    mem_base: int | None = None
+    mem_offset: int = 0
+    target: int | None = None
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether this is any control-flow instruction (incl. halt)."""
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """Whether this is a conditional branch (predictable)."""
+        return OPCODES[self.opcode].is_conditional_branch
+
+    @property
+    def is_load(self) -> bool:
+        """Whether this instruction reads memory."""
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """Whether this instruction writes memory."""
+        return self.opclass is OpClass.STORE
+
+    def __str__(self) -> str:
+        parts = [self.opcode]
+        if self.dest is not None:
+            parts.append(register_name(self.dest))
+        parts.extend(register_name(s) for s in self.srcs)
+        if "i" in OPCODES[self.opcode].operands:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"@{self.target}")
+        return " ".join(parts)

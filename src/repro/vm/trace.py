@@ -1,0 +1,58 @@
+"""Dynamic-instruction trace records.
+
+The interpreter executes a workload program and emits one
+:class:`DynamicInstruction` per retired instruction.  These records are the
+input to every downstream consumer: the timing simulator, the idealized list
+scheduler and the criticality analyses.  They carry architectural information
+only (registers, branch outcome, memory address); microarchitectural state is
+attached later by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.isa import BASE_LATENCY, OpClass, ZERO_REG
+
+
+@dataclass(frozen=True, slots=True)
+class DynamicInstruction:
+    """One retired instruction in a dynamic trace.
+
+    ``index`` is the position in the trace (program order).  ``srcs``
+    excludes the hard-wired zero register, so every listed source creates a
+    true register dependence.  ``mem_addr`` is a byte address (word index *
+    8) or None for non-memory ops.
+    """
+
+    index: int
+    pc: int
+    opcode: str
+    opclass: OpClass
+    dest: int | None
+    srcs: tuple[int, ...]
+    is_branch: bool = False
+    is_conditional_branch: bool = False
+    taken: bool = False
+    next_pc: int = 0
+    mem_addr: int | None = None
+
+    @property
+    def is_load(self) -> bool:
+        """Whether this instruction reads memory."""
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """Whether this instruction writes memory."""
+        return self.opclass is OpClass.STORE
+
+    @property
+    def base_latency(self) -> int:
+        """Execution latency excluding cache time (Table 1 latencies)."""
+        return BASE_LATENCY[self.opclass]
+
+
+def effective_sources(srcs: tuple[int, ...]) -> tuple[int, ...]:
+    """Drop reads of the zero register; they carry no dependence."""
+    return tuple(s for s in srcs if s != ZERO_REG)

@@ -1,0 +1,79 @@
+"""Trace serialization: save and reload dynamic traces as compact JSON.
+
+Generating a trace is cheap, but keeping the *exact* trace an experiment
+used matters for reproducibility across library versions (kernel tweaks
+change traces).  The format is a plain JSON object with a schema version
+and columnar fields, so it diffs and compresses well.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Sequence
+
+from repro.vm.isa import OpClass
+from repro.vm.trace import DynamicInstruction
+
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Sequence[DynamicInstruction]) -> dict:
+    """Columnar dict form of a trace."""
+    return {
+        "version": FORMAT_VERSION,
+        "length": len(trace),
+        "pc": [t.pc for t in trace],
+        "opcode": [t.opcode for t in trace],
+        "opclass": [t.opclass.value for t in trace],
+        "dest": [t.dest for t in trace],
+        "srcs": [list(t.srcs) for t in trace],
+        "taken": [int(t.taken) for t in trace],
+        "conditional": [int(t.is_conditional_branch) for t in trace],
+        "branch": [int(t.is_branch) for t in trace],
+        "next_pc": [t.next_pc for t in trace],
+        "mem_addr": [t.mem_addr for t in trace],
+    }
+
+
+def trace_from_dict(data: dict) -> list[DynamicInstruction]:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version!r}")
+    length = data["length"]
+    columns = (
+        "pc", "opcode", "opclass", "dest", "srcs", "taken",
+        "conditional", "branch", "next_pc", "mem_addr",
+    )
+    for column in columns:
+        if len(data[column]) != length:
+            raise ValueError(f"column {column!r} has wrong length")
+    trace = []
+    for i in range(length):
+        trace.append(
+            DynamicInstruction(
+                index=i,
+                pc=data["pc"][i],
+                opcode=data["opcode"][i],
+                opclass=OpClass(data["opclass"][i]),
+                dest=data["dest"][i],
+                srcs=tuple(data["srcs"][i]),
+                is_branch=bool(data["branch"][i]),
+                is_conditional_branch=bool(data["conditional"][i]),
+                taken=bool(data["taken"][i]),
+                next_pc=data["next_pc"][i],
+                mem_addr=data["mem_addr"][i],
+            )
+        )
+    return trace
+
+
+def save_trace(trace: Sequence[DynamicInstruction], path) -> None:
+    """Write a trace to ``path`` as JSON."""
+    pathlib.Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path) -> list[DynamicInstruction]:
+    """Read a trace written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,21 @@
+"""The twelve SPECint-like workload kernels."""
+
+from repro.workloads.kernels.combinatorial import CRAFTY, TWOLF, VPR
+from repro.workloads.kernels.compression import BZIP2, GZIP
+from repro.workloads.kernels.data import EON, GAP, MCF, VORTEX
+from repro.workloads.kernels.language import GCC, PARSER, PERL
+
+__all__ = [
+    "BZIP2",
+    "CRAFTY",
+    "EON",
+    "GAP",
+    "GCC",
+    "GZIP",
+    "MCF",
+    "PARSER",
+    "PERL",
+    "TWOLF",
+    "VORTEX",
+    "VPR",
+]

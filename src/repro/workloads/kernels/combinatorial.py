@@ -1,0 +1,150 @@
+"""Combinatorial-search kernels: crafty, twolf and vpr.
+
+* ``vpr`` reproduces the paper's Figure 7 (the ``get_heap_head()`` loop): a
+  pointer-chase spine through a heap with ribs that terminate in stores and
+  a hard-to-predict branch.  The rib head and the spine step consume the
+  same source register, which is exactly the contention pathology LoC
+  scheduling fixes (Section 4).
+* ``twolf`` is a placement cost loop with a dataflow hammock: one value
+  feeds two short consumer chains that reconverge at a dyadic consumer.
+* ``crafty`` is a bitboard evaluation: wide logical dataflow with a
+  dependent table lookup and convergent dyadics.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.common import KernelSpec, random_cycle
+
+_VPR_SOURCE = """
+# Heap walk: chain links in words 0..4095 (cycle), element data at 8192+i,
+# rib stores to 16384+ and 24576+.
+# r2: heap cursor (the spine), r6: store cursor.
+outer:
+    li   r2, 1
+    li   r6, 0
+inner:
+    ld   r4, 8192(r2)       # rib head 'a': consumes r2
+    ld   r2, 0(r2)          # spine 'b': consumes r2 (loop-carried)
+    cmplti r5, r4, 200      # data-dependent: ~20% taken
+    bne  r5, skip
+    muli r7, r4, 3          # rib body
+    addi r7, r7, 7
+    st   r7, 16384(r6)
+skip:
+    add  r8, r8, r4
+    st   r8, 24576(r6)
+    addi r6, r6, 1
+    andi r6, r6, 4095
+    bne  r2, inner
+    br   outer
+"""
+
+
+def _vpr_setup(rng: random.Random) -> tuple[dict[int, float], dict[int, float]]:
+    memory: dict[int, float] = dict(random_cycle(rng, list(range(1, 4096))))
+    for i in range(4096):
+        memory[8192 + i] = rng.randrange(1000)
+    return memory, {}
+
+
+_TWOLF_SOURCE = """
+# Placement cost: |a - b| hammock plus a multiply rib.
+# Cell data at 0..8191 and 8192..16383; cost stores at 16384+.
+outer:
+    li   r2, 0
+    li   r10, 0
+inner:
+    ld   r4, 0(r2)
+    ld   r5, 8192(r2)
+    sub  r6, r4, r5         # hammock producer
+    cmplti r7, r6, 0
+    bne  r7, neg            # ~35% taken, data-dependent
+    add  r8, r8, r6         # then-chain
+    br   join
+neg:
+    sub  r8, r8, r6         # else-chain
+    br   join
+join:
+    muli r9, r6, 13         # reconvergent consumer
+    st   r9, 16384(r10)
+    addi r10, r10, 1
+    andi r10, r10, 4095
+    addi r2, r2, 1
+    andi r2, r2, 8191
+    bne  r2, inner
+    br   outer
+"""
+
+
+def _twolf_setup(rng: random.Random) -> tuple[dict[int, float], dict[int, float]]:
+    memory: dict[int, float] = {}
+    for i in range(8192):
+        memory[i] = rng.randrange(1000)
+        # Bias so a - b < 0 about 35% of the time.
+        memory[8192 + i] = rng.randrange(700)
+    return memory, {}
+
+
+_CRAFTY_SOURCE = """
+# Bitboard evaluation: logical ops over two boards, a dependent table
+# lookup, and a population-style data-dependent branch.
+# Boards at 0..4095 and 4096..8191; lookup table at 8192..12287.
+outer:
+    li   r2, 0
+inner:
+    ld   r4, 0(r2)          # board A
+    ld   r5, 4096(r2)       # board B
+    and  r6, r4, r5
+    xor  r7, r4, r5
+    srli r8, r6, 7
+    xor  r9, r8, r7         # convergent dyadic
+    andi r10, r9, 4095
+    ld   r11, 8192(r10)     # dependent table lookup
+    or   r12, r12, r11
+    andi r13, r11, 7
+    bne  r13, skip          # taken 7/8: occasional surprise
+    addi r14, r14, 1
+    st   r14, 12288(r2)
+skip:
+    addi r2, r2, 1
+    andi r2, r2, 4095
+    bne  r2, inner
+    br   outer
+"""
+
+
+def _crafty_setup(rng: random.Random) -> tuple[dict[int, float], dict[int, float]]:
+    memory: dict[int, float] = {}
+    for i in range(4096):
+        memory[i] = rng.getrandbits(48)
+        memory[4096 + i] = rng.getrandbits(48)
+        memory[8192 + i] = rng.getrandbits(16)
+    return memory, {}
+
+
+VPR = KernelSpec(
+    name="vpr",
+    description="heap walk with spine-and-ribs dataflow",
+    paper_feature="spine/rib contention between equally-predicted-critical "
+    "instructions (Figures 7 and 10)",
+    source=_VPR_SOURCE,
+    setup=_vpr_setup,
+)
+
+TWOLF = KernelSpec(
+    name="twolf",
+    description="placement cost with an absolute-value hammock",
+    paper_feature="dataflow hammocks on the critical path (Section 7)",
+    source=_TWOLF_SOURCE,
+    setup=_twolf_setup,
+)
+
+CRAFTY = KernelSpec(
+    name="crafty",
+    description="bitboard evaluation with dependent table lookups",
+    paper_feature="convergent dyadic dataflow (Section 2.2)",
+    source=_CRAFTY_SOURCE,
+    setup=_crafty_setup,
+)

@@ -1,0 +1,184 @@
+"""Data-structure and arithmetic kernels: mcf, vortex, gap and eon.
+
+* ``mcf`` is a cache-hostile linked-list walk (network-simplex node
+  scanning): serial loads over a footprint far larger than the L1, so the
+  critical path is memory latency -- clustering barely matters, as in the
+  paper's Figure 4 where mcf shows the smallest penalty.
+* ``vortex`` is an object-database field-update loop: high-ILP independent
+  iterations dominated by memory ports.
+* ``gap`` carries a serial integer-multiply recurrence (big-number
+  arithmetic) next to an independent reduction rib -- a clearly-identified
+  critical chain, the shape stall-over-steer rewards.
+* ``eon`` is the floating-point-leaning kernel (the one SPECint program
+  with real FP content), exercising the clusters' FP ports.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.common import KernelSpec, random_cycle
+
+_MCF_SOURCE = """
+# Linked-list walk over nodes scattered across a ~1MB footprint.
+# node+0: next pointer; the cost field lives on a separate cache line
+# (node+8) so the pointer load itself always takes the miss -- the walk's
+# critical path is memory latency in every configuration.
+outer:
+    li   r2, 32
+inner:
+    ld   r4, 8(r2)          # cost (different line from the pointer)
+    ld   r2, 0(r2)          # next (serial, cache-missing)
+    add  r5, r5, r4
+    bne  r2, inner
+    br   outer
+"""
+
+
+def _mcf_setup(rng: random.Random) -> tuple[dict[int, float], dict[int, float]]:
+    # 8000 nodes, two cache lines each (pointer line + cost line), spread
+    # over ~1 MiB -- far beyond the 32 KiB L1, so nearly every hop misses.
+    slots = list(range(32, 32 + 16 * 8000, 16))
+    memory: dict[int, float] = dict(random_cycle(rng, slots))
+    for slot in slots:
+        memory[slot + 8] = rng.randrange(100)
+    return memory, {}
+
+
+_VORTEX_SOURCE = """
+# Object-database field updates over two independent record streams
+# (r2 walks records 0..4095, r3 walks records 4096..8191): high ILP,
+# memory-port heavy, fully predictable control.
+outer:
+    li   r2, 0
+    li   r3, 4096
+inner:
+    ld   r4, 0(r2)
+    ld   r5, 1(r2)
+    add  r6, r4, r5
+    muli r6, r6, 3
+    addi r6, r6, 11
+    st   r6, 2(r2)
+    ld   r14, 0(r3)
+    ld   r15, 1(r3)
+    add  r16, r14, r15
+    muli r16, r16, 5
+    addi r16, r16, 7
+    st   r16, 2(r3)
+    xor  r9, r9, r6
+    addi r2, r2, 8
+    andi r2, r2, 4095
+    addi r3, r3, 8
+    andi r3, r3, 8191
+    ori  r3, r3, 4096
+    bne  r2, inner
+    br   outer
+"""
+
+
+def _vortex_setup(rng: random.Random) -> tuple[dict[int, float], dict[int, float]]:
+    memory = {i: rng.getrandbits(16) for i in range(8192)}
+    return memory, {}
+
+
+_GAP_SOURCE = """
+# Big-number arithmetic: a serial multiply recurrence (the critical spine)
+# beside an independent array reduction (the ribs).
+outer:
+    li   r2, 0
+    li   r4, 12345
+inner:
+    mul  r4, r4, r10        # 7-cycle serial recurrence
+    addi r4, r4, 40643
+    ld   r6, 0(r2)          # independent reduction rib
+    add  r7, r7, r6
+    addi r2, r2, 1
+    andi r2, r2, 8191
+    srli r8, r4, 13
+    andi r8, r8, 7
+    bne  r8, skip           # depends on the spine; taken 7/8
+    addi r9, r9, 1
+    st   r9, 16384(r2)
+skip:
+    bne  r2, inner
+    br   outer
+"""
+
+
+def _gap_setup(rng: random.Random) -> tuple[dict[int, float], dict[int, float]]:
+    memory = {i: rng.getrandbits(16) for i in range(8192)}
+    # r10 holds the LCG-style multiplier for the recurrence.
+    return memory, {10: 1664525}
+
+
+_EON_SOURCE = """
+# Ray-shading arithmetic: FP multiply/add chains over two input arrays.
+# FP inputs at 0..4095 and 4096..8191; results stored at 8192+.
+outer:
+    li   r2, 0
+inner:
+    fld  f1, 0(r2)
+    fld  f2, 4096(r2)
+    fmul f3, f1, f0         # f0: attenuation constant
+    fadd f4, f3, f2
+    fmul f5, f4, f4
+    fadd f6, f6, f5         # serial 4-cycle accumulation spine
+    fst  f5, 8192(r2)
+    cvtfi r4, f5
+    andi r5, r4, 15
+    cmpeqi r6, r5, 3
+    bne  r6, rare           # ~1/16 taken, data-dependent
+back:
+    addi r2, r2, 1
+    andi r2, r2, 4095
+    bne  r2, inner
+    br   outer
+rare:
+    addi r7, r7, 1
+    br   back
+"""
+
+
+def _eon_setup(rng: random.Random) -> tuple[dict[int, float], dict[int, float]]:
+    memory: dict[int, float] = {}
+    for i in range(4096):
+        memory[i] = rng.uniform(0.5, 2.0)
+        memory[4096 + i] = rng.uniform(0.0, 1.0)
+    # f0 (register id 32) holds the attenuation constant.
+    return memory, {32: 0.875}
+
+
+MCF = KernelSpec(
+    name="mcf",
+    description="cache-hostile linked-list walk",
+    paper_feature="memory-latency-bound critical path; minimal clustering "
+    "sensitivity",
+    source=_MCF_SOURCE,
+    setup=_mcf_setup,
+)
+
+VORTEX = KernelSpec(
+    name="vortex",
+    description="object-database field updates",
+    paper_feature="high-ILP independent work; load balance matters more "
+    "than locality",
+    source=_VORTEX_SOURCE,
+    setup=_vortex_setup,
+)
+
+GAP = KernelSpec(
+    name="gap",
+    description="serial multiply recurrence beside a reduction",
+    paper_feature="clearly identifiable execute-critical chain "
+    "(stall-over-steer shows large gains, Section 7)",
+    source=_GAP_SOURCE,
+    setup=_gap_setup,
+)
+
+EON = KernelSpec(
+    name="eon",
+    description="floating-point shading arithmetic",
+    paper_feature="floating-point port pressure on narrow clusters",
+    source=_EON_SOURCE,
+    setup=_eon_setup,
+)

@@ -1,0 +1,185 @@
+"""Language-processing kernels: gcc, parser and perl.
+
+These are the branchy, short-dataflow-chain benchmarks: control decides
+performance more than arithmetic does, so their critical paths are
+fetch/branch-dominated and their clustering penalties are comparatively
+small -- matching the paper's Figure 4, where gcc and parser sit near the
+middle of the pack.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.common import KernelSpec
+
+_GCC_SOURCE = """
+# Switch-dispatch over random operation codes (a 4-way compare ladder).
+# Input words at 0..8191; result stores at 16384+.
+outer:
+    li   r2, 0
+    li   r9, 0
+inner:
+    ld   r4, 0(r2)
+    addi r2, r2, 1
+    andi r2, r2, 8191
+    andi r5, r4, 3
+    cmpeqi r6, r5, 0
+    bne  r6, case0
+    cmpeqi r6, r5, 1
+    bne  r6, case1
+    cmpeqi r6, r5, 2
+    bne  r6, case2
+    xor  r7, r7, r4
+    br   join
+case0:
+    addi r7, r7, 3
+    br   join
+case1:
+    sub  r7, r7, r4
+    br   join
+case2:
+    srli r8, r4, 2
+    add  r7, r7, r8
+    br   join
+join:
+    st   r7, 16384(r9)
+    addi r9, r9, 1
+    andi r9, r9, 2047
+    bne  r2, inner
+    br   outer
+"""
+
+
+def _gcc_setup(rng: random.Random) -> tuple[dict[int, float], dict[int, float]]:
+    memory = {i: rng.getrandbits(16) for i in range(8192)}
+    return memory, {}
+
+
+_PARSER_SOURCE = """
+# Bracket-matching over a token stream with an explicit stack.
+# Tokens at 0..8191 (0 = open, 1 = close, else word); stack at 32768+.
+outer:
+    li   r2, 0
+    li   r3, 32768
+inner:
+    ld   r4, 0(r2)
+    addi r2, r2, 1
+    andi r2, r2, 8191
+    cmpeqi r5, r4, 0
+    bne  r5, open
+    cmpeqi r5, r4, 1
+    bne  r5, close
+    muli r6, r4, 31         # word: accumulate a hash
+    add  r7, r7, r6
+    br   next
+open:
+    st   r7, 0(r3)          # push partial hash
+    addi r3, r3, 1
+    li   r7, 0
+    br   next
+close:
+    subi r3, r3, 1
+    ld   r8, 0(r3)          # pop (store-to-load dependence)
+    add  r7, r7, r8
+    br   next
+next:
+    bne  r2, inner
+    br   outer
+"""
+
+
+def _parser_setup(rng: random.Random) -> tuple[dict[int, float], dict[int, float]]:
+    memory: dict[int, float] = {}
+    depth = 0
+    for i in range(8192):
+        roll = rng.random()
+        if roll < 0.15 and depth < 900:
+            token = 0  # open
+            depth += 1
+        elif roll < 0.30 and depth > 0:
+            token = 1  # close
+            depth -= 1
+        else:
+            token = rng.randrange(2, 512)
+        memory[i] = token
+    # The stream wraps around; leave whatever imbalance remains -- the
+    # stack region is large enough that drift over one trace is harmless.
+    return memory, {}
+
+
+_PERL_SOURCE = """
+# Bytecode interpreter: 4 opcodes over 16 virtual registers.
+# Opcodes at 0..4095, operands at 8192..12287, vregs at 40960..40975.
+outer:
+    li   r2, 0
+inner:
+    ld   r4, 0(r2)          # opcode
+    ld   r5, 8192(r2)       # operand
+    addi r2, r2, 1
+    andi r2, r2, 4095
+    cmpeqi r6, r4, 0
+    bne  r6, op_mul
+    cmpeqi r6, r4, 1
+    bne  r6, op_load
+    cmpeqi r6, r4, 2
+    bne  r6, op_store
+    xor  r7, r7, r5         # default: xor accumulator
+    br   next
+op_mul:
+    mul  r7, r7, r10        # hash-mix: serial multiply through the acc
+    add  r7, r7, r5
+    br   next
+op_load:
+    andi r8, r5, 15
+    ld   r7, 40960(r8)
+    br   next
+op_store:
+    andi r8, r5, 15
+    st   r7, 40960(r8)
+    br   next
+next:
+    bne  r2, inner
+    br   outer
+"""
+
+
+def _perl_setup(rng: random.Random) -> tuple[dict[int, float], dict[int, float]]:
+    memory: dict[int, float] = {}
+    for i in range(4096):
+        # Opcode mix is skewed (interpreters execute a few hot ops most of
+        # the time), so the dispatch ladder is largely predictable and the
+        # accumulator's serial multiply chain carries the criticality.
+        memory[i] = rng.choices((0, 1, 2, 3), weights=(60, 14, 13, 13))[0]
+        memory[8192 + i] = rng.getrandbits(16)
+    for v in range(16):
+        memory[40960 + v] = rng.getrandbits(16)
+    # r10: the hash-mix multiplier.
+    return memory, {10: 31}
+
+
+GCC = KernelSpec(
+    name="gcc",
+    description="switch dispatch over random operation codes",
+    paper_feature="branchy, short dataflow chains; fetch-critical regions",
+    source=_GCC_SOURCE,
+    setup=_gcc_setup,
+)
+
+PARSER = KernelSpec(
+    name="parser",
+    description="bracket matching with an explicit stack",
+    paper_feature="store-to-load dependences and mixed-predictability "
+    "branches",
+    source=_PARSER_SOURCE,
+    setup=_parser_setup,
+)
+
+PERL = KernelSpec(
+    name="perl",
+    description="bytecode interpreter dispatch loop",
+    paper_feature="interpreter dispatch mispredictions; benefits from "
+    "stall-over-steer (Section 7)",
+    source=_PERL_SOURCE,
+    setup=_perl_setup,
+)

@@ -1,0 +1,162 @@
+"""Hand-built dynamic-trace patterns for unit tests and illustrations.
+
+These construct :class:`DynamicInstruction` lists directly (no VM), giving
+tests precise control over dataflow shape: serial chains, independent
+parallel chains, the paper's Figure 3 convergent pattern, and Figure 12's
+divergent trees.  All patterns are branch-free unless stated, so simulated
+timings are easy to reason about in assertions.
+"""
+
+from __future__ import annotations
+
+from repro.vm.isa import OpClass
+from repro.vm.trace import DynamicInstruction
+
+
+def _instr(
+    index: int,
+    pc: int,
+    opclass: OpClass = OpClass.INT_ALU,
+    dest: int | None = None,
+    srcs: tuple[int, ...] = (),
+    opcode: str | None = None,
+    mem_addr: int | None = None,
+) -> DynamicInstruction:
+    default_opcode = {
+        OpClass.INT_ALU: "add",
+        OpClass.INT_MUL: "mul",
+        OpClass.FP: "fadd",
+        OpClass.LOAD: "ld",
+        OpClass.STORE: "st",
+        OpClass.BRANCH: "bne",
+    }[opclass]
+    return DynamicInstruction(
+        index=index,
+        pc=pc,
+        opcode=opcode or default_opcode,
+        opclass=opclass,
+        dest=dest,
+        srcs=srcs,
+        is_branch=opclass is OpClass.BRANCH,
+        is_conditional_branch=opclass is OpClass.BRANCH,
+        taken=False,
+        next_pc=pc + 1,
+        mem_addr=mem_addr,
+    )
+
+
+def serial_chain(length: int, reg: int = 1) -> list[DynamicInstruction]:
+    """``length`` dependent single-cycle adds through one register.
+
+    The Section 5 hypothetical: ILP of 1, no branches -- the program that
+    motivates stall-over-steer.
+    """
+    trace = [_instr(0, 0, dest=reg)]
+    for i in range(1, length):
+        trace.append(_instr(i, i, dest=reg, srcs=(reg,)))
+    return trace
+
+
+def parallel_chains(
+    num_chains: int, length: int, opclass: OpClass = OpClass.INT_ALU
+) -> list[DynamicInstruction]:
+    """``num_chains`` independent serial chains, interleaved in fetch order.
+
+    Available ILP equals ``num_chains``; ideal for load-balance tests.
+    ``opclass`` selects the link operation (INT_MUL makes each chain a
+    7-cycle recurrence, useful for forcing port collisions).
+    """
+    trace = []
+    index = 0
+    for position in range(length):
+        for chain in range(num_chains):
+            reg = 1 + chain
+            srcs = (reg,) if position > 0 else ()
+            trace.append(
+                _instr(
+                    index,
+                    chain * length + position,
+                    opclass=opclass,
+                    dest=reg,
+                    srcs=srcs,
+                )
+            )
+            index += 1
+    return trace
+
+
+def convergent_pairs(pairs: int) -> list[DynamicInstruction]:
+    """Repeated Figure 3 pattern: two independent chains meet at a dyadic op.
+
+    Each group is: two producers (fresh values), one consumer of both.
+    """
+    trace = []
+    index = 0
+    for __ in range(pairs):
+        trace.append(_instr(index, 0, dest=1))
+        trace.append(_instr(index + 1, 1, dest=2))
+        trace.append(_instr(index + 2, 2, dest=3, srcs=(1, 2), opcode="xor"))
+        index += 3
+    return trace
+
+
+def divergent_tree(
+    fanout: int, groups: int
+) -> list[DynamicInstruction]:
+    """Figure 12's shape: one producer feeding ``fanout`` independent
+    consumers, where the *last* consumer is the next producer (the
+    loop-carried recurrence whose most critical consumer is fetched last).
+    """
+    trace = []
+    index = 0
+    trace.append(_instr(index, 0, dest=1))
+    index += 1
+    for __ in range(groups):
+        for k in range(fanout - 1):
+            trace.append(_instr(index, 1 + k, dest=10 + k, srcs=(1,)))
+            index += 1
+        # The recurrence: consumes and destructively updates register 1.
+        trace.append(_instr(index, fanout, dest=1, srcs=(1,)))
+        index += 1
+    return trace
+
+
+def mixed_criticality(
+    groups: int, filler_per_group: int = 6
+) -> list[DynamicInstruction]:
+    """One long serial chain (zero slack) interleaved with dead-end filler.
+
+    Each group is one multiply chain link (7-cycle latency, so the chain is
+    firmly execute-critical) plus ``filler_per_group`` independent
+    instructions whose results are never consumed -- maximal slack.  Used
+    to test that criticality detectors separate the two populations.
+    """
+    trace = []
+    index = 0
+    for __ in range(groups):
+        srcs = (1,) if index > 0 else ()
+        trace.append(
+            _instr(index, 0, opclass=OpClass.INT_MUL, dest=1, srcs=srcs)
+        )  # chain link
+        index += 1
+        for k in range(filler_per_group):
+            trace.append(_instr(index, 1 + k, dest=10 + k))  # dead end
+            index += 1
+    return trace
+
+
+def load_chain(length: int, stride_bytes: int = 4096) -> list[DynamicInstruction]:
+    """Serial dependent loads with a large stride (cache-hostile)."""
+    trace = [_instr(0, 0, opclass=OpClass.LOAD, dest=1, mem_addr=0)]
+    for i in range(1, length):
+        trace.append(
+            _instr(
+                i,
+                i,
+                opclass=OpClass.LOAD,
+                dest=1,
+                srcs=(1,),
+                mem_addr=i * stride_bytes,
+            )
+        )
+    return trace

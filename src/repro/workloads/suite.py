@@ -1,0 +1,51 @@
+"""The benchmark suite registry (the paper's 12 SPECint benchmarks)."""
+
+from __future__ import annotations
+
+from repro.workloads.common import KernelSpec
+from repro.workloads.kernels import (
+    BZIP2,
+    CRAFTY,
+    EON,
+    GAP,
+    GCC,
+    GZIP,
+    MCF,
+    PARSER,
+    PERL,
+    TWOLF,
+    VORTEX,
+    VPR,
+)
+
+# Paper ordering (alphabetical, as in every figure).
+SUITE: tuple[KernelSpec, ...] = (
+    BZIP2,
+    CRAFTY,
+    EON,
+    GAP,
+    GCC,
+    GZIP,
+    MCF,
+    PARSER,
+    PERL,
+    TWOLF,
+    VORTEX,
+    VPR,
+)
+
+BY_NAME: dict[str, KernelSpec] = {spec.name: spec for spec in SUITE}
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up a kernel by benchmark name."""
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(BY_NAME))
+        raise KeyError(f"unknown kernel {name!r}; known: {known}") from None
+
+
+def suite_names() -> list[str]:
+    """Benchmark names in figure order."""
+    return [spec.name for spec in SUITE]

@@ -1,0 +1,147 @@
+"""Parameterized synthetic workloads: a controlled dial for dataflow shape.
+
+The twelve suite kernels imitate specific benchmarks; this module generates
+kernels to order, which is what the paper's Figure 15 analysis really
+needs -- code whose *available ILP is known by construction*:
+
+* ``chains`` independent recurrences set the available ILP;
+* ``chain_op`` sets their latency (``add`` = 1 cycle, ``mul`` = 7);
+* ``loads_per_iteration`` adds memory traffic over a configurable working
+  set;
+* ``rib_ops`` hang single-use consumers off the chains (slack);
+* ``branch_bias`` controls a data-dependent branch (1.0 disables it).
+
+Used by ``benchmarks/test_synthetic_ilp.py`` to sweep available ILP across
+the machine width and reproduce Figure 15's sag under controlled
+conditions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.common import KernelSpec
+
+_MAX_CHAINS = 8  # chain registers r1..r8
+_POINTER_REG = "r9"
+_CONST_REG = "r10"  # multiplier for mul chains
+_RIB_BASE = 11  # rib registers r11..
+_DATA_WORDS_BASE = 0
+_STORE_BASE = 32768
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Shape parameters for a generated kernel."""
+
+    chains: int = 4
+    chain_op: str = "add"  # 'add' (1 cycle) or 'mul' (7 cycles)
+    rib_ops: int = 2
+    loads_per_iteration: int = 1
+    working_set_words: int = 4096
+    branch_bias: float = 1.0  # probability the branch goes the common way
+    seed_tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.chains <= _MAX_CHAINS:
+            raise ValueError(f"chains must be in 1..{_MAX_CHAINS}")
+        if self.chain_op not in ("add", "mul"):
+            raise ValueError("chain_op must be 'add' or 'mul'")
+        if self.rib_ops < 0 or self.loads_per_iteration < 0:
+            raise ValueError("rib_ops and loads_per_iteration must be >= 0")
+        if not 0.5 <= self.branch_bias <= 1.0:
+            raise ValueError("branch_bias must be in [0.5, 1.0]")
+        if self.working_set_words < 16:
+            raise ValueError("working set too small")
+
+    @property
+    def name(self) -> str:
+        parts = [
+            f"syn-{self.chains}x{self.chain_op}",
+            f"r{self.rib_ops}",
+            f"l{self.loads_per_iteration}",
+        ]
+        if self.branch_bias < 1.0:
+            parts.append(f"b{int(self.branch_bias * 100)}")
+        if self.seed_tag:
+            parts.append(self.seed_tag)
+        return "-".join(parts)
+
+
+def build_synthetic(config: SyntheticConfig) -> KernelSpec:
+    """Generate a :class:`KernelSpec` for ``config``."""
+    lines = ["outer:", f"    li   {_POINTER_REG}, 0"]
+    lines.append("inner:")
+
+    # The recurrences: one op per chain per iteration.
+    for chain in range(config.chains):
+        reg = f"r{1 + chain}"
+        if config.chain_op == "add":
+            lines.append(f"    addi {reg}, {reg}, {3 + chain}")
+        else:
+            lines.append(f"    mul  {reg}, {reg}, {_CONST_REG}")
+
+    # Loads over the working set (pointer-strided, wrap by mask).
+    for load in range(config.loads_per_iteration):
+        reg = f"r{_RIB_BASE + load}"
+        lines.append(f"    ld   {reg}, {load * 8}({_POINTER_REG})")
+
+    # Dead-end rib work consuming chain values.
+    for rib in range(config.rib_ops):
+        src = f"r{1 + (rib % config.chains)}"
+        dst = f"r{_RIB_BASE + config.loads_per_iteration + rib}"
+        lines.append(f"    xori {dst}, {src}, {0x55 + rib}")
+
+    # Optional data-dependent branch on the first loaded value.
+    if config.branch_bias < 1.0 and config.loads_per_iteration > 0:
+        threshold = int(1000 * config.branch_bias)
+        lines.extend(
+            [
+                f"    cmplti r30, r{_RIB_BASE}, {threshold}",
+                "    bne  r30, common",
+                f"    st   r{_RIB_BASE}, {_STORE_BASE}({_POINTER_REG})",
+                "common:",
+            ]
+        )
+
+    mask = config.working_set_words - 1
+    lines.extend(
+        [
+            f"    addi {_POINTER_REG}, {_POINTER_REG}, 16",
+            f"    andi {_POINTER_REG}, {_POINTER_REG}, {mask}",
+            f"    bne  {_POINTER_REG}, inner",
+            "    br   outer",
+        ]
+    )
+    source = "\n".join(lines)
+
+    words = config.working_set_words
+
+    def setup(rng: random.Random):
+        memory = {i: rng.randrange(1000) for i in range(words)}
+        regs = {10: 31}  # the mul-chain multiplier
+        for chain in range(config.chains):
+            regs[1 + chain] = rng.randrange(1, 1 << 20)
+        return memory, regs
+
+    return KernelSpec(
+        name=config.name,
+        description=f"synthetic kernel ({config.chains} {config.chain_op} "
+        f"chains, {config.loads_per_iteration} loads/iter)",
+        paper_feature="controlled available ILP (Figure 15 methodology)",
+        source=source,
+        setup=setup,
+        memory_words=max(1 << 17, _STORE_BASE + words + 16),
+    )
+
+
+def ilp_sweep_configs(
+    chain_counts=(1, 2, 3, 4, 6, 8), chain_op: str = "add"
+) -> list[SyntheticConfig]:
+    """Configs whose available ILP sweeps across the machine width."""
+    return [
+        SyntheticConfig(chains=count, chain_op=chain_op, rib_ops=0,
+                        loads_per_iteration=0)
+        for count in chain_counts
+    ]

@@ -1,0 +1,66 @@
+"""Tests for multi-seed figure aggregation."""
+
+import pytest
+
+from repro.experiments.aggregate import average_figures, run_seeded
+from repro.experiments.fig08 import run_figure8
+from repro.experiments.figure import FigureData
+from repro.workloads.suite import get_kernel
+
+
+def make_figure(values, label="x"):
+    figure = FigureData("F", "t", ["name", "v"])
+    for i, value in enumerate(values):
+        figure.add_row(f"{label}{i}", value)
+    return figure
+
+
+class TestAverageFigures:
+    def test_numeric_cells_averaged(self):
+        merged = average_figures(
+            [make_figure([1.0, 3.0]), make_figure([3.0, 5.0])], seeds=(0, 1)
+        )
+        assert merged.rows[0][1] == pytest.approx(2.0)
+        assert merged.rows[1][1] == pytest.approx(4.0)
+
+    def test_labels_preserved(self):
+        merged = average_figures([make_figure([1.0]), make_figure([2.0])], (0, 1))
+        assert merged.rows[0][0] == "x0"
+
+    def test_spread_note_appended(self):
+        merged = average_figures([make_figure([1.0]), make_figure([2.0])], (0, 1))
+        assert "spread" in merged.notes[-1]
+
+    def test_mismatched_structure_rejected(self):
+        with pytest.raises(ValueError):
+            average_figures(
+                [make_figure([1.0]), make_figure([1.0, 2.0])], (0, 1)
+            )
+
+    def test_mismatched_labels_rejected(self):
+        with pytest.raises(ValueError):
+            average_figures(
+                [make_figure([1.0], "a"), make_figure([1.0], "b")], (0, 1)
+            )
+
+    def test_nan_cells_skipped(self):
+        a = make_figure([float("nan")])
+        b = make_figure([2.0])
+        merged = average_figures([a, b], (0, 1))
+        assert merged.rows[0][1] == pytest.approx(2.0)
+
+
+class TestRunSeeded:
+    def test_end_to_end_small(self):
+        merged = run_seeded(
+            run_figure8,
+            seeds=(0, 1),
+            instructions=1200,
+            benchmarks=[get_kernel("gcc")],
+        )
+        assert "mean of 2 seeds" in merged.title
+        assert sum(merged.column("percent")) == pytest.approx(100.0, abs=0.01)
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_seeded(run_figure8, seeds=())

@@ -1,0 +1,177 @@
+"""Tests for the analysis layer: breakdowns, events, ILP, consumer stats."""
+
+import pytest
+
+from repro.analysis.breakdown import FIGURE5_SEGMENTS, cpi_breakdown
+from repro.analysis.consumers import consumer_criticality_stats, exact_loc_by_pc
+from repro.analysis.events import classify_lost_cycle_events
+from repro.analysis.ilp import merge_profiles
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.rename import extract_dependences
+from repro.core.results import IlpProfile
+from repro.core.simulator import ClusteredSimulator
+from repro.frontend.branch_predictor import (
+    GshareBranchPredictor,
+    annotate_mispredictions,
+)
+from repro.workloads.suite import get_kernel
+
+
+def run_kernel(name, config, n=3000, collect_ilp=False):
+    spec = get_kernel(name)
+    trace = spec.generate(n)
+    deps = extract_dependences(trace)
+    mis = frozenset(annotate_mispredictions(trace, GshareBranchPredictor()))
+    sim = ClusteredSimulator(config, collect_ilp=collect_ilp, max_cycles=2_000_000)
+    return sim.run(trace, deps, mis)
+
+
+class TestCpiBreakdown:
+    def test_segments_sum_to_cpi(self):
+        result = run_kernel("twolf", clustered_machine(4))
+        breakdown = cpi_breakdown(result)
+        assert sum(breakdown.segments.values()) == pytest.approx(result.cpi)
+
+    def test_normalization(self):
+        result = run_kernel("gcc", monolithic_machine())
+        breakdown = cpi_breakdown(result)
+        normalized = breakdown.normalized(result.cpi)
+        assert sum(normalized.values()) == pytest.approx(1.0)
+
+    def test_all_figure5_segments_present(self):
+        result = run_kernel("vpr", clustered_machine(2))
+        breakdown = cpi_breakdown(result)
+        assert set(breakdown.segments) == set(FIGURE5_SEGMENTS)
+
+    def test_monolithic_has_no_forwarding(self):
+        result = run_kernel("vpr", monolithic_machine())
+        breakdown = cpi_breakdown(result)
+        assert breakdown.segments["fwd_delay"] == 0.0
+
+    def test_bad_baseline_rejected(self):
+        result = run_kernel("gcc", monolithic_machine(), n=1000)
+        with pytest.raises(ValueError):
+            cpi_breakdown(result).normalized(0.0)
+
+
+class TestEventClassification:
+    def test_monolithic_has_no_forwarding_events(self):
+        result = run_kernel("vpr", monolithic_machine())
+        __, forwarding = classify_lost_cycle_events(result.records)
+        assert forwarding.total == 0
+
+    def test_clustered_run_produces_events(self):
+        result = run_kernel("vpr", clustered_machine(8), n=4000)
+        contention, forwarding = classify_lost_cycle_events(result.records)
+        assert contention.total + forwarding.total > 0
+
+    def test_totals_add_up(self):
+        result = run_kernel("crafty", clustered_machine(4))
+        contention, forwarding = classify_lost_cycle_events(result.records)
+        assert contention.total == contention.predicted_critical + contention.other
+        assert forwarding.total == (
+            forwarding.load_balance + forwarding.dyadic + forwarding.other
+        )
+
+
+class TestIlpProfile:
+    def test_record_and_achieved(self):
+        profile = IlpProfile()
+        profile.record(4, 2)
+        profile.record(4, 4)
+        assert profile.achieved(4) == pytest.approx(3.0)
+        assert profile.achieved(9) == 0.0
+
+    def test_series_sorted_and_capped(self):
+        profile = IlpProfile()
+        for available in (5, 1, 30):
+            profile.record(available, 1)
+        series = profile.series(max_available=10)
+        assert [a for a, __ in series] == [1, 5]
+
+    def test_merge(self):
+        a, b = IlpProfile(), IlpProfile()
+        a.record(2, 2)
+        b.record(2, 0)
+        merged = merge_profiles([a, b])
+        assert merged.achieved(2) == pytest.approx(1.0)
+
+    def test_simulator_collects_profile(self):
+        result = run_kernel("gcc", clustered_machine(8), n=2000, collect_ilp=True)
+        assert result.ilp_profile is not None
+        assert sum(result.ilp_profile.cycle_count.values()) > 0
+
+    def test_achieved_never_exceeds_available(self):
+        result = run_kernel("vortex", clustered_machine(8), n=2000, collect_ilp=True)
+        for available, achieved in result.ilp_profile.series():
+            if available > 0:
+                assert achieved <= available + 1e-9
+
+
+class TestConsumerStats:
+    def test_fractions_in_range(self):
+        result = run_kernel("vpr", monolithic_machine(), n=4000)
+        stats = consumer_criticality_stats(result.records)
+        for value in (
+            stats.statically_unique_fraction,
+            stats.bimodal_fraction,
+            stats.most_critical_not_first_fraction,
+        ):
+            assert 0.0 <= value <= 1.0
+        assert stats.values_analyzed > 0
+
+    def test_exact_loc_by_pc_in_unit_interval(self):
+        result = run_kernel("parser", monolithic_machine(), n=3000)
+        loc = exact_loc_by_pc(result.records)
+        assert loc
+        assert all(0.0 <= v <= 1.0 for v in loc.values())
+
+    def test_loop_kernel_has_unique_most_critical_consumers(self):
+        # Tight loops reuse the same static consumers every iteration, so
+        # static uniqueness should be high.
+        result = run_kernel("gzip", monolithic_machine(), n=4000)
+        stats = consumer_criticality_stats(result.records)
+        assert stats.statically_unique_fraction > 0.5
+
+
+class TestNearCriticalProfile:
+    def test_fractions_ordered_and_bounded(self):
+        from repro.analysis.near_critical import near_critical_profile
+
+        result = run_kernel("vpr", monolithic_machine(), n=3000)
+        profile = near_critical_profile(result.records, result.config)
+        assert 0.0 <= profile.zero_slack_fraction <= profile.near_critical_fraction
+        assert profile.near_critical_fraction <= 1.0
+        assert 0.0 <= profile.walk_coverage_of_zero_slack <= 1.0
+
+    def test_serial_chain_is_all_critical(self):
+        from repro.analysis.near_critical import near_critical_profile
+        from repro.workloads.patterns import serial_chain
+        from repro.core.simulator import ClusteredSimulator
+
+        sim = ClusteredSimulator(monolithic_machine(), max_cycles=50_000)
+        result = sim.run(serial_chain(200), mispredicted=frozenset())
+        profile = near_critical_profile(result.records, result.config)
+        assert profile.zero_slack_fraction > 0.9
+
+    def test_parallel_paths_reduce_walk_coverage(self):
+        # Equal-length parallel chains finish together: many zero-slack
+        # instructions, only one chain walked -- the paper's caveat.
+        from repro.analysis.near_critical import near_critical_profile
+        from repro.workloads.patterns import parallel_chains
+        from repro.core.simulator import ClusteredSimulator
+
+        sim = ClusteredSimulator(monolithic_machine(), max_cycles=50_000)
+        result = sim.run(parallel_chains(4, 100), mispredicted=frozenset())
+        profile = near_critical_profile(result.records, result.config)
+        if profile.zero_slack_fraction > 0.5:
+            assert profile.walk_coverage_of_zero_slack < 0.9
+
+    def test_threshold_validated(self):
+        from repro.analysis.near_critical import near_critical_profile
+
+        result = run_kernel("gcc", monolithic_machine(), n=1000)
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            near_critical_profile(result.records, result.config, threshold=-1)

@@ -1,0 +1,134 @@
+"""Unit tests for the mini-ISA assembler."""
+
+import pytest
+
+from repro.vm.assembler import AssemblyError, assemble
+from repro.vm.isa import OpClass, parse_register, register_name
+
+
+class TestParseRegister:
+    def test_integer_registers(self):
+        assert parse_register("r0") == 0
+        assert parse_register("r31") == 31
+
+    def test_fp_registers_offset(self):
+        assert parse_register("f0") == 32
+        assert parse_register("f15") == 47
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            parse_register("r32")
+        with pytest.raises(ValueError):
+            parse_register("f16")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_register("x3")
+
+    def test_round_trip_names(self):
+        assert register_name(parse_register("r17")) == "r17"
+        assert register_name(parse_register("f3")) == "f3"
+
+
+class TestAssemble:
+    def test_three_address_op(self):
+        prog = assemble("add r1, r2, r3\nhalt")
+        instr = prog[0]
+        assert instr.opcode == "add"
+        assert instr.dest == 1
+        assert instr.srcs == (2, 3)
+        assert instr.opclass is OpClass.INT_ALU
+
+    def test_immediate_op(self):
+        prog = assemble("addi r1, r2, -5\nhalt")
+        assert prog[0].imm == -5
+
+    def test_memory_operand(self):
+        prog = assemble("ld r1, 8(r2)\nhalt")
+        instr = prog[0]
+        assert instr.mem_offset == 8
+        assert instr.mem_base == 2
+        assert 2 in instr.srcs
+
+    def test_store_sources_include_value_and_base(self):
+        prog = assemble("st r1, 0(r2)\nhalt")
+        assert set(prog[0].srcs) == {1, 2}
+
+    def test_labels_resolve_forward_and_backward(self):
+        prog = assemble(
+            """
+            top:
+                br bottom
+                add r1, r1, r2
+            bottom:
+                br top
+            """
+        )
+        assert prog[0].target == 2
+        assert prog[2].target == 0
+
+    def test_label_on_same_line_as_instruction(self):
+        prog = assemble("loop: addi r1, r1, 1\nbne r1, loop")
+        assert prog.labels["loop"] == 0
+        assert prog[1].target == 0
+
+    def test_comments_stripped(self):
+        prog = assemble("add r1, r2, r3  # a comment\nhalt")
+        assert len(prog) == 2
+
+    def test_mul_is_separate_class(self):
+        prog = assemble("mul r1, r2, r3\nhalt")
+        assert prog[0].opclass is OpClass.INT_MUL
+
+    def test_branch_metadata(self):
+        prog = assemble("loop: bne r1, loop")
+        assert prog[0].is_branch
+        assert prog[0].is_conditional_branch
+
+    def test_unconditional_branch_not_conditional(self):
+        prog = assemble("loop: br loop")
+        assert prog[0].is_branch
+        assert not prog[0].is_conditional_branch
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("br nowhere")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\n add r1, r1, r1\na:\n halt")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("# only a comment\n")
+
+    def test_fp_op_requires_fp_registers(self):
+        with pytest.raises(AssemblyError):
+            assemble("fadd r1, f1, f2\nhalt")
+        with pytest.raises(AssemblyError):
+            assemble("fadd f1, r1, f2\nhalt")
+
+    def test_fp_load_base_must_be_integer(self):
+        with pytest.raises(AssemblyError):
+            assemble("fld f1, 0(f2)\nhalt")
+
+    def test_fst_value_must_be_fp(self):
+        with pytest.raises(AssemblyError):
+            assemble("fst r1, 0(r2)\nhalt")
+
+    def test_bad_memory_operand_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("ld r1, r2\nhalt")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as info:
+            assemble("add r1, r2, r3\nbogus r1\nhalt")
+        assert info.value.line_number == 2

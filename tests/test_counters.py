@@ -1,0 +1,121 @@
+"""Unit tests for the counter primitives behind the predictors."""
+
+import pytest
+
+from repro.util.counters import (
+    ExactFrequencyCounter,
+    ProbabilisticLevelCounter,
+    SaturatingCounter,
+    StratifiedFrequencyCounter,
+)
+from repro.util.rng import seeded_rng
+
+
+class TestSaturatingCounter:
+    def test_starts_not_predicting(self):
+        assert not SaturatingCounter().predict()
+
+    def test_fields_parameters_one_in_eight_classifies_critical(self):
+        # The paper's footnote 6: +8 on critical, -1 otherwise, threshold 8;
+        # 1-in-8 critical instances suffice to stay classified critical.
+        counter = SaturatingCounter()
+        for __ in range(20):
+            counter.train(True)
+            for __ in range(7):
+                counter.train(False)
+        assert counter.predict()
+
+    def test_one_in_sixteen_does_not_classify_critical(self):
+        counter = SaturatingCounter()
+        for __ in range(20):
+            counter.train(True)
+            for __ in range(15):
+                counter.train(False)
+        assert not counter.predict()
+
+    def test_saturates_at_max(self):
+        counter = SaturatingCounter(bits=6)
+        for __ in range(100):
+            counter.train(True)
+        assert counter.value == 63
+
+    def test_saturates_at_zero(self):
+        counter = SaturatingCounter()
+        counter.train(False)
+        counter.train(False)
+        assert counter.value == 0
+
+    def test_single_critical_predicts_immediately(self):
+        counter = SaturatingCounter()
+        counter.train(True)
+        assert counter.predict()
+
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_rejects_out_of_range_initial_value(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, value=4)
+
+
+class TestProbabilisticLevelCounter:
+    def test_starts_at_zero_fraction(self):
+        assert ProbabilisticLevelCounter().fraction == 0.0
+
+    def test_all_true_training_saturates_high(self):
+        counter = ProbabilisticLevelCounter(rng=seeded_rng("t1"))
+        for __ in range(500):
+            counter.train(True)
+        assert counter.fraction == 1.0
+
+    def test_all_false_training_stays_at_zero(self):
+        counter = ProbabilisticLevelCounter(rng=seeded_rng("t2"))
+        for __ in range(500):
+            counter.train(False)
+        assert counter.fraction == 0.0
+
+    def test_tracks_underlying_frequency(self):
+        # Steady-state expectation of the level equals the outcome rate.
+        rng = seeded_rng("freq")
+        counter = ProbabilisticLevelCounter(rng=seeded_rng("c"))
+        samples = []
+        for i in range(6000):
+            counter.train(rng.random() < 0.30)
+            if i > 1000:
+                samples.append(counter.fraction)
+        mean = sum(samples) / len(samples)
+        assert 0.20 < mean < 0.40
+
+    def test_sixteen_levels_fit_four_bits(self):
+        counter = ProbabilisticLevelCounter(levels=16)
+        assert counter.levels == 16  # 4 bits of storage (Section 7)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            ProbabilisticLevelCounter(levels=1)
+
+
+class TestExactFrequencyCounter:
+    def test_empty_is_zero(self):
+        assert ExactFrequencyCounter().fraction == 0.0
+
+    def test_exact_fraction(self):
+        counter = ExactFrequencyCounter()
+        for i in range(10):
+            counter.train(i < 3)
+        assert counter.fraction == pytest.approx(0.3)
+
+
+class TestStratifiedFrequencyCounter:
+    def test_quantizes_to_levels(self):
+        counter = StratifiedFrequencyCounter(levels=16)
+        for i in range(100):
+            counter.train(i < 37)
+        # 0.37 rounds to the nearest of 15 steps: 6/15 = 0.4.
+        assert counter.fraction == pytest.approx(6 / 15)
+
+    def test_matches_exact_at_extremes(self):
+        counter = StratifiedFrequencyCounter()
+        counter.train(True)
+        assert counter.fraction == 1.0

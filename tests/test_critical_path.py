@@ -1,0 +1,140 @@
+"""Critical-path model tests: attribution invariants and known shapes."""
+
+import pytest
+
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.simulator import ClusteredSimulator
+from repro.core.steering.simple import ModuloSteering
+from repro.criticality.critical_path import (
+    CATEGORIES,
+    analyze_critical_path,
+    critical_flags,
+)
+from repro.criticality.graph import validate_timing
+from repro.criticality.slack import compute_global_slack
+from repro.workloads.patterns import load_chain, parallel_chains, serial_chain
+from repro.workloads.suite import get_kernel
+from repro.core.rename import extract_dependences
+from repro.frontend.branch_predictor import (
+    GshareBranchPredictor,
+    annotate_mispredictions,
+)
+
+
+def simulate(trace, config, steering=None, mispredicted=frozenset()):
+    sim = ClusteredSimulator(config, steering=steering, max_cycles=200_000)
+    return sim.run(trace, mispredicted=mispredicted)
+
+
+def simulate_kernel(name, config, n=4000):
+    spec = get_kernel(name)
+    trace = spec.generate(n)
+    deps = extract_dependences(trace)
+    mis = frozenset(annotate_mispredictions(trace, GshareBranchPredictor()))
+    sim = ClusteredSimulator(config, max_cycles=2_000_000)
+    return sim.run(trace, deps, mis)
+
+
+class TestAttributionInvariant:
+    @pytest.mark.parametrize("pattern", [serial_chain(150), parallel_chains(6, 40)])
+    def test_full_attribution_on_patterns(self, pattern):
+        result = simulate(pattern, monolithic_machine())
+        analysis = analyze_critical_path(result.records)
+        assert analysis.attributed_cycles == analysis.total_cycles
+
+    @pytest.mark.parametrize("clusters", [1, 2, 4, 8])
+    def test_full_attribution_on_kernel(self, clusters):
+        config = (
+            monolithic_machine() if clusters == 1 else clustered_machine(clusters)
+        )
+        result = simulate_kernel("vpr", config, n=3000)
+        analysis = analyze_critical_path(result.records)
+        assert analysis.attributed_cycles == analysis.total_cycles
+
+    def test_all_categories_non_negative(self):
+        result = simulate_kernel("twolf", clustered_machine(4), n=3000)
+        analysis = analyze_critical_path(result.records)
+        assert all(analysis.breakdown[c] >= 0 for c in CATEGORIES)
+
+    def test_merged_figure5_preserves_total(self):
+        result = simulate_kernel("gcc", clustered_machine(2), n=2000)
+        analysis = analyze_critical_path(result.records)
+        assert sum(analysis.merged_for_figure5().values()) == (
+            analysis.attributed_cycles
+        )
+
+
+class TestKnownShapes:
+    def test_serial_chain_is_execute_dominated(self):
+        result = simulate(serial_chain(300), monolithic_machine())
+        analysis = analyze_critical_path(result.records)
+        assert analysis.breakdown["execute"] > 0.8 * analysis.total_cycles
+
+    def test_split_chain_shows_forwarding_delay(self):
+        config = clustered_machine(2, forwarding_latency=2)
+        result = simulate(serial_chain(200), config, steering=ModuloSteering())
+        analysis = analyze_critical_path(result.records)
+        # Every hop crosses clusters: ~2 of every 3 cycles are forwarding.
+        assert analysis.breakdown["fwd_delay"] > 0.4 * analysis.total_cycles
+
+    def test_cache_misses_show_memory_latency(self):
+        result = simulate(load_chain(100, stride_bytes=65536), monolithic_machine())
+        analysis = analyze_critical_path(result.records)
+        assert analysis.breakdown["mem_latency"] > 0.5 * analysis.total_cycles
+
+    def test_mispredict_heavy_kernel_shows_branch_cycles(self):
+        result = simulate_kernel("gcc", monolithic_machine(), n=4000)
+        analysis = analyze_critical_path(result.records)
+        assert analysis.breakdown["br_mispredict"] > 0
+
+    def test_chain_on_path_marks_chain_critical(self):
+        result = simulate(serial_chain(100), monolithic_machine())
+        analysis = analyze_critical_path(result.records)
+        # Nearly every chain link lies on the critical path.
+        assert len(analysis.critical_indices) > 90
+
+
+class TestChunkedFlags:
+    def test_flags_cover_trace_length(self):
+        result = simulate_kernel("parser", monolithic_machine(), n=3000)
+        flags = critical_flags(result.records, chunk_size=512)
+        assert len(flags) == len(result.records)
+
+    def test_some_critical_and_some_not(self):
+        result = simulate_kernel("vpr", monolithic_machine(), n=4000)
+        flags = critical_flags(result.records, chunk_size=512)
+        assert any(flags) and not all(flags)
+
+    def test_serial_chain_all_chunks_mark_chain(self):
+        result = simulate(serial_chain(500), monolithic_machine())
+        flags = critical_flags(result.records, chunk_size=128)
+        assert sum(flags) > 450
+
+
+class TestTimingModelConsistency:
+    @pytest.mark.parametrize("name", ["vpr", "gcc", "mcf"])
+    def test_no_edge_violations(self, name):
+        result = simulate_kernel(name, clustered_machine(4), n=2500)
+        assert validate_timing(result.records, result.config) == []
+
+    def test_slack_non_negative_and_zero_somewhere(self):
+        result = simulate_kernel("gzip", clustered_machine(4), n=2500)
+        slacks = compute_global_slack(result.records, result.config)
+        assert min(slacks) >= 0
+
+    def test_serial_chain_has_zero_slack_spine(self):
+        result = simulate(serial_chain(200), monolithic_machine())
+        slacks = compute_global_slack(result.records, result.config)
+        zero = sum(1 for s in slacks if s == 0)
+        assert zero > 150
+
+    def test_slack_requires_full_run(self):
+        result = simulate(serial_chain(50), monolithic_machine())
+        with pytest.raises(ValueError):
+            compute_global_slack(result.records[10:], result.config)
+
+
+class TestErrors:
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_critical_path([])

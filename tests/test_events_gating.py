@@ -1,0 +1,108 @@
+"""Unit tests for the operand-gating condition in event classification.
+
+A forwarding 'event' (Figure 6b) must be counted only when the remote
+operand actually determined readiness; these tests construct records by
+hand to pin that logic down.
+"""
+
+from repro.analysis.events import classify_lost_cycle_events
+from repro.core.instruction import InFlight, SteerCause
+from repro.core.rename import Dependences
+from repro.vm.isa import OpClass
+from repro.vm.trace import DynamicInstruction
+
+
+def make_record(
+    index,
+    dispatch=10,
+    ready=11,
+    issue=11,
+    operand_avail=0,
+    forwarded=False,
+    cause=SteerCause.PRODUCER,
+    predicted_critical=False,
+):
+    instr = DynamicInstruction(
+        index=index, pc=index, opcode="add", opclass=OpClass.INT_ALU,
+        dest=1, srcs=(1,), next_pc=index + 1,
+    )
+    rec = InFlight(instr, Dependences((max(0, index - 1),), None))
+    rec.dispatch_time = dispatch
+    rec.ready_time = ready
+    rec.issue_time = issue
+    rec.complete_time = issue + 1
+    rec.commit_time = issue + 2
+    rec.operand_avail = operand_avail
+    rec.last_arriving_producer = index - 1 if index else None
+    rec.critical_operand_forwarded = forwarded
+    rec.steer_cause = cause
+    rec.predicted_critical = predicted_critical
+    rec.latency = 1
+    return rec
+
+
+def classify(records):
+    flags = [True] * len(records)  # treat everything as critical-path
+    return classify_lost_cycle_events(records, flags=flags)
+
+
+class TestForwardingGating:
+    def test_gating_forwarded_operand_counts(self):
+        rec = make_record(
+            1, dispatch=10, ready=15, issue=15, operand_avail=15,
+            forwarded=True, cause=SteerCause.LOAD_BALANCE_FULL,
+        )
+        __, fwd = classify([rec])
+        assert fwd.load_balance == 1
+
+    def test_early_forwarded_operand_ignored(self):
+        # Operand arrived before the instruction even entered the window:
+        # the forwarding latency cost nothing.
+        rec = make_record(
+            1, dispatch=10, ready=11, issue=11, operand_avail=8,
+            forwarded=True, cause=SteerCause.LOAD_BALANCE_FULL,
+        )
+        __, fwd = classify([rec])
+        assert fwd.total == 0
+
+    def test_dyadic_cause_classified(self):
+        rec = make_record(
+            1, dispatch=10, ready=15, issue=15, operand_avail=15,
+            forwarded=True, cause=SteerCause.DYADIC,
+        )
+        __, fwd = classify([rec])
+        assert fwd.dyadic == 1
+
+    def test_other_cause_classified(self):
+        rec = make_record(
+            1, dispatch=10, ready=15, issue=15, operand_avail=15,
+            forwarded=True, cause=SteerCause.PROACTIVE,
+        )
+        __, fwd = classify([rec])
+        assert fwd.other == 1
+
+    def test_non_critical_instructions_skipped(self):
+        rec = make_record(
+            1, dispatch=10, ready=15, issue=15, operand_avail=15,
+            forwarded=True, cause=SteerCause.DYADIC,
+        )
+        __, fwd = classify_lost_cycle_events([rec], flags=[False])
+        assert fwd.total == 0
+
+
+class TestContentionClassification:
+    def test_predicted_critical_bucket(self):
+        rec = make_record(1, ready=11, issue=14, predicted_critical=True)
+        contention, __ = classify([rec])
+        assert contention.predicted_critical == 1
+        assert contention.other == 0
+
+    def test_other_bucket(self):
+        rec = make_record(1, ready=11, issue=14, predicted_critical=False)
+        contention, __ = classify([rec])
+        assert contention.other == 1
+
+    def test_no_event_without_wait(self):
+        rec = make_record(1, ready=11, issue=11)
+        contention, __ = classify([rec])
+        assert contention.total == 0

@@ -1,0 +1,170 @@
+"""End-to-end experiment-harness tests on a reduced workload scale.
+
+These are integration tests: they run the actual figure reproductions on
+two small benchmarks and check structure plus the paper's directional
+claims (not absolute values).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figure import FigureData
+from repro.experiments.harness import Workbench, build_policy
+from repro.experiments.fig02 import run_figure2
+from repro.experiments.fig04 import run_figure4
+from repro.experiments.fig05 import run_figure5
+from repro.experiments.fig06 import run_figure6
+from repro.experiments.fig08 import run_figure8
+from repro.experiments.fig14 import run_figure14
+from repro.experiments.fig15 import run_figure15
+from repro.experiments.intext import (
+    run_consumer_stats,
+    run_global_values,
+    run_loc_priority_study,
+)
+from repro.workloads.suite import get_kernel
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench(
+        instructions=3000,
+        benchmarks=[get_kernel("vpr"), get_kernel("gzip")],
+    )
+
+
+class TestFigureData:
+    def test_row_arity_checked(self):
+        figure = FigureData("f", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            figure.add_row(1)
+
+    def test_column_and_row_lookup(self):
+        figure = FigureData("f", "t", ["name", "x"])
+        figure.add_row("vpr", 1.5)
+        assert figure.column("x") == [1.5]
+        assert figure.row_for("vpr")[1] == 1.5
+        with pytest.raises(KeyError):
+            figure.row_for("nope")
+
+    def test_str_renders(self):
+        figure = FigureData("Figure 0", "demo", ["a"], notes=["hello"])
+        figure.add_row(1)
+        text = str(figure)
+        assert "Figure 0" in text and "hello" in text
+
+
+class TestBuildPolicy:
+    @pytest.mark.parametrize("name", ["dependence", "focused", "l", "s", "p"])
+    def test_all_policies_construct(self, name):
+        steering, scheduler, needs = build_policy(name)
+        assert steering is not None and scheduler is not None
+        assert needs == (name != "dependence")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build_policy("telepathic")
+
+
+class TestWorkbench:
+    def test_prepare_caches(self, bench):
+        spec = get_kernel("vpr")
+        assert bench.prepare(spec) is bench.prepare(spec)
+
+    def test_run_caches(self, bench):
+        from repro.core.config import monolithic_machine
+
+        spec = get_kernel("vpr")
+        a = bench.run(spec, monolithic_machine(), "dependence")
+        b = bench.run(spec, monolithic_machine(), "dependence")
+        assert a is b
+
+    def test_invalid_instruction_count(self):
+        with pytest.raises(ValueError):
+            Workbench(instructions=0)
+
+
+class TestFigures:
+    def test_figure2_idealized_loss_is_small(self, bench):
+        figure = run_figure2(bench)
+        ave = figure.row_for("AVE")
+        # Idealized potential: within ~10% even on tiny traces (paper: 2%).
+        assert all(value < 1.10 for value in ave[1:])
+
+    def test_figure4_losses_grow_with_clusters(self, bench):
+        figure = run_figure4(bench)
+        ave = figure.row_for("AVE")
+        assert ave[1] <= ave[2] <= ave[3]
+        assert ave[3] > 1.0
+
+    def test_figure4_worse_than_figure2(self, bench):
+        ideal = run_figure2(bench).row_for("AVE")
+        actual = run_figure4(bench).row_for("AVE")
+        assert actual[3] > ideal[3]
+
+    def test_figure5_stacks_sum_to_normalized_cpi(self, bench):
+        figure = run_figure5(bench)
+        for row in figure.rows:
+            segments = row[2:-1]
+            assert sum(segments) == pytest.approx(row[-1])
+
+    def test_figure5_monolithic_has_no_fwd_delay(self, bench):
+        figure = run_figure5(bench)
+        fwd_index = list(figure.headers).index("fwd_delay")
+        for row in figure.rows:
+            if row[1] == 1:
+                assert row[fwd_index] == 0.0
+
+    def test_figure6_nonnegative_events(self, bench):
+        figure = run_figure6(bench)
+        for row in figure.rows:
+            assert all(v >= 0 for v in row[2:])
+
+    def test_figure8_distribution_sums_to_100(self, bench):
+        figure = run_figure8(bench)
+        assert sum(figure.column("percent")) == pytest.approx(100.0)
+
+    def test_figure8_mass_at_low_loc(self, bench):
+        figure = run_figure8(bench)
+        # Most dynamic instructions are rarely critical (paper: 53% in 0-5%).
+        assert figure.rows[0][1] > 20.0
+
+    def test_figure14_policies_do_not_regress_much_on_average(self, bench):
+        figure = run_figure14(bench)
+        ave8 = {
+            row[2]: row[3] for row in figure.rows if row[0] == "AVE" and row[1] == 8
+        }
+        assert ave8["l"] <= ave8["focused"] * 1.02
+        assert ave8["p"] <= ave8["focused"] * 1.02
+
+    def test_figure15_achieved_bounded_by_width(self, bench):
+        figure = run_figure15(bench)
+        for row in figure.rows:
+            assert row[1] <= 8.0 + 1e-9
+
+    def test_global_values_reported(self, bench):
+        figure = run_global_values(bench)
+        assert len(figure.rows) == 3
+        for row in figure.rows:
+            assert 0.0 <= row[1] <= 1.5
+
+    def test_loc_priority_ordering(self, bench):
+        figure = run_loc_priority_study(bench)
+        oracle = figure.row_for("oracle")
+        binary = figure.row_for("binary")
+        # Binary-only priorities are never better than the oracle.
+        assert binary[3] >= oracle[3] - 1e-9
+
+    def test_consumer_stats_rows(self, bench):
+        figure = run_consumer_stats(bench)
+        ave = figure.row_for("AVE")
+        assert all(0.0 <= v <= 1.0 for v in ave[1:])
+
+    def test_no_nan_in_benchmark_rows(self, bench):
+        figure = run_figure14(bench)
+        for row in figure.rows:
+            if row[0] != "AVE":
+                assert not any(
+                    isinstance(v, float) and math.isnan(v) for v in row[3:]
+                )

@@ -1,0 +1,186 @@
+"""Unit tests for branch prediction and the fetch timing model."""
+
+import pytest
+
+from repro.frontend.branch_predictor import (
+    AlwaysTakenPredictor,
+    GshareBranchPredictor,
+    annotate_mispredictions,
+)
+from repro.frontend.fetch import FrontEndConfig, FrontEndModel
+from repro.workloads.patterns import serial_chain
+from repro.vm.isa import OpClass
+from repro.vm.trace import DynamicInstruction
+
+
+def branch(index, pc, taken):
+    return DynamicInstruction(
+        index=index,
+        pc=pc,
+        opcode="bne",
+        opclass=OpClass.BRANCH,
+        dest=None,
+        srcs=(1,),
+        is_branch=True,
+        is_conditional_branch=True,
+        taken=taken,
+        next_pc=pc + 1,
+    )
+
+
+class TestGshare:
+    def test_learns_constant_direction(self):
+        predictor = GshareBranchPredictor()
+        for __ in range(10):
+            predictor.update(100, True)
+        assert predictor.predict(100)
+
+    def test_learns_alternating_pattern_through_history(self):
+        predictor = GshareBranchPredictor(history_bits=8)
+        # Train on a strict alternation; history disambiguates the phases.
+        outcomes = [bool(i % 2) for i in range(400)]
+        wrong_late = 0
+        for i, outcome in enumerate(outcomes):
+            if i > 300 and predictor.predict(100) != outcome:
+                wrong_late += 1
+            predictor.update(100, outcome)
+        assert wrong_late == 0
+
+    def test_random_data_mispredicts(self):
+        from repro.util.rng import seeded_rng
+
+        rng = seeded_rng("gshare-random")
+        predictor = GshareBranchPredictor()
+        wrong = 0
+        n = 2000
+        for __ in range(n):
+            outcome = rng.random() < 0.5
+            if predictor.predict(77) != outcome:
+                wrong += 1
+            predictor.update(77, outcome)
+        assert wrong > n * 0.3  # unpredictable stays unpredictable
+
+    def test_invalid_history_bits(self):
+        with pytest.raises(ValueError):
+            GshareBranchPredictor(history_bits=0)
+
+
+class TestAnnotateMispredictions:
+    def test_only_conditional_branches_counted(self):
+        trace = serial_chain(10)  # no branches at all
+        assert annotate_mispredictions(trace, GshareBranchPredictor()) == set()
+
+    def test_always_taken_predictor_misses_not_taken(self):
+        trace = [branch(0, 5, taken=False), branch(1, 5, taken=True)]
+        missed = annotate_mispredictions(trace, AlwaysTakenPredictor())
+        assert missed == {0}
+
+    def test_none_predictor_is_oracle(self):
+        trace = [branch(0, 5, taken=False)]
+        assert annotate_mispredictions(trace, None) == set()
+
+
+class TestFrontEndModel:
+    def test_nothing_before_pipeline_fills(self):
+        trace = serial_chain(20)
+        frontend = FrontEndModel(trace, set(), FrontEndConfig(depth_to_dispatch=13))
+        frontend.tick(12)
+        assert frontend.peek() is None
+
+    def test_width_limits_per_cycle_delivery(self):
+        trace = serial_chain(20)
+        frontend = FrontEndModel(trace, set(), FrontEndConfig(width=8))
+        frontend.tick(13)
+        delivered = 0
+        while frontend.peek() is not None:
+            frontend.pop()
+            delivered += 1
+        assert delivered == 8
+
+    def test_fetch_blocks_at_mispredicted_branch(self):
+        trace = serial_chain(20)
+        frontend = FrontEndModel(trace, {3}, FrontEndConfig())
+        frontend.tick(13)
+        count = 0
+        while frontend.peek() is not None:
+            frontend.pop()
+            count += 1
+        assert count == 4  # instructions 0..3 inclusive
+        frontend.tick(14)
+        assert frontend.peek() is None
+        assert frontend.blocked_on == 3
+
+    def test_redirect_resumes_after_depth(self):
+        config = FrontEndConfig(depth_to_dispatch=13)
+        trace = serial_chain(20)
+        frontend = FrontEndModel(trace, {3}, config)
+        frontend.tick(13)
+        while frontend.peek() is not None:
+            frontend.pop()
+        frontend.resolve_misprediction(3, when=20)
+        frontend.tick(32)
+        assert frontend.peek() is None  # 20 + 13 = 33
+        frontend.tick(33)
+        assert frontend.peek() is not None
+        assert frontend.peek().index == 4
+
+    def test_first_after_redirect_is_tagged(self):
+        trace = serial_chain(20)
+        frontend = FrontEndModel(trace, {3}, FrontEndConfig())
+        frontend.tick(13)
+        while frontend.peek() is not None:
+            frontend.pop()
+        frontend.resolve_misprediction(3, when=20)
+        frontend.tick(40)
+        assert frontend.redirect_source(4) == 3
+        frontend.pop()
+        assert frontend.redirect_source(5) is None
+
+    def test_taken_branch_ends_fetch_group(self):
+        trace = [branch(0, 0, taken=True)] + serial_chain(10)
+        # Re-index the chain after the branch.
+        chain = [
+            DynamicInstruction(
+                index=i + 1,
+                pc=t.pc + 1,
+                opcode=t.opcode,
+                opclass=t.opclass,
+                dest=t.dest,
+                srcs=t.srcs,
+                next_pc=t.next_pc,
+            )
+            for i, t in enumerate(serial_chain(10))
+        ]
+        trace = [branch(0, 0, taken=True)] + chain
+        frontend = FrontEndModel(trace, set(), FrontEndConfig())
+        frontend.tick(13)
+        count = 0
+        while frontend.peek() is not None:
+            frontend.pop()
+            count += 1
+        assert count == 1  # the taken branch ended the group
+
+    def test_buffer_backpressure(self):
+        trace = serial_chain(64)
+        config = FrontEndConfig(buffer_size=8, width=8)
+        frontend = FrontEndModel(trace, set(), config)
+        frontend.tick(13)
+        frontend.tick(14)  # buffer already full: no more fetched
+        count = 0
+        while frontend.peek() is not None:
+            frontend.pop()
+            count += 1
+        assert count == 8
+
+    def test_exhausted(self):
+        trace = serial_chain(3)
+        frontend = FrontEndModel(trace, set(), FrontEndConfig())
+        assert not frontend.exhausted
+        frontend.tick(13)
+        while frontend.peek() is not None:
+            frontend.pop()
+        assert frontend.exhausted
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FrontEndConfig(width=0)

@@ -1,0 +1,92 @@
+"""Tests for the explicit Fields dependence graph."""
+
+import pytest
+
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.rename import extract_dependences
+from repro.core.simulator import ClusteredSimulator
+from repro.criticality.graph import Edge, iter_edges, node_time, validate_timing
+from repro.frontend.branch_predictor import (
+    GshareBranchPredictor,
+    annotate_mispredictions,
+)
+from repro.workloads.patterns import serial_chain
+from repro.workloads.suite import get_kernel
+
+
+@pytest.fixture(scope="module")
+def kernel_run():
+    spec = get_kernel("gcc")  # mispredict-heavy: exercises redirect edges
+    trace = spec.generate(3000)
+    deps = extract_dependences(trace)
+    mis = frozenset(annotate_mispredictions(trace, GshareBranchPredictor()))
+    config = clustered_machine(4)
+    sim = ClusteredSimulator(config, max_cycles=1_000_000)
+    return sim.run(trace, deps, mis), config
+
+
+class TestEdgeEnumeration:
+    def test_every_instruction_has_execute_and_commit_edges(self, kernel_run):
+        result, config = kernel_run
+        labels_by_dst = {}
+        for edge in iter_edges(result.records, config):
+            labels_by_dst.setdefault((edge.dst_kind, edge.dst_index), set()).add(
+                edge.label
+            )
+        for rec in result.records:
+            assert "execute" in labels_by_dst[("E", rec.index)]
+            assert "commit" in labels_by_dst[("C", rec.index)]
+
+    def test_redirect_edges_present_for_mispredicted_branches(self, kernel_run):
+        result, config = kernel_run
+        redirects = [
+            e for e in iter_edges(result.records, config) if e.label == "redirect"
+        ]
+        assert redirects
+        for edge in redirects:
+            assert edge.src_index in result.mispredicted
+            assert edge.weight == config.frontend.depth_to_dispatch
+
+    def test_data_edges_match_dependences(self, kernel_run):
+        result, config = kernel_run
+        data = [
+            e for e in iter_edges(result.records, config) if e.label == "data"
+        ]
+        for edge in data[:200]:
+            consumer = result.records[edge.dst_index]
+            assert edge.src_index in consumer.deps.all_deps
+
+    def test_inorder_edges_are_zero_weight(self, kernel_run):
+        result, config = kernel_run
+        for edge in iter_edges(result.records, config):
+            if edge.label in ("inorder_dispatch", "inorder_commit", "rob"):
+                assert edge.weight == 0
+
+
+class TestNodeTime:
+    def test_each_kind(self, kernel_run):
+        result, __ = kernel_run
+        rec = result.records[10]
+        assert node_time(rec, "D") == rec.dispatch_time
+        assert node_time(rec, "E") == rec.complete_time
+        assert node_time(rec, "C") == rec.commit_time
+
+    def test_unknown_kind(self, kernel_run):
+        result, __ = kernel_run
+        with pytest.raises(ValueError):
+            node_time(result.records[0], "X")
+
+
+class TestValidation:
+    def test_clean_run_validates(self, kernel_run):
+        result, config = kernel_run
+        assert validate_timing(result.records, config) == []
+
+    def test_corrupted_timing_detected(self):
+        sim = ClusteredSimulator(monolithic_machine(), max_cycles=10_000)
+        result = sim.run(serial_chain(20), mispredicted=frozenset())
+        # Break causality: pretend instruction 10 finished before it issued.
+        result.records[10].complete_time = 0
+        violations = validate_timing(result.records, result.config)
+        assert violations
+        assert any(isinstance(v, Edge) for v in violations)

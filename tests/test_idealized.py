@@ -1,0 +1,121 @@
+"""Tests for the idealized list scheduler (Section 2.2)."""
+
+import pytest
+
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.rename import extract_dependences
+from repro.idealized.list_scheduler import ListScheduleResult, list_schedule
+from repro.idealized.regions import split_regions
+from repro.workloads.patterns import parallel_chains, serial_chain
+from repro.workloads.suite import get_kernel
+from repro.frontend.branch_predictor import (
+    GshareBranchPredictor,
+    annotate_mispredictions,
+)
+
+
+def schedule(trace, config, mispredicted=frozenset(), latencies=None, **kwargs):
+    deps = extract_dependences(trace)
+    if latencies is None:
+        latencies = [t.base_latency for t in trace]
+    return list_schedule(trace, deps, mispredicted, config, latencies, **kwargs)
+
+
+class TestSplitRegions:
+    def test_covers_whole_trace(self):
+        trace = serial_chain(100)
+        regions = split_regions(trace, {30, 60})
+        assert regions[0] == (0, 31)
+        assert regions[1] == (31, 61)
+        assert regions[-1][1] == 100
+        covered = sum(stop - start for start, stop in regions)
+        assert covered == 100
+
+    def test_max_length_cap(self):
+        trace = serial_chain(100)
+        regions = split_regions(trace, set(), max_length=32)
+        assert all(stop - start <= 32 for start, stop in regions)
+
+    def test_empty_mispredictions_single_region_when_short(self):
+        trace = serial_chain(50)
+        assert split_regions(trace, set(), max_length=256) == [(0, 50)]
+
+    def test_invalid_max_length(self):
+        with pytest.raises(ValueError):
+            split_regions(serial_chain(5), set(), max_length=0)
+
+
+class TestListScheduleBasics:
+    def test_serial_chain_spans_its_length(self):
+        n = 100
+        result = schedule(serial_chain(n), monolithic_machine())
+        # One add per cycle; fetch pipeline adds the dispatch depth.
+        assert n <= result.total_cycles <= n + 40
+
+    def test_parallel_chains_use_width(self):
+        result = schedule(parallel_chains(8, 50), monolithic_machine())
+        assert result.total_cycles <= 50 + 40
+
+    def test_clustered_serial_chain_matches_monolithic(self):
+        # The whole point of Section 2.2: an idealized schedule keeps the
+        # chain on one cluster, so 8x1w matches 1x8w on serial code.
+        mono = schedule(serial_chain(200), monolithic_machine())
+        split = schedule(serial_chain(200), clustered_machine(8))
+        assert split.total_cycles <= mono.total_cycles + 4
+
+    def test_more_instructions_than_ports_serializes(self):
+        # 16 independent chains on an 8-wide machine take ~2x the cycles.
+        narrow = schedule(parallel_chains(16, 40), monolithic_machine())
+        wide = schedule(parallel_chains(8, 40), monolithic_machine())
+        assert narrow.total_cycles > wide.total_cycles + 20
+
+    def test_cpi_property(self):
+        result = ListScheduleResult(total_cycles=100, instructions=50, regions=2)
+        assert result.cpi == 2.0
+
+
+class TestPriorityModes:
+    def make_kernel_inputs(self, n=3000):
+        spec = get_kernel("vpr")
+        trace = spec.generate(n)
+        deps = extract_dependences(trace)
+        mis = frozenset(annotate_mispredictions(trace, GshareBranchPredictor()))
+        latencies = [t.base_latency + (2 if t.is_load else 0) for t in trace]
+        return trace, deps, mis, latencies
+
+    def test_oracle_beats_or_matches_binary(self):
+        trace, deps, mis, lat = self.make_kernel_inputs()
+        config = clustered_machine(8)
+        oracle = list_schedule(trace, deps, mis, config, lat, "oracle")
+        binary = list_schedule(
+            trace, deps, mis, config, lat, "binary",
+            binary_table={t.pc: False for t in trace},
+        )
+        assert oracle.total_cycles <= binary.total_cycles
+
+    def test_loc_mode_requires_table(self):
+        trace, deps, mis, lat = self.make_kernel_inputs(500)
+        with pytest.raises(ValueError):
+            list_schedule(trace, deps, mis, monolithic_machine(), lat, "loc")
+
+    def test_unknown_mode_rejected(self):
+        trace, deps, mis, lat = self.make_kernel_inputs(500)
+        with pytest.raises(ValueError):
+            list_schedule(trace, deps, mis, monolithic_machine(), lat, "magic")
+
+
+class TestAgainstSimulator:
+    def test_idealized_not_slower_than_simulated(self):
+        # The idealized schedule is a lower bound (same constraints, global
+        # knowledge), modulo region conservatism -- allow 15% slop.
+        from repro.core.simulator import ClusteredSimulator
+
+        spec = get_kernel("gzip")
+        trace = spec.generate(4000)
+        deps = extract_dependences(trace)
+        mis = frozenset(annotate_mispredictions(trace, GshareBranchPredictor()))
+        config = clustered_machine(4)
+        sim = ClusteredSimulator(config, max_cycles=1_000_000).run(trace, deps, mis)
+        latencies = [r.latency for r in sim.records]
+        ideal = list_schedule(trace, deps, mis, config, latencies)
+        assert ideal.total_cycles <= sim.cycles * 1.15

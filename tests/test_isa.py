@@ -1,0 +1,86 @@
+"""Unit tests for the static ISA definition."""
+
+import pytest
+
+from repro.vm.isa import (
+    BASE_LATENCY,
+    FP_DEST_OPS,
+    FP_SRC_OPS,
+    NUM_REGS,
+    OPCODES,
+    OpClass,
+    StaticInstruction,
+    register_name,
+)
+
+
+class TestOpcodeTable:
+    def test_every_opcode_has_valid_operand_spec(self):
+        for spec in OPCODES.values():
+            assert set(spec.operands) <= set("dsimt"), spec
+
+    def test_conditional_branches_marked(self):
+        assert OPCODES["bne"].is_conditional_branch
+        assert OPCODES["beq"].is_conditional_branch
+        assert not OPCODES["br"].is_conditional_branch
+        assert not OPCODES["halt"].is_conditional_branch
+
+    def test_memory_ops_have_memory_operand(self):
+        for name in ("ld", "st", "fld", "fst"):
+            assert "m" in OPCODES[name].operands
+
+    def test_fp_ops_classified(self):
+        for name in FP_DEST_OPS - {"fld"}:
+            assert OPCODES[name].opclass is OpClass.FP
+        for name in FP_SRC_OPS - {"fst"}:
+            assert OPCODES[name].opclass is OpClass.FP
+
+
+class TestLatencies:
+    def test_alpha_21264_like_values(self):
+        # Table 1: latencies match the Alpha 21264.
+        assert BASE_LATENCY[OpClass.INT_ALU] == 1
+        assert BASE_LATENCY[OpClass.INT_MUL] == 7
+        assert BASE_LATENCY[OpClass.FP] == 4
+        # 3-cycle load-to-use = 1 (here) + 2-cycle L1.
+        assert BASE_LATENCY[OpClass.LOAD] == 1
+
+    def test_every_class_has_a_latency(self):
+        assert set(BASE_LATENCY) == set(OpClass)
+
+
+class TestOpClass:
+    def test_memory_property(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.INT_ALU.is_memory
+        assert not OpClass.BRANCH.is_memory
+
+
+class TestRegisterName:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            register_name(NUM_REGS)
+        with pytest.raises(ValueError):
+            register_name(-1)
+
+
+class TestStaticInstructionDisplay:
+    def test_str_contains_opcode_and_registers(self):
+        instr = StaticInstruction(
+            pc=0, opcode="add", opclass=OpClass.INT_ALU, dest=1, srcs=(2, 3)
+        )
+        text = str(instr)
+        assert "add" in text and "r1" in text and "r2" in text
+
+    def test_str_shows_immediate(self):
+        instr = StaticInstruction(
+            pc=0, opcode="addi", opclass=OpClass.INT_ALU, dest=1, srcs=(2,), imm=7
+        )
+        assert "7" in str(instr)
+
+    def test_str_shows_branch_target(self):
+        instr = StaticInstruction(
+            pc=0, opcode="br", opclass=OpClass.BRANCH, dest=None, srcs=(), target=5
+        )
+        assert "@5" in str(instr)

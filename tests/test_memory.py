@@ -1,0 +1,96 @@
+"""Unit tests for the cache hierarchy timing model."""
+
+import pytest
+
+from repro.memory.cache import (
+    CacheConfig,
+    MemoryConfig,
+    MemoryHierarchy,
+    SetAssociativeCache,
+)
+
+
+class TestCacheConfig:
+    def test_table1_geometry(self):
+        config = CacheConfig()
+        assert config.size_bytes == 32 * 1024
+        assert config.associativity == 4
+        assert config.num_sets == 128
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=3, line_bytes=64)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(hit_latency=-1)
+
+
+class TestSetAssociativeCache:
+    def test_first_access_misses_second_hits(self):
+        cache = SetAssociativeCache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+
+    def test_same_line_different_word_hits(self):
+        cache = SetAssociativeCache()
+        cache.access(0x1000)
+        assert cache.access(0x1000 + 63)
+        assert not cache.access(0x1000 + 64)
+
+    def test_lru_eviction_within_set(self):
+        config = CacheConfig(size_bytes=4 * 64, associativity=4, line_bytes=64)
+        cache = SetAssociativeCache(config)  # one set, 4 ways
+        for i in range(4):
+            cache.access(i * 64)
+        cache.access(0)  # touch line 0: now line 1 is LRU
+        cache.access(4 * 64)  # evicts line 1
+        assert cache.access(0)
+        assert not cache.access(64)
+
+    def test_hit_rate(self):
+        cache = SetAssociativeCache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert SetAssociativeCache().hit_rate == 0.0
+
+    def test_capacity_conflict_behaviour(self):
+        cache = SetAssociativeCache()  # 32KB
+        # Touch 64KB worth of lines, then re-touch: all must miss again.
+        lines = range(0, 64 * 1024, 64)
+        for addr in lines:
+            cache.access(addr)
+        assert not cache.access(0)
+
+
+class TestMemoryHierarchy:
+    def test_l1_hit_latency(self):
+        memory = MemoryHierarchy()
+        memory.load_latency(0)
+        assert memory.load_latency(0) == 2
+
+    def test_infinite_l2_miss_latency(self):
+        memory = MemoryHierarchy()
+        assert memory.load_latency(0) == 20  # cold miss goes to L2
+
+    def test_finite_l2_and_dram(self):
+        config = MemoryConfig(
+            l2=CacheConfig(size_bytes=256 * 1024, associativity=8, line_bytes=64,
+                           hit_latency=20),
+            memory_latency=200,
+        )
+        memory = MemoryHierarchy(config)
+        assert memory.load_latency(0) == 200  # cold: misses L1 and L2
+        assert memory.load_latency(0) == 2  # now in L1
+        # Evict from L1 but not L2, then re-access: L2 hit.
+        for addr in range(64, 64 + 64 * 1024, 64):
+            memory.load_latency(addr)
+        assert memory.load_latency(0) == 20
+
+    def test_store_allocates_for_later_loads(self):
+        memory = MemoryHierarchy()
+        memory.store_access(0x2000)
+        assert memory.load_latency(0x2000) == 2

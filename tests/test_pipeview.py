@@ -1,0 +1,73 @@
+"""Tests for the text pipeline viewer."""
+
+import pytest
+
+from repro.analysis.pipeview import contention_hotspots, render_pipeline
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.simulator import ClusteredSimulator
+from repro.workloads.patterns import divergent_tree, parallel_chains, serial_chain
+
+
+def simulate(trace, config=None):
+    sim = ClusteredSimulator(config or monolithic_machine(), max_cycles=100_000)
+    return sim.run(trace, mispredicted=frozenset())
+
+
+class TestRenderPipeline:
+    def test_one_line_per_instruction_plus_ruler(self):
+        result = simulate(serial_chain(30))
+        text = render_pipeline(result.records, start=5, count=10)
+        lines = text.splitlines()
+        assert len(lines) == 11
+
+    def test_markers_in_order(self):
+        result = simulate(serial_chain(30))
+        text = render_pipeline(result.records, start=10, count=1)
+        lane = text.splitlines()[1]
+        # D before E before C.
+        assert lane.index("D") < lane.index("E") < lane.index("C")
+
+    def test_waiting_marker_for_dependent_instruction(self):
+        result = simulate(serial_chain(50))
+        text = render_pipeline(result.records, start=40, count=5)
+        assert "w" in text  # chain tails wait for operands
+
+    def test_contention_marker_on_oversubscribed_machine(self):
+        # A wide fan-out makes all consumers ready at once; dependence
+        # steering collocates them on the producer's 1-wide cluster, so
+        # they serialize on its single issue port (Figure 12's pathology).
+        result = simulate(divergent_tree(fanout=8, groups=30), clustered_machine(8))
+        hotspots = contention_hotspots(result.records, top=1)
+        assert hotspots, "expected contention from serialized fan-out consumers"
+        anchor = hotspots[0][0]
+        text = render_pipeline(
+            result.records, start=max(0, anchor - 2), count=8, max_width=200
+        )
+        assert "r" in text
+
+    def test_clipping_note(self):
+        result = simulate(serial_chain(300))
+        text = render_pipeline(result.records, start=0, count=300, max_width=50)
+        assert "clipped" in text
+
+    def test_empty_window_rejected(self):
+        result = simulate(serial_chain(10))
+        with pytest.raises(ValueError):
+            render_pipeline(result.records, start=100, count=5)
+
+    def test_cluster_shown(self):
+        result = simulate(parallel_chains(4, 10), clustered_machine(4))
+        text = render_pipeline(result.records, start=0, count=8)
+        assert " c" in text
+
+
+class TestContentionHotspots:
+    def test_empty_when_no_contention(self):
+        result = simulate(parallel_chains(4, 30))
+        assert contention_hotspots(result.records) == []
+
+    def test_sorted_worst_first(self):
+        result = simulate(divergent_tree(fanout=8, groups=40), clustered_machine(8))
+        hotspots = contention_hotspots(result.records, top=10)
+        waits = [w for __, __, w in hotspots]
+        assert waits == sorted(waits, reverse=True)

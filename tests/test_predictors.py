@@ -1,0 +1,111 @@
+"""Tests for the criticality predictors and the online trainer."""
+
+import pytest
+
+from repro.core.config import monolithic_machine
+from repro.core.simulator import ClusteredSimulator
+from repro.criticality.loc import LocPredictor, PredictorSuite
+from repro.criticality.predictor import BinaryCriticalityPredictor
+from repro.criticality.trainer import ChunkedCriticalityTrainer, NullTrainer
+from repro.workloads.patterns import serial_chain
+
+
+class TestBinaryPredictor:
+    def test_unknown_pc_predicts_not_critical(self):
+        assert not BinaryCriticalityPredictor().predict(1234)
+
+    def test_trains_per_pc(self):
+        predictor = BinaryCriticalityPredictor()
+        predictor.train(10, True)
+        assert predictor.predict(10)
+        assert not predictor.predict(11)
+
+    def test_one_in_eight_stays_critical(self):
+        predictor = BinaryCriticalityPredictor()
+        for __ in range(10):
+            predictor.train(5, True)
+            for __ in range(7):
+                predictor.train(5, False)
+        assert predictor.predict(5)
+
+    def test_len_counts_pcs(self):
+        predictor = BinaryCriticalityPredictor()
+        predictor.train(1, True)
+        predictor.train(2, False)
+        assert len(predictor) == 2
+
+
+class TestLocPredictor:
+    def test_unknown_pc_is_zero(self):
+        assert LocPredictor().value(99) == 0.0
+
+    def test_exact_mode_tracks_frequency(self):
+        predictor = LocPredictor(mode="exact")
+        for i in range(100):
+            predictor.train(7, i % 4 == 0)
+        assert predictor.value(7) == pytest.approx(0.25)
+
+    def test_stratified_mode_quantizes(self):
+        predictor = LocPredictor(mode="stratified", levels=16)
+        for i in range(100):
+            predictor.train(7, i % 4 == 0)
+        assert predictor.value(7) == pytest.approx(4 / 15)
+
+    def test_probabilistic_mode_converges_roughly(self):
+        predictor = LocPredictor(mode="probabilistic", seed=3)
+        for i in range(4000):
+            predictor.train(7, i % 4 == 0)
+        assert 0.1 < predictor.value(7) < 0.45
+
+    def test_probabilistic_is_deterministic_per_seed(self):
+        a = LocPredictor(mode="probabilistic", seed=1)
+        b = LocPredictor(mode="probabilistic", seed=1)
+        for i in range(200):
+            a.train(3, i % 3 == 0)
+            b.train(3, i % 3 == 0)
+        assert a.value(3) == b.value(3)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LocPredictor(mode="psychic")
+
+
+class TestPredictorSuite:
+    def test_trains_both(self):
+        suite = PredictorSuite()
+        for __ in range(20):
+            suite.train(42, True)
+        assert suite.predict_critical(42)
+        assert suite.loc(42) > 0.5
+
+
+class TestChunkedTrainer:
+    def test_trains_serial_chain_critical(self):
+        suite = PredictorSuite(loc_predictor=LocPredictor(mode="exact"))
+        trainer = ChunkedCriticalityTrainer(suite, chunk_size=128)
+        sim = ClusteredSimulator(
+            monolithic_machine(), trainer=trainer, max_cycles=100_000
+        )
+        sim.run(serial_chain(1000), mispredicted=frozenset())
+        assert trainer.chunks_processed >= 7
+        # Every chain PC is on the critical path nearly always.
+        assert suite.loc(500) > 0.8
+
+    def test_finish_flushes_partial_chunk(self):
+        suite = PredictorSuite(loc_predictor=LocPredictor(mode="exact"))
+        trainer = ChunkedCriticalityTrainer(suite, chunk_size=10_000)
+        sim = ClusteredSimulator(
+            monolithic_machine(), trainer=trainer, max_cycles=100_000
+        )
+        sim.run(serial_chain(500), mispredicted=frozenset())
+        assert trainer.chunks_processed == 1  # flushed at finish()
+        assert trainer.instances_trained == 500
+
+    def test_rejects_tiny_chunks(self):
+        with pytest.raises(ValueError):
+            ChunkedCriticalityTrainer(PredictorSuite(), chunk_size=1)
+
+    def test_null_trainer_is_inert(self):
+        trainer = NullTrainer()
+        trainer.on_commit(None)
+        trainer.finish()

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Random programs and dataflow shapes are generated and pushed through the
+full stack; the invariants checked here are the ones every figure rests on:
+timing-model consistency, full cycle attribution, dependence correctness
+and counter convergence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.rename import build_consumer_lists, extract_dependences
+from repro.core.simulator import ClusteredSimulator
+from repro.criticality.critical_path import analyze_critical_path
+from repro.criticality.graph import validate_timing
+from repro.criticality.slack import compute_global_slack
+from repro.util.counters import SaturatingCounter, StratifiedFrequencyCounter
+from repro.vm.isa import OpClass
+from repro.vm.trace import DynamicInstruction
+
+# ---------------------------------------------------------------------------
+# Random dataflow-trace strategy: each instruction reads 0-2 of the previous
+# 8 registers and writes one register; ~20% are loads with random addresses.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_traces(draw, max_len=120):
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    trace = []
+    for i in range(length):
+        kind = draw(st.integers(min_value=0, max_value=9))
+        reg = draw(st.integers(min_value=1, max_value=8))
+        nsrcs = draw(st.integers(min_value=0, max_value=2))
+        srcs = tuple(
+            draw(st.integers(min_value=1, max_value=8)) for __ in range(nsrcs)
+        )
+        if kind < 2:
+            opclass, opcode, dest, addr = OpClass.LOAD, "ld", reg, draw(
+                st.integers(min_value=0, max_value=63)
+            ) * 64
+        elif kind < 3:
+            opclass, opcode, dest, addr = OpClass.STORE, "st", None, draw(
+                st.integers(min_value=0, max_value=63)
+            ) * 64
+        elif kind < 4:
+            opclass, opcode, dest, addr = OpClass.INT_MUL, "mul", reg, None
+        else:
+            opclass, opcode, dest, addr = OpClass.INT_ALU, "add", reg, None
+        trace.append(
+            DynamicInstruction(
+                index=i,
+                pc=draw(st.integers(min_value=0, max_value=30)),
+                opcode=opcode,
+                opclass=opclass,
+                dest=dest,
+                srcs=srcs,
+                next_pc=i + 1,
+                mem_addr=addr,
+            )
+        )
+    return trace
+
+
+CONFIGS = [monolithic_machine(), clustered_machine(2), clustered_machine(8)]
+
+
+@given(trace=random_traces(), config_index=st.integers(min_value=0, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_timing_satisfies_every_model_edge(trace, config_index):
+    config = CONFIGS[config_index]
+    result = ClusteredSimulator(config, max_cycles=100_000).run(
+        trace, mispredicted=frozenset()
+    )
+    assert validate_timing(result.records, config) == []
+
+
+@given(trace=random_traces(), config_index=st.integers(min_value=0, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_critical_path_attributes_every_cycle(trace, config_index):
+    config = CONFIGS[config_index]
+    result = ClusteredSimulator(config, max_cycles=100_000).run(
+        trace, mispredicted=frozenset()
+    )
+    analysis = analyze_critical_path(result.records)
+    assert analysis.attributed_cycles == analysis.total_cycles
+    assert all(v >= 0 for v in analysis.breakdown.values())
+
+
+@given(trace=random_traces())
+@settings(max_examples=40, deadline=None)
+def test_slack_non_negative(trace):
+    config = clustered_machine(4)
+    result = ClusteredSimulator(config, max_cycles=100_000).run(
+        trace, mispredicted=frozenset()
+    )
+    slacks = compute_global_slack(result.records, config)
+    assert all(s >= 0 for s in slacks)
+
+
+@given(trace=random_traces())
+@settings(max_examples=40, deadline=None)
+def test_event_times_are_ordered(trace):
+    result = ClusteredSimulator(monolithic_machine(), max_cycles=100_000).run(
+        trace, mispredicted=frozenset()
+    )
+    for rec in result.records:
+        assert rec.dispatch_time < rec.ready_time <= rec.issue_time
+        assert rec.issue_time < rec.complete_time < rec.commit_time
+
+
+@given(trace=random_traces())
+@settings(max_examples=40, deadline=None)
+def test_dependences_point_backward_and_invert_cleanly(trace):
+    deps = extract_dependences(trace)
+    for i, d in enumerate(deps):
+        assert all(p < i for p in d.all_deps)
+    consumers = build_consumer_lists(deps)
+    for producer, consumer_list in enumerate(consumers):
+        for consumer in consumer_list:
+            assert producer in deps[consumer].all_deps
+
+
+@given(
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=300),
+    increment=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_saturating_counter_stays_in_range(outcomes, increment):
+    counter = SaturatingCounter(bits=6, increment=increment)
+    for outcome in outcomes:
+        counter.train(outcome)
+        assert 0 <= counter.value <= counter.max_value
+
+
+@given(outcomes=st.lists(st.booleans(), min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_stratified_counter_within_one_step_of_exact(outcomes):
+    counter = StratifiedFrequencyCounter(levels=16)
+    for outcome in outcomes:
+        counter.train(outcome)
+    exact = sum(outcomes) / len(outcomes)
+    assert abs(counter.fraction - exact) <= 0.5 / 15
+
+
+@given(trace=random_traces(), fwd=st.integers(min_value=0, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_monolithic_is_never_slower_than_clustered(trace, fwd):
+    # Partitioning only removes scheduling freedom; with identical total
+    # resources the monolithic machine is a lower bound.
+    mono = ClusteredSimulator(monolithic_machine(), max_cycles=100_000).run(
+        trace, mispredicted=frozenset()
+    )
+    split = ClusteredSimulator(
+        clustered_machine(4, forwarding_latency=fwd), max_cycles=100_000
+    ).run(trace, mispredicted=frozenset())
+    assert mono.cycles <= split.cycles + 1

@@ -1,0 +1,74 @@
+"""Unit tests for readiness-aware load balancing."""
+
+import pytest
+
+from repro.core.instruction import SteerCause
+from repro.core.steering.readiness import (
+    ReadinessAwareSteering,
+    least_ready_pressure_cluster,
+)
+from tests.test_steering import FakeMachine, add_producer, make_inflight
+
+
+class PressureMachine(FakeMachine):
+    """FakeMachine with a configurable ready-pressure vector."""
+
+    def __init__(self, pressure, **kwargs):
+        super().__init__(**kwargs)
+        self.pressure = pressure
+
+    def cluster_ready_pressure(self, cluster, horizon=0):
+        return self.pressure[cluster]
+
+
+class TestLeastReadyPressure:
+    def test_prefers_lowest_pressure(self):
+        machine = PressureMachine([5, 0, 3, 2])
+        assert least_ready_pressure_cluster(machine, horizon=2) == 1
+
+    def test_skips_full_windows(self):
+        machine = PressureMachine([5, 0, 3, 2])
+        machine.free[1] = 0
+        assert least_ready_pressure_cluster(machine, horizon=2) == 3
+
+    def test_ties_break_by_load(self):
+        machine = PressureMachine([2, 2, 2, 2])
+        machine.load = [4, 1, 3, 2]
+        assert least_ready_pressure_cluster(machine, horizon=2) == 1
+
+    def test_none_when_everything_full(self):
+        machine = PressureMachine([0, 0, 0, 0])
+        machine.free = [0, 0, 0, 0]
+        assert least_ready_pressure_cluster(machine, horizon=2) is None
+
+
+class TestReadinessAwareSteering:
+    def test_no_producer_case_uses_pressure(self):
+        machine = PressureMachine([5, 0, 3, 2])
+        machine.load = [0, 9, 9, 9]  # least-loaded would say cluster 0
+        policy = ReadinessAwareSteering()
+        decision = policy.choose(make_inflight(10), machine)
+        assert decision.cluster == 1  # least pressure wins instead
+        assert decision.cause is SteerCause.NO_PRODUCER
+
+    def test_collocation_not_overridden(self):
+        machine = PressureMachine([0, 0, 0, 0])
+        add_producer(machine, 5, cluster=2, loc=0.9)
+        policy = ReadinessAwareSteering()
+        decision = policy.choose(make_inflight(10, deps=(5,), loc=0.9), machine)
+        assert decision.cluster == 2  # producer cluster kept
+
+    def test_stall_decisions_pass_through(self):
+        machine = PressureMachine([0, 0, 0, 0])
+        add_producer(machine, 5, cluster=2, loc=0.9)
+        machine.free[2] = 0
+        policy = ReadinessAwareSteering()
+        decision = policy.choose(make_inflight(10, deps=(5,), loc=0.9), machine)
+        assert decision.is_stall
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            ReadinessAwareSteering(horizon=-1)
+
+    def test_name_tagged(self):
+        assert ReadinessAwareSteering().name.endswith("+ready")

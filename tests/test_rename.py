@@ -1,0 +1,84 @@
+"""Unit tests for dependence extraction."""
+
+from repro.core.rename import build_consumer_lists, extract_dependences
+from repro.vm.assembler import assemble
+from repro.vm.interpreter import run
+
+
+def deps_of(source, n=1000, memory=None):
+    trace = run(assemble(source), n, initial_memory=memory)
+    return trace, extract_dependences(trace)
+
+
+class TestRegisterDependences:
+    def test_simple_producer_consumer(self):
+        __, deps = deps_of("li r1, 1\nadd r2, r1, r1\nhalt")
+        assert deps[1].reg_deps == (0,)
+
+    def test_duplicate_sources_deduplicated(self):
+        __, deps = deps_of("li r1, 1\nadd r2, r1, r1\nhalt")
+        assert len(deps[1].reg_deps) == 1
+
+    def test_last_writer_wins(self):
+        __, deps = deps_of("li r1, 1\nli r1, 2\nadd r2, r1, r1\nhalt")
+        assert deps[2].reg_deps == (1,)
+
+    def test_initial_registers_have_no_producer(self):
+        __, deps = deps_of("add r2, r1, r3\nhalt")
+        assert deps[0].reg_deps == ()
+
+    def test_loop_carried_dependence(self):
+        trace, deps = deps_of(
+            "li r1, 3\nloop: subi r1, r1, 1\nbne r1, loop\nhalt"
+        )
+        # Second subi (index 3) depends on the first subi (index 1).
+        assert trace[3].opcode == "subi"
+        assert deps[3].reg_deps == (1,)
+
+
+class TestMemoryDependences:
+    def test_load_depends_on_matching_store(self):
+        __, deps = deps_of(
+            "li r1, 9\nli r2, 5\nst r1, 0(r2)\nld r3, 0(r2)\nhalt"
+        )
+        assert deps[3].mem_dep == 2
+
+    def test_load_ignores_store_to_other_address(self):
+        __, deps = deps_of(
+            "li r1, 9\nli r2, 5\nst r1, 1(r2)\nld r3, 0(r2)\nhalt"
+        )
+        assert deps[3].mem_dep is None
+
+    def test_latest_store_wins(self):
+        __, deps = deps_of(
+            """
+            li r1, 9
+            li r2, 5
+            st r1, 0(r2)
+            st r1, 0(r2)
+            ld r3, 0(r2)
+            halt
+            """
+        )
+        assert deps[4].mem_dep == 3
+
+    def test_mem_dep_not_duplicated_when_register_dep_exists(self):
+        # If the store is already a register producer, mem_dep is dropped.
+        __, deps = deps_of("li r2, 5\nst r2, 0(r2)\nld r3, 0(r2)\nhalt")
+        load_deps = deps[2]
+        assert load_deps.all_deps.count(1) <= 1
+
+    def test_all_deps_combines(self):
+        __, deps = deps_of(
+            "li r1, 9\nli r2, 5\nst r1, 0(r2)\nld r3, 0(r2)\nhalt"
+        )
+        assert set(deps[3].all_deps) == {1, 2}
+
+
+class TestConsumerLists:
+    def test_inversion(self):
+        __, deps = deps_of("li r1, 1\nadd r2, r1, r1\nsub r3, r1, r2\nhalt")
+        consumers = build_consumer_lists(deps)
+        assert consumers[0] == [1, 2]
+        assert consumers[1] == [2]
+        assert consumers[2] == []

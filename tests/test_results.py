@@ -1,0 +1,49 @@
+"""Unit tests for result containers."""
+
+import pytest
+
+from repro.core.config import monolithic_machine
+from repro.core.results import IlpProfile, SimulationResult
+from repro.core.simulator import ClusteredSimulator
+from repro.workloads.patterns import serial_chain
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    sim = ClusteredSimulator(monolithic_machine(), max_cycles=10_000)
+    return sim.run(serial_chain(50), mispredicted=frozenset())
+
+
+class TestSimulationResult:
+    def test_instruction_count(self, small_result):
+        assert small_result.instructions == 50
+
+    def test_cpi_ipc_reciprocal(self, small_result):
+        assert small_result.cpi * small_result.ipc == pytest.approx(1.0)
+
+    def test_cycles_matches_last_commit(self, small_result):
+        assert small_result.cycles == small_result.records[-1].commit_time + 1
+
+    def test_no_clusters_crossed_on_monolithic(self, small_result):
+        assert small_result.global_values == 0
+        assert small_result.global_values_per_instruction == 0.0
+
+    def test_steering_and_scheduler_names_recorded(self, small_result):
+        assert small_result.steering_name == "dependence"
+        assert small_result.scheduler_name == "oldest"
+
+    def test_contention_total_non_negative(self, small_result):
+        assert small_result.total_contention_cycles >= 0
+
+
+class TestIlpProfileEdgeCases:
+    def test_empty_profile_series(self):
+        assert IlpProfile().series() == []
+
+    def test_unknown_available_achieved_zero(self):
+        assert IlpProfile().achieved(3) == 0.0
+
+    def test_series_unbounded(self):
+        profile = IlpProfile()
+        profile.record(100, 8)
+        assert profile.series() == [(100, 8.0)]

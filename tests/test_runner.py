@@ -1,0 +1,85 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure8"])
+        assert args.experiments == ["figure8"]
+        assert args.instructions > 0
+        assert args.benchmarks is None
+
+    def test_multiple_experiments(self):
+        args = build_parser().parse_args(["figure2", "figure4"])
+        assert args.experiments == ["figure2", "figure4"]
+
+
+class TestMain:
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["not_a_figure"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_runs_small_experiment(self, capsys, tmp_path):
+        code = main(
+            [
+                "figure8",
+                "--instructions",
+                "1500",
+                "--benchmarks",
+                "gcc",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert (tmp_path / "figure8.txt").exists()
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["figure8", "--benchmarks", "nonesuch"])
+
+
+class TestSeededAndJson:
+    def test_seeds_flag_averages(self, capsys, tmp_path):
+        code = main(
+            [
+                "figure8",
+                "--instructions",
+                "1200",
+                "--benchmarks",
+                "gcc",
+                "--seeds",
+                "2",
+                "--out",
+                str(tmp_path),
+                "--json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean of 2 seeds" in out
+        assert (tmp_path / "figure8.json").exists()
+
+    def test_json_payload_valid(self, tmp_path):
+        import json
+
+        main(
+            [
+                "figure8",
+                "--instructions",
+                "1000",
+                "--benchmarks",
+                "gcc",
+                "--out",
+                str(tmp_path),
+                "--json",
+            ]
+        )
+        payload = json.loads((tmp_path / "figure8.json").read_text())
+        assert payload["figure_id"] == "Figure 8"
+        assert len(payload["rows"]) == 21

@@ -1,0 +1,62 @@
+"""Unit tests for the Gonzalez-style stall baselines (Section 5 contrast)."""
+
+import pytest
+
+from repro.core.instruction import DispatchReason, SteerCause
+from repro.core.steering.stall_baselines import (
+    AlwaysStallSteering,
+    OccupancyStallSteering,
+)
+from tests.test_steering import FakeMachine, add_producer, make_inflight
+
+
+class TestAlwaysStall:
+    def test_stalls_when_desired_full(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=2)
+        machine.free[2] = 0
+        decision = AlwaysStallSteering().choose(
+            make_inflight(10, deps=(5,)), machine
+        )
+        assert decision.is_stall
+        assert decision.stall_reason is DispatchReason.STEER_STALL
+        assert decision.blocking_cluster == 2
+
+    def test_collocates_when_space(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=2)
+        decision = AlwaysStallSteering().choose(
+            make_inflight(10, deps=(5,)), machine
+        )
+        assert decision.cluster == 2
+
+
+class TestOccupancyStall:
+    def test_stalls_when_machine_busy(self):
+        machine = FakeMachine(num_clusters=4, window=4)
+        add_producer(machine, 5, cluster=2)
+        machine.free = [1, 1, 0, 1]
+        machine.load = [3, 3, 4, 3]  # 13/16 > 0.75
+        decision = OccupancyStallSteering(occupancy_threshold=0.75).choose(
+            make_inflight(10, deps=(5,)), machine
+        )
+        assert decision.is_stall
+
+    def test_load_balances_when_machine_idle(self):
+        machine = FakeMachine(num_clusters=4, window=4)
+        add_producer(machine, 5, cluster=2)
+        machine.free = [4, 4, 0, 4]
+        machine.load = [0, 0, 4, 0]  # 4/16 < 0.75
+        decision = OccupancyStallSteering(occupancy_threshold=0.75).choose(
+            make_inflight(10, deps=(5,)), machine
+        )
+        assert not decision.is_stall
+        assert decision.cause is SteerCause.LOAD_BALANCE_FULL
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            OccupancyStallSteering(occupancy_threshold=1.5)
+
+    def test_name_includes_threshold(self):
+        policy = OccupancyStallSteering(occupancy_threshold=0.5)
+        assert "0.50" in policy.name

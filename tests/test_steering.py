@@ -1,0 +1,265 @@
+"""Steering-policy behaviour tests (the paper's policy stack)."""
+
+from repro.core.config import clustered_machine
+from repro.core.instruction import DispatchReason, InFlight, SteerCause
+from repro.core.rename import Dependences
+from repro.core.simulator import ClusteredSimulator
+from repro.core.steering.base import least_loaded_cluster, structural_stall
+from repro.core.steering.dependence import (
+    CriticalitySteering,
+    CriticalitySteeringConfig,
+    DependenceSteering,
+)
+from repro.workloads.patterns import divergent_tree, serial_chain
+from repro.vm.isa import OpClass
+from repro.vm.trace import DynamicInstruction
+
+
+class FakeMachine:
+    """Minimal MachineView for policy unit tests."""
+
+    def __init__(self, num_clusters=4, window=4, fwd=2, now=100):
+        self.num_clusters = num_clusters
+        self.forwarding_latency = fwd
+        self.now = now
+        self.free = [window] * num_clusters
+        self.load = [0] * num_clusters
+        self.records = {}
+
+    def window_free(self, cluster):
+        return self.free[cluster]
+
+    def cluster_load(self, cluster):
+        return self.load[cluster]
+
+    def record(self, index):
+        return self.records[index]
+
+
+def make_inflight(index, deps=(), mem_dep=None, pc=None, loc=0.0, critical=False):
+    instr = DynamicInstruction(
+        index=index,
+        pc=pc if pc is not None else index,
+        opcode="add",
+        opclass=OpClass.INT_ALU,
+        dest=1,
+        srcs=(1,),
+        next_pc=index + 1,
+    )
+    rec = InFlight(instr, Dependences(tuple(deps), mem_dep))
+    rec.loc = loc
+    rec.predicted_critical = critical
+    return rec
+
+
+def add_producer(machine, index, cluster, complete_time=-1, loc=0.0, critical=False):
+    rec = make_inflight(index, loc=loc, critical=critical)
+    rec.cluster = cluster
+    rec.complete_time = complete_time
+    machine.records[index] = rec
+    return rec
+
+
+class TestLeastLoaded:
+    def test_prefers_lowest_load(self):
+        machine = FakeMachine()
+        machine.load = [3, 1, 2, 5]
+        assert least_loaded_cluster(machine) == 1
+
+    def test_skips_full_windows(self):
+        machine = FakeMachine()
+        machine.load = [3, 1, 2, 5]
+        machine.free[1] = 0
+        assert least_loaded_cluster(machine) == 2
+
+    def test_none_when_all_full(self):
+        machine = FakeMachine()
+        machine.free = [0, 0, 0, 0]
+        assert least_loaded_cluster(machine) is None
+        decision = structural_stall(machine)
+        assert decision.is_stall
+        assert decision.stall_reason is DispatchReason.CLUSTER_FULL
+
+
+class TestDependenceSteering:
+    def test_collocates_with_in_flight_producer(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=2)
+        consumer = make_inflight(10, deps=(5,))
+        decision = DependenceSteering().choose(consumer, machine)
+        assert decision.cluster == 2
+        assert decision.cause is SteerCause.PRODUCER
+
+    def test_completed_producer_ignored(self):
+        machine = FakeMachine(now=100)
+        add_producer(machine, 5, cluster=2, complete_time=50)  # long done
+        machine.load = [0, 7, 7, 7]
+        consumer = make_inflight(10, deps=(5,))
+        decision = DependenceSteering().choose(consumer, machine)
+        assert decision.cluster == 0
+        assert decision.cause is SteerCause.NO_PRODUCER
+
+    def test_recently_completed_producer_still_attracts(self):
+        # Value not yet broadcast: completing at now means remote clusters
+        # see it only after the forwarding latency.
+        machine = FakeMachine(now=100, fwd=2)
+        add_producer(machine, 5, cluster=2, complete_time=100)
+        consumer = make_inflight(10, deps=(5,))
+        decision = DependenceSteering().choose(consumer, machine)
+        assert decision.cluster == 2
+
+    def test_dyadic_cause_when_producers_split(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=1)
+        add_producer(machine, 6, cluster=3)
+        consumer = make_inflight(10, deps=(5, 6))
+        decision = DependenceSteering().choose(consumer, machine)
+        assert decision.cause is SteerCause.DYADIC
+        assert decision.cluster == 3  # youngest producer preferred
+
+    def test_second_producer_cluster_when_first_full(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=1)
+        add_producer(machine, 6, cluster=3)
+        machine.free[3] = 0
+        consumer = make_inflight(10, deps=(5, 6))
+        decision = DependenceSteering().choose(consumer, machine)
+        assert decision.cluster == 1
+
+    def test_load_balances_when_producer_cluster_full(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=2)
+        machine.free[2] = 0
+        machine.load = [4, 1, 9, 3]
+        consumer = make_inflight(10, deps=(5,))
+        decision = DependenceSteering().choose(consumer, machine)
+        assert decision.cluster == 1
+        assert decision.cause is SteerCause.LOAD_BALANCE_FULL
+
+
+class TestFocusedSteering:
+    def test_critical_producer_preferred_over_younger(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=1, critical=True)
+        add_producer(machine, 6, cluster=3, critical=False)
+        consumer = make_inflight(10, deps=(5, 6))
+        policy = CriticalitySteering(CriticalitySteeringConfig(preference="binary"))
+        decision = policy.choose(consumer, machine)
+        assert decision.cluster == 1
+
+    def test_loc_preference_picks_highest_loc(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=1, loc=0.9)
+        add_producer(machine, 6, cluster=3, loc=0.1)
+        consumer = make_inflight(10, deps=(5, 6))
+        policy = CriticalitySteering(CriticalitySteeringConfig(preference="loc"))
+        decision = policy.choose(consumer, machine)
+        assert decision.cluster == 1
+
+
+class TestStallOverSteer:
+    def make_policy(self, threshold=0.30):
+        return CriticalitySteering(
+            CriticalitySteeringConfig(
+                preference="loc", stall_over_steer=True,
+                stall_loc_threshold=threshold,
+            )
+        )
+
+    def test_high_loc_consumer_stalls_when_producer_cluster_full(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=2, loc=0.9)
+        machine.free[2] = 0
+        consumer = make_inflight(10, deps=(5,), loc=0.8)
+        decision = self.make_policy().choose(consumer, machine)
+        assert decision.is_stall
+        assert decision.stall_reason is DispatchReason.STEER_STALL
+        assert decision.blocking_cluster == 2
+
+    def test_low_loc_consumer_load_balances(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=2, loc=0.9)
+        machine.free[2] = 0
+        consumer = make_inflight(10, deps=(5,), loc=0.1)
+        decision = self.make_policy().choose(consumer, machine)
+        assert not decision.is_stall
+        assert decision.cause is SteerCause.LOAD_BALANCE_FULL
+
+    def test_threshold_is_inclusive(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=2, loc=0.9)
+        machine.free[2] = 0
+        consumer = make_inflight(10, deps=(5,), loc=0.30)
+        decision = self.make_policy().choose(consumer, machine)
+        assert decision.is_stall
+
+
+class TestProactiveLoadBalancing:
+    def make_policy(self):
+        return CriticalitySteering(
+            CriticalitySteeringConfig(
+                preference="loc", stall_over_steer=True, proactive=True
+            )
+        )
+
+    def test_second_consumer_balanced_away(self):
+        machine = FakeMachine()
+        producer = add_producer(machine, 5, cluster=2, loc=0.9)
+        policy = self.make_policy()
+        first = make_inflight(10, deps=(5,), loc=0.01)
+        second = make_inflight(11, deps=(5,), pc=11, loc=0.01)
+        d1 = policy.choose(first, machine)
+        assert d1.cluster == 2
+        d2 = policy.choose(second, machine)
+        assert d2.cause is SteerCause.PROACTIVE
+        assert d2.cluster != 2 or machine.load[2] == min(machine.load)
+
+    def test_critical_consumer_never_balanced(self):
+        # The Section 7 override: LoC > 5% and at least half the producer's.
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=2, loc=0.6)
+        policy = self.make_policy()
+        first = make_inflight(10, deps=(5,), loc=0.01)
+        critical_consumer = make_inflight(11, deps=(5,), pc=11, loc=0.5)
+        policy.choose(first, machine)
+        decision = policy.choose(critical_consumer, machine)
+        assert decision.cluster == 2
+        assert decision.cause is not SteerCause.PROACTIVE
+
+    def test_retire_learning_tags_balance_candidates(self):
+        machine = FakeMachine()
+        add_producer(machine, 5, cluster=2, loc=0.9)
+        policy = self.make_policy()
+        weak = make_inflight(10, deps=(5,), pc=77, loc=0.02)
+        strong = make_inflight(11, deps=(5,), pc=88, loc=0.9)
+        policy.choose(weak, machine)
+        policy.choose(strong, machine)
+        # Retire the weak consumer twice: it was never the most critical.
+        policy.on_commit(weak)
+        policy.on_commit(weak)
+        assert policy._balance_candidates[77].predict()
+
+
+class TestEndToEndDivergentTree:
+    def test_proactive_spreads_divergent_consumers(self):
+        # Figure 12/13: with 1-wide clusters, steering all consumers to the
+        # producer's cluster serializes parallel work.
+        trace = divergent_tree(fanout=6, groups=60)
+        config = clustered_machine(8)
+        plain = ClusteredSimulator(
+            config, steering=DependenceSteering(), max_cycles=100_000
+        ).run(trace, mispredicted=frozenset())
+        clusters_used = {r.cluster for r in plain.records}
+        assert len(clusters_used) >= 2  # load-balance kicks in eventually
+
+    def test_serial_chain_no_stall_deadlock(self):
+        # Stall-over-steer on a pure serial chain must still make progress
+        # (window drains one instruction per cycle).
+        policy = CriticalitySteering(
+            CriticalitySteeringConfig(preference="loc", stall_over_steer=True)
+        )
+        sim = ClusteredSimulator(
+            clustered_machine(8), steering=policy, max_cycles=100_000
+        )
+        result = sim.run(serial_chain(300), mispredicted=frozenset())
+        assert result.instructions == 300

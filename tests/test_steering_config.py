@@ -1,0 +1,56 @@
+"""Validation tests for steering configuration objects and names."""
+
+import pytest
+
+from repro.core.steering.dependence import (
+    CriticalitySteering,
+    CriticalitySteeringConfig,
+)
+
+
+class TestCriticalitySteeringConfig:
+    def test_defaults_are_focused(self):
+        config = CriticalitySteeringConfig()
+        assert config.preference == "binary"
+        assert not config.stall_over_steer
+        assert not config.proactive
+
+    def test_invalid_preference(self):
+        with pytest.raises(ValueError):
+            CriticalitySteeringConfig(preference="psychic")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            CriticalitySteeringConfig(stall_loc_threshold=1.5)
+        with pytest.raises(ValueError):
+            CriticalitySteeringConfig(stall_loc_threshold=-0.1)
+
+    def test_paper_defaults(self):
+        config = CriticalitySteeringConfig()
+        # Section 5's 30% stall threshold; Section 7's proactive override.
+        assert config.stall_loc_threshold == pytest.approx(0.30)
+        assert config.keep_min_loc == pytest.approx(0.05)
+        assert config.keep_fraction == pytest.approx(0.5)
+
+
+class TestPolicyNames:
+    def test_focused_name(self):
+        assert CriticalitySteering().name == "focused"
+
+    def test_stacked_names(self):
+        policy = CriticalitySteering(
+            CriticalitySteeringConfig(
+                preference="loc", stall_over_steer=True, proactive=True
+            )
+        )
+        assert policy.name == "loc+stall+proactive"
+
+    def test_reset_clears_learning_state(self):
+        policy = CriticalitySteering(
+            CriticalitySteeringConfig(preference="loc", proactive=True)
+        )
+        policy._followed.add(42)
+        policy._balance_candidates[7] = object()
+        policy.reset()
+        assert not policy._followed
+        assert not policy._balance_candidates

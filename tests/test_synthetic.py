@@ -1,0 +1,90 @@
+"""Tests for the parameterized synthetic workload generator."""
+
+import pytest
+
+from repro.core.config import monolithic_machine
+from repro.core.simulator import ClusteredSimulator
+from repro.vm.isa import OpClass
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    build_synthetic,
+    ilp_sweep_configs,
+)
+
+
+def simulate(spec, n=4000):
+    trace = spec.generate(n)
+    sim = ClusteredSimulator(monolithic_machine(), max_cycles=500_000)
+    return sim.run(trace)
+
+
+class TestConfigValidation:
+    def test_chain_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(chains=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(chains=9)
+
+    def test_chain_op_checked(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(chain_op="div")
+
+    def test_branch_bias_range(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(branch_bias=0.3)
+
+    def test_name_encodes_shape(self):
+        config = SyntheticConfig(chains=3, chain_op="mul", rib_ops=1,
+                                 loads_per_iteration=2)
+        assert config.name == "syn-3xmul-r1-l2"
+
+
+class TestGeneratedKernels:
+    def test_assembles_and_runs(self):
+        spec = build_synthetic(SyntheticConfig())
+        trace = spec.generate(2000)
+        assert len(trace) == 2000
+
+    def test_loads_present_when_requested(self):
+        spec = build_synthetic(SyntheticConfig(loads_per_iteration=2))
+        trace = spec.generate(2000)
+        loads = sum(1 for t in trace if t.opclass is OpClass.LOAD)
+        assert loads > 200
+
+    def test_no_loads_when_zero(self):
+        spec = build_synthetic(
+            SyntheticConfig(loads_per_iteration=0, rib_ops=0)
+        )
+        trace = spec.generate(2000)
+        assert all(not t.is_load for t in trace)
+
+    def test_branch_bias_produces_stores_sometimes(self):
+        spec = build_synthetic(
+            SyntheticConfig(loads_per_iteration=1, branch_bias=0.7)
+        )
+        trace = spec.generate(4000)
+        stores = sum(1 for t in trace if t.is_store)
+        assert stores > 0
+
+    def test_mul_chains_are_slower(self):
+        add_spec = build_synthetic(
+            SyntheticConfig(chains=2, chain_op="add", rib_ops=0,
+                            loads_per_iteration=0)
+        )
+        mul_spec = build_synthetic(
+            SyntheticConfig(chains=2, chain_op="mul", rib_ops=0,
+                            loads_per_iteration=0)
+        )
+        assert simulate(add_spec).cpi < simulate(mul_spec).cpi
+
+
+class TestIlpDial:
+    def test_monolithic_ipc_grows_with_chains(self):
+        ipcs = []
+        for config in ilp_sweep_configs(chain_counts=(1, 4, 8)):
+            ipcs.append(simulate(build_synthetic(config)).ipc)
+        assert ipcs[0] < ipcs[1] < ipcs[2]
+
+    def test_sweep_names_unique(self):
+        names = [c.name for c in ilp_sweep_configs()]
+        assert len(set(names)) == len(names)

@@ -1,0 +1,51 @@
+"""Unit tests for table/histogram rendering."""
+
+import pytest
+
+from repro.util.tables import format_histogram, format_stacked_rows, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        # All rows align on the second column.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatHistogram:
+    def test_bars_scale_to_peak(self):
+        text = format_histogram(["x", "y"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        text = format_histogram(["x"], [0.0])
+        assert "#" not in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_histogram(["x"], [1.0, 2.0])
+
+
+class TestFormatStackedRows:
+    def test_total_column(self):
+        text = format_stacked_rows(
+            ["cfg1"], {"a": [1.0], "b": [2.0]}
+        )
+        assert "3.000" in text

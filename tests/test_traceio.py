@@ -1,0 +1,54 @@
+"""Tests for trace serialization."""
+
+import pytest
+
+from repro.vm.traceio import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.workloads.patterns import serial_chain
+from repro.workloads.suite import get_kernel
+
+
+class TestRoundTrip:
+    def test_pattern_round_trip(self, tmp_path):
+        trace = serial_chain(50)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded == trace
+
+    def test_kernel_round_trip_preserves_everything(self, tmp_path):
+        trace = get_kernel("vpr").generate(800)
+        path = tmp_path / "vpr.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded == trace
+
+    def test_round_tripped_trace_simulates_identically(self, tmp_path):
+        from repro.core.config import clustered_machine
+        from repro.core.simulator import ClusteredSimulator
+
+        trace = get_kernel("gcc").generate(800)
+        path = tmp_path / "gcc.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = ClusteredSimulator(clustered_machine(4), max_cycles=100_000).run(trace)
+        b = ClusteredSimulator(clustered_machine(4), max_cycles=100_000).run(loaded)
+        assert a.cycles == b.cycles
+
+
+class TestFormatGuards:
+    def test_bad_version_rejected(self):
+        data = trace_to_dict(serial_chain(3))
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            trace_from_dict(data)
+
+    def test_mismatched_columns_rejected(self):
+        data = trace_to_dict(serial_chain(3))
+        data["pc"] = data["pc"][:-1]
+        with pytest.raises(ValueError):
+            trace_from_dict(data)

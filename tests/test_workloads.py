@@ -1,0 +1,128 @@
+"""Workload-suite tests: every kernel assembles, runs, and exhibits the
+dataflow feature it was designed to substitute for."""
+
+import pytest
+
+from repro.frontend.branch_predictor import (
+    GshareBranchPredictor,
+    annotate_mispredictions,
+)
+from repro.memory.cache import MemoryHierarchy
+from repro.vm.isa import OpClass
+from repro.workloads.suite import SUITE, get_kernel, suite_names
+from repro.workloads.common import random_cycle
+from repro.util.rng import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {spec.name: spec.generate(6000) for spec in SUITE}
+
+
+class TestSuiteRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(SUITE) == 12
+
+    def test_paper_names(self):
+        assert suite_names() == [
+            "bzip2", "crafty", "eon", "gap", "gcc", "gzip",
+            "mcf", "parser", "perl", "twolf", "vortex", "vpr",
+        ]
+
+    def test_lookup(self):
+        assert get_kernel("vpr").name == "vpr"
+        with pytest.raises(KeyError):
+            get_kernel("specfp")
+
+
+class TestAllKernelsRun:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_generates_requested_length(self, traces, name):
+        assert len(traces[name]) == 6000
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_deterministic_per_seed(self, name):
+        spec = get_kernel(name)
+        a = spec.generate(500, seed=3)
+        b = spec.generate(500, seed=3)
+        assert [(t.pc, t.taken, t.mem_addr) for t in a] == [
+            (t.pc, t.taken, t.mem_addr) for t in b
+        ]
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_steady_state_loops(self, traces, name):
+        # Kernels are infinite outer loops: the trace must never halt early.
+        assert all(t.opcode != "halt" for t in traces[name])
+
+
+class TestKernelCharacter:
+    def test_gzip_is_serial(self, traces):
+        # Low ILP: the hash-chain spine serializes execution.
+        from repro.core.config import monolithic_machine
+        from repro.core.simulator import ClusteredSimulator
+
+        result = ClusteredSimulator(
+            monolithic_machine(), max_cycles=1_000_000
+        ).run(traces["gzip"][:3000])
+        assert result.ipc < 3.0
+
+    def test_vortex_is_high_ilp(self, traces):
+        from repro.core.config import monolithic_machine
+        from repro.core.simulator import ClusteredSimulator
+
+        result = ClusteredSimulator(
+            monolithic_machine(), max_cycles=1_000_000
+        ).run(traces["vortex"][:3000])
+        assert result.ipc > 4.0
+
+    def test_mcf_misses_the_l1(self, traces):
+        memory = MemoryHierarchy()
+        misses = 0
+        loads = 0
+        for t in traces["mcf"]:
+            if t.is_load:
+                loads += 1
+                if memory.load_latency(t.mem_addr) > 2:
+                    misses += 1
+        assert misses / loads > 0.3
+
+    def test_bzip2_has_convergent_dyadics(self, traces):
+        xors = [t for t in traces["bzip2"] if t.opcode == "xor"]
+        assert xors and all(len(t.srcs) == 2 for t in xors)
+
+    def test_mispredict_rates_spread(self, traces):
+        rates = {}
+        for name, trace in traces.items():
+            missed = annotate_mispredictions(trace, GshareBranchPredictor())
+            rates[name] = len(missed) / len(trace)
+        assert rates["mcf"] < 0.005  # predictable
+        assert rates["gcc"] > 0.02  # branchy
+        assert max(rates.values()) > 5 * (min(rates.values()) + 1e-4)
+
+    def test_eon_uses_fp(self, traces):
+        fp = sum(1 for t in traces["eon"] if t.opclass is OpClass.FP)
+        assert fp / len(traces["eon"]) > 0.2
+
+    def test_vpr_spine_and_rib_share_source(self, traces):
+        # Figure 7: the rib head and spine step both consume the cursor.
+        loads = [t for t in traces["vpr"] if t.is_load]
+        pcs = {t.pc for t in loads}
+        assert len(pcs) == 2  # the 'a' and 'b' loads
+
+
+class TestRandomCycle:
+    def test_forms_single_cycle(self):
+        rng = seeded_rng("cycle-test")
+        nodes = list(range(10, 40))
+        links = random_cycle(rng, nodes)
+        seen = set()
+        here = nodes[0]
+        for __ in nodes:
+            seen.add(here)
+            here = links[here]
+        assert seen == set(nodes)
+        assert here == nodes[0]
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            random_cycle(seeded_rng("x"), [1])
