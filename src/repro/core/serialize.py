@@ -1,0 +1,271 @@
+"""Exact JSON serialization of :class:`SimulationResult`.
+
+The persistent run cache (:mod:`repro.experiments.cache`) and the
+parallel-vs-serial determinism tests both need a lossless, canonical
+representation of everything a run produced: the machine configuration,
+every per-instruction :class:`~repro.core.instruction.InFlight` record
+(including its event provenance enums and its consumer back-references),
+the misprediction set and the optional ILP profile.
+
+The representation is plain JSON types only, so ``result_to_dict(a) ==
+result_to_dict(b)`` is the definition of "bit-identical results" used by
+the test suite, and ``result_from_dict(result_to_dict(r))`` reproduces a
+result whose every derived statistic (CPI, breakdowns, event
+classifications) matches the original exactly.
+
+Cross-record references (``InFlight.waiters``) are serialized as trace
+indices and re-linked on load, so the reconstructed record graph has the
+same shape as the live one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import ClusterConfig, MachineConfig
+from repro.core.instruction import (
+    CommitReason,
+    DispatchReason,
+    InFlight,
+    SteerCause,
+)
+from repro.core.rename import Dependences
+from repro.core.results import IlpProfile, SimulationResult
+from repro.frontend.fetch import FrontEndConfig
+from repro.memory.cache import CacheConfig, MemoryConfig
+from repro.vm.isa import OpClass
+from repro.vm.trace import DynamicInstruction
+
+# ---------------------------------------------------------------------------
+# Machine configuration
+# ---------------------------------------------------------------------------
+
+
+def config_to_dict(config: MachineConfig) -> dict[str, Any]:
+    """Flatten a :class:`MachineConfig` tree into JSON types."""
+    memory = config.memory
+    return {
+        "num_clusters": config.num_clusters,
+        "cluster": {
+            "issue_width": config.cluster.issue_width,
+            "int_ports": config.cluster.int_ports,
+            "fp_ports": config.cluster.fp_ports,
+            "mem_ports": config.cluster.mem_ports,
+            "window_size": config.cluster.window_size,
+        },
+        "rob_size": config.rob_size,
+        "dispatch_width": config.dispatch_width,
+        "commit_width": config.commit_width,
+        "forwarding_latency": config.forwarding_latency,
+        "forwarding_bandwidth": config.forwarding_bandwidth,
+        "frontend": {
+            "width": config.frontend.width,
+            "depth_to_dispatch": config.frontend.depth_to_dispatch,
+            "buffer_size": config.frontend.buffer_size,
+            "break_on_taken_branch": config.frontend.break_on_taken_branch,
+        },
+        "memory": {
+            "l1": _cache_config_to_dict(memory.l1),
+            "l2_latency": memory.l2_latency,
+            "l2": _cache_config_to_dict(memory.l2) if memory.l2 else None,
+            "memory_latency": memory.memory_latency,
+        },
+    }
+
+
+def config_from_dict(data: dict[str, Any]) -> MachineConfig:
+    """Inverse of :func:`config_to_dict`."""
+    memory = data["memory"]
+    return MachineConfig(
+        num_clusters=data["num_clusters"],
+        cluster=ClusterConfig(**data["cluster"]),
+        rob_size=data["rob_size"],
+        dispatch_width=data["dispatch_width"],
+        commit_width=data["commit_width"],
+        forwarding_latency=data["forwarding_latency"],
+        forwarding_bandwidth=data["forwarding_bandwidth"],
+        frontend=FrontEndConfig(**data["frontend"]),
+        memory=MemoryConfig(
+            l1=CacheConfig(**memory["l1"]),
+            l2_latency=memory["l2_latency"],
+            l2=CacheConfig(**memory["l2"]) if memory["l2"] else None,
+            memory_latency=memory["memory_latency"],
+        ),
+    )
+
+
+def _cache_config_to_dict(cache: CacheConfig) -> dict[str, Any]:
+    return {
+        "size_bytes": cache.size_bytes,
+        "associativity": cache.associativity,
+        "line_bytes": cache.line_bytes,
+        "hit_latency": cache.hit_latency,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Per-instruction records
+# ---------------------------------------------------------------------------
+
+
+def _instr_to_dict(instr: DynamicInstruction) -> dict[str, Any]:
+    return {
+        "index": instr.index,
+        "pc": instr.pc,
+        "opcode": instr.opcode,
+        "opclass": instr.opclass.name,
+        "dest": instr.dest,
+        "srcs": list(instr.srcs),
+        "is_branch": instr.is_branch,
+        "is_conditional_branch": instr.is_conditional_branch,
+        "taken": instr.taken,
+        "next_pc": instr.next_pc,
+        "mem_addr": instr.mem_addr,
+    }
+
+
+def _instr_from_dict(data: dict[str, Any]) -> DynamicInstruction:
+    return DynamicInstruction(
+        index=data["index"],
+        pc=data["pc"],
+        opcode=data["opcode"],
+        opclass=OpClass[data["opclass"]],
+        dest=data["dest"],
+        srcs=tuple(data["srcs"]),
+        is_branch=data["is_branch"],
+        is_conditional_branch=data["is_conditional_branch"],
+        taken=data["taken"],
+        next_pc=data["next_pc"],
+        mem_addr=data["mem_addr"],
+    )
+
+
+def record_to_dict(record: InFlight) -> dict[str, Any]:
+    """One :class:`InFlight` as JSON types; ``waiters`` become indices."""
+    return {
+        "instr": _instr_to_dict(record.instr),
+        "deps": {
+            "reg_deps": list(record.deps.reg_deps),
+            "mem_dep": record.deps.mem_dep,
+        },
+        "cluster": record.cluster,
+        "dispatch_time": record.dispatch_time,
+        "ready_time": record.ready_time,
+        "issue_time": record.issue_time,
+        "complete_time": record.complete_time,
+        "commit_time": record.commit_time,
+        "pending_deps": record.pending_deps,
+        "operand_avail": record.operand_avail,
+        "last_arriving_producer": record.last_arriving_producer,
+        "critical_operand_forwarded": record.critical_operand_forwarded,
+        "mem_latency_extra": record.mem_latency_extra,
+        "latency": record.latency,
+        "predicted_critical": record.predicted_critical,
+        "loc": record.loc,
+        "dispatch_reason": record.dispatch_reason.name,
+        "dispatch_pred": record.dispatch_pred,
+        "steer_cause": record.steer_cause.name,
+        "commit_reason": record.commit_reason.name,
+        "waiters": [w.index for w in record.waiters],
+        # JSON object keys are strings; cluster ids convert back on load.
+        "forwarded_to_clusters": {
+            str(c): t for c, t in record.forwarded_to_clusters.items()
+        },
+    }
+
+
+def _record_from_dict(data: dict[str, Any]) -> InFlight:
+    """Rebuild one record; ``waiters`` are linked by the caller."""
+    deps = Dependences(
+        reg_deps=tuple(data["deps"]["reg_deps"]), mem_dep=data["deps"]["mem_dep"]
+    )
+    record = InFlight(_instr_from_dict(data["instr"]), deps)
+    record.cluster = data["cluster"]
+    record.dispatch_time = data["dispatch_time"]
+    record.ready_time = data["ready_time"]
+    record.issue_time = data["issue_time"]
+    record.complete_time = data["complete_time"]
+    record.commit_time = data["commit_time"]
+    record.pending_deps = data["pending_deps"]
+    record.operand_avail = data["operand_avail"]
+    record.last_arriving_producer = data["last_arriving_producer"]
+    record.critical_operand_forwarded = data["critical_operand_forwarded"]
+    record.mem_latency_extra = data["mem_latency_extra"]
+    record.latency = data["latency"]
+    record.predicted_critical = data["predicted_critical"]
+    record.loc = data["loc"]
+    record.dispatch_reason = DispatchReason[data["dispatch_reason"]]
+    record.dispatch_pred = data["dispatch_pred"]
+    record.steer_cause = SteerCause[data["steer_cause"]]
+    record.commit_reason = CommitReason[data["commit_reason"]]
+    record.forwarded_to_clusters = {
+        int(c): t for c, t in data["forwarded_to_clusters"].items()
+    }
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Whole results
+# ---------------------------------------------------------------------------
+
+
+def result_to_dict(result: SimulationResult) -> dict[str, Any]:
+    """Lossless JSON-type representation of a run."""
+    ilp = result.ilp_profile
+    return {
+        "config": config_to_dict(result.config),
+        "records": [record_to_dict(r) for r in result.records],
+        "cycles": result.cycles,
+        "mispredicted": sorted(result.mispredicted),
+        "global_values": result.global_values,
+        "l1_hits": result.l1_hits,
+        "l1_misses": result.l1_misses,
+        "ilp_profile": None
+        if ilp is None
+        else {
+            "issued_sum": {str(k): v for k, v in sorted(ilp.issued_sum.items())},
+            "cycle_count": {str(k): v for k, v in sorted(ilp.cycle_count.items())},
+        },
+        "steering_name": result.steering_name,
+        "scheduler_name": result.scheduler_name,
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`, re-linking consumer references."""
+    records = [_record_from_dict(r) for r in data["records"]]
+    by_index = {record.index: record for record in records}
+    for record, raw in zip(records, data["records"]):
+        record.waiters = [by_index[i] for i in raw["waiters"]]
+    ilp = None
+    if data["ilp_profile"] is not None:
+        ilp = IlpProfile(
+            issued_sum={
+                int(k): v for k, v in data["ilp_profile"]["issued_sum"].items()
+            },
+            cycle_count={
+                int(k): v for k, v in data["ilp_profile"]["cycle_count"].items()
+            },
+        )
+    return SimulationResult(
+        config=config_from_dict(data["config"]),
+        records=records,
+        cycles=data["cycles"],
+        mispredicted=frozenset(data["mispredicted"]),
+        global_values=data["global_values"],
+        l1_hits=data["l1_hits"],
+        l1_misses=data["l1_misses"],
+        ilp_profile=ilp,
+        steering_name=data["steering_name"],
+        scheduler_name=data["scheduler_name"],
+    )
+
+
+def results_identical(a: SimulationResult, b: SimulationResult) -> bool:
+    """Whether two runs produced bit-identical results.
+
+    Compares the canonical JSON forms, so every timing field, provenance
+    enum, waiter edge and counter must match -- the invariant the parallel
+    execution layer guarantees relative to serial execution.
+    """
+    return result_to_dict(a) == result_to_dict(b)

@@ -1,6 +1,7 @@
 """Experiment harness: one module per reproduced figure or in-text claim."""
 
 from repro.experiments.aggregate import average_figures, run_seeded
+from repro.experiments.cache import RunCache, default_cache_dir, job_key
 from repro.experiments.fig02 import run_figure2
 from repro.experiments.fig04 import run_figure4
 from repro.experiments.fig05 import run_figure5
@@ -12,10 +13,12 @@ from repro.experiments.figure import FigureData
 from repro.experiments.harness import (
     DEFAULT_INSTRUCTIONS,
     POLICY_NAMES,
+    ParallelWorkbench,
     PreparedWorkload,
     Workbench,
     build_policy,
 )
+from repro.experiments.parallel import RunJob, execute_job, execute_jobs
 from repro.experiments.intext import (
     run_consumer_stats,
     run_global_values,
@@ -43,9 +46,16 @@ __all__ = [
     "EXPERIMENTS",
     "FigureData",
     "POLICY_NAMES",
+    "ParallelWorkbench",
     "PreparedWorkload",
+    "RunCache",
+    "RunJob",
     "Workbench",
     "build_policy",
+    "default_cache_dir",
+    "execute_job",
+    "execute_jobs",
+    "job_key",
     "run_consumer_stats",
     "run_figure14",
     "run_figure15",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Sequence
 
+from repro.experiments.cache import RunCache
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 
@@ -21,6 +22,8 @@ def run_seeded(
     seeds: Sequence[int] = (0, 1, 2),
     instructions: int = 8000,
     benchmarks=None,
+    workers: int = 0,
+    cache: RunCache | None = None,
     **workbench_kwargs,
 ) -> FigureData:
     """Run ``experiment`` once per seed and average the numeric cells.
@@ -29,6 +32,11 @@ def run_seeded(
     structure since only workload data changes).  Non-numeric cells must
     agree across seeds.  The returned figure carries a per-column
     max-spread note.
+
+    Seeds are embarrassingly parallel: with ``workers`` > 1, each seed's
+    workbench fans its simulations out over a process pool (via the
+    experiment's prefetch plan), and a shared ``cache`` persists every
+    seed's runs across invocations.
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -38,6 +46,8 @@ def run_seeded(
             instructions=instructions,
             seed=seed,
             benchmarks=benchmarks,
+            workers=workers,
+            cache=cache,
             **workbench_kwargs,
         )
         figures.append(experiment(bench))
@@ -47,13 +57,26 @@ def run_seeded(
 def average_figures(
     figures: Sequence[FigureData], seeds: Sequence[int]
 ) -> FigureData:
-    """Cell-wise average of structurally identical figures."""
+    """Cell-wise average of structurally compatible figures.
+
+    Rows are matched positionally when every seed produced the same row
+    count.  Figures whose row *sets* legitimately differ across seeds
+    (e.g. Figure 15's available-ILP bins, which depend on the workload
+    data) are aligned by row label instead; a row missing from some seeds
+    is averaged over the seeds that have it.
+    """
     first = figures[0]
     for other in figures[1:]:
-        if len(other.rows) != len(first.rows) or list(other.headers) != list(
-            first.headers
-        ):
-            raise ValueError("figures have different structure across seeds")
+        if list(other.headers) != list(first.headers):
+            raise ValueError("figures have different headers across seeds")
+
+    if all(len(fig.rows) == len(first.rows) for fig in figures):
+        row_groups = [
+            [fig.rows[row_index] for fig in figures]
+            for row_index in range(len(first.rows))
+        ]
+    else:
+        row_groups = _align_rows_by_label(figures)
 
     merged = FigureData(
         figure_id=first.figure_id,
@@ -62,10 +85,10 @@ def average_figures(
         notes=list(first.notes),
     )
     worst_spread = 0.0
-    for row_index in range(len(first.rows)):
+    for rows in row_groups:
         cells = []
         for col_index in range(len(first.headers)):
-            values = [fig.rows[row_index][col_index] for fig in figures]
+            values = [row[col_index] for row in rows]
             if all(isinstance(v, (int, float)) and not isinstance(v, bool)
                    for v in values):
                 finite = [v for v in values if not math.isnan(v)]
@@ -86,3 +109,25 @@ def average_figures(
         f"seeds {list(seeds)}; worst per-cell spread {worst_spread:.4f}"
     )
     return merged
+
+
+def _align_rows_by_label(
+    figures: Sequence[FigureData],
+) -> list[list[Sequence[object]]]:
+    """Group rows by first-cell label, in first-seen order across seeds."""
+    for fig in figures:
+        labels = [row[0] for row in fig.rows]
+        if len(set(labels)) != len(labels):
+            raise ValueError(
+                "figures have different structure across seeds and "
+                "row labels are not unique enough to align them"
+            )
+    order: list[object] = []
+    groups: dict[object, list[Sequence[object]]] = {}
+    for fig in figures:
+        for row in fig.rows:
+            if row[0] not in groups:
+                order.append(row[0])
+                groups[row[0]] = []
+            groups[row[0]].append(row)
+    return [groups[label] for label in order]

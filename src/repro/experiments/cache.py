@@ -1,0 +1,148 @@
+"""Persistent, content-addressed cache of simulation results.
+
+Every simulation is fully determined by its :class:`~repro.experiments.
+parallel.RunJob` -- kernel name, instruction count, workload seed, LoC
+predictor mode, machine configuration, policy, ILP collection and the
+warm-up flag.  The cache keys on a SHA-256 hash of the canonical JSON of
+all of those fields plus :data:`CACHE_SCHEMA_VERSION`, a salt bumped
+whenever a code change legitimately alters simulation output (simulator
+timing, policy behaviour, trace generation, or the serialization schema).
+Stale entries from older salts are simply never looked up again.
+
+Entries are gzipped JSON files (one per run) under ``~/.cache/repro`` by
+default, overridable with ``--cache-dir`` / ``REPRO_CACHE_DIR`` /
+``XDG_CACHE_HOME``.  Writes go through a temp file and ``os.replace`` so
+concurrent workers and concurrent experiment invocations can share a
+cache directory safely; a corrupt or truncated entry is treated as a
+miss and overwritten.
+
+The cache counts its ``hits`` / ``misses`` / ``stores`` so callers (the
+CLI prints them) can verify that a warm-cache invocation re-executed
+zero simulations.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import TYPE_CHECKING
+
+from repro.core.results import SimulationResult
+from repro.core.serialize import config_to_dict, result_from_dict, result_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness -> parallel)
+    from repro.experiments.parallel import RunJob
+
+# Bump whenever simulation output legitimately changes (timing model,
+# policies, trace generation, serialization schema): old entries must not
+# satisfy new lookups.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+def job_key(job: RunJob) -> str:
+    """Stable content hash of everything that determines a run's output."""
+    payload = {
+        "version": CACHE_SCHEMA_VERSION,
+        "kernel": job.kernel,
+        "instructions": job.instructions,
+        "seed": job.seed,
+        "loc_mode": job.loc_mode,
+        "config": config_to_dict(job.config),
+        "policy": job.policy,
+        "collect_ilp": job.collect_ilp,
+        "warm": job.warm,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """On-disk store of :class:`SimulationResult`\\ s, keyed by :func:`job_key`."""
+
+    def __init__(self, root: pathlib.Path | str | None = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Entry location (two-level fan-out keeps directories small)."""
+        return self.root / key[:2] / f"{key}.json.gz"
+
+    # ------------------------------------------------------------------
+    def load(self, job: RunJob) -> SimulationResult | None:
+        """Return the cached result for ``job``, or None (counting hit/miss)."""
+        path = self.path_for(job_key(job))
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = result_from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, EOFError):
+            # Corrupt or truncated entry (e.g. interrupted writer on a
+            # pre-atomic-rename filesystem): treat as a miss, let the
+            # fresh result overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, job: RunJob, result: SimulationResult) -> None:
+        """Persist ``result`` atomically under ``job``'s key."""
+        key = job_key(job)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "job": {
+                "kernel": job.kernel,
+                "instructions": job.instructions,
+                "seed": job.seed,
+                "loc_mode": job.loc_mode,
+                "policy": job.policy,
+                "collect_ilp": job.collect_ilp,
+                "warm": job.warm,
+            },
+            "result": result_to_dict(result),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                with gzip.open(raw, "wt", encoding="utf-8") as handle:
+                    json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def contains(self, job: RunJob) -> bool:
+        """Whether an entry exists on disk (does not count as a hit/miss)."""
+        return self.path_for(job_key(job)).exists()
+
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot, for CLI reporting and tests."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

@@ -17,8 +17,17 @@ from repro.idealized.list_scheduler import list_schedule
 CLUSTER_COUNTS = (2, 4, 8)
 
 
+def plan_figure2(bench: Workbench, forwarding_latency: int = 2):
+    """The simulator runs Figure 2 needs (list scheduling stays in-process)."""
+    return [
+        bench.job(spec, monolithic_machine(), "dependence")
+        for spec in bench.benchmarks
+    ]
+
+
 def run_figure2(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
     """Reproduce Figure 2 rows (one per benchmark, plus the average)."""
+    bench.prefetch(plan_figure2(bench, forwarding_latency))
     figure = FigureData(
         figure_id="Figure 2",
         title="Idealized list scheduling (normalized CPI vs 1x8w)",

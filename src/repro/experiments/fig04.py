@@ -9,14 +9,28 @@ order of magnitude worse than the idealized potential.
 
 from __future__ import annotations
 
+from repro.core.config import monolithic_machine
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 
 CLUSTER_COUNTS = (2, 4, 8)
 
 
+def plan_figure4(bench: Workbench, forwarding_latency: int = 2):
+    """The runs Figure 4 needs, for parallel prefetch."""
+    jobs = []
+    for spec in bench.benchmarks:
+        jobs.append(bench.job(spec, monolithic_machine(), "focused"))
+        for count in CLUSTER_COUNTS:
+            jobs.append(
+                bench.job(spec, bench.clustered(count, forwarding_latency), "focused")
+            )
+    return jobs
+
+
 def run_figure4(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
     """Reproduce Figure 4 rows (one per benchmark, plus the average)."""
+    bench.prefetch(plan_figure4(bench, forwarding_latency))
     figure = FigureData(
         figure_id="Figure 4",
         title="Focused steering and scheduling (normalized CPI vs 1x8w)",

@@ -17,8 +17,23 @@ from repro.experiments.harness import Workbench
 CONFIG_LABELS = (1, 2, 4, 8)
 
 
+def plan_figure5(bench: Workbench, forwarding_latency: int = 2):
+    """The runs Figure 5 needs, for parallel prefetch."""
+    jobs = []
+    for spec in bench.benchmarks:
+        for label in CONFIG_LABELS:
+            config = (
+                monolithic_machine()
+                if label == 1
+                else bench.clustered(label, forwarding_latency)
+            )
+            jobs.append(bench.job(spec, config, "focused"))
+    return jobs
+
+
 def run_figure5(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
     """Reproduce Figure 5: one row per (benchmark, cluster count)."""
+    bench.prefetch(plan_figure5(bench, forwarding_latency))
     figure = FigureData(
         figure_id="Figure 5",
         title="Critical path breakdown, focused steering (normalized CPI)",

@@ -23,8 +23,18 @@ from repro.experiments.harness import Workbench
 CLUSTER_COUNTS = (2, 4, 8)
 
 
+def plan_figure6(bench: Workbench, forwarding_latency: int = 2):
+    """The runs Figure 6 needs, for parallel prefetch."""
+    return [
+        bench.job(spec, bench.clustered(count, forwarding_latency), "focused")
+        for spec in bench.benchmarks
+        for count in CLUSTER_COUNTS
+    ]
+
+
 def run_figure6(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
     """Reproduce Figures 6(a) and 6(b) for the focused policy."""
+    bench.prefetch(plan_figure6(bench, forwarding_latency))
     figure = FigureData(
         figure_id="Figure 6",
         title="Critical-path stall events per 10k instructions (focused)",

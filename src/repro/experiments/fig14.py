@@ -22,8 +22,21 @@ from repro.experiments.harness import Workbench
 BARS_BY_CLUSTER = {2: ("focused", "l", "s"), 4: ("focused", "l", "s"), 8: ("focused", "l", "s", "p")}
 
 
+def plan_figure14(bench: Workbench, forwarding_latency: int = 2):
+    """The runs Figure 14 needs, for parallel prefetch."""
+    jobs = []
+    for spec in bench.benchmarks:
+        jobs.append(bench.job(spec, monolithic_machine(), "l"))
+        for cluster_count, policies in BARS_BY_CLUSTER.items():
+            config = bench.clustered(cluster_count, forwarding_latency)
+            for policy in policies:
+                jobs.append(bench.job(spec, config, policy))
+    return jobs
+
+
 def run_figure14(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
     """Reproduce Figure 14: one row per (benchmark, clusters, policy)."""
+    bench.prefetch(plan_figure14(bench, forwarding_latency))
     figure = FigureData(
         figure_id="Figure 14",
         title="Proposed policies (normalized CPI vs 1x8w with LoC scheduling)",

@@ -16,6 +16,17 @@ from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 
 
+def plan_figure15(
+    bench: Workbench, policy: str = "p", forwarding_latency: int = 2
+):
+    """The runs Figure 15 needs, for parallel prefetch."""
+    config = bench.clustered(8, forwarding_latency)
+    return [
+        bench.job(spec, config, policy, collect_ilp=True)
+        for spec in bench.benchmarks
+    ]
+
+
 def run_figure15(
     bench: Workbench,
     policy: str = "p",
@@ -23,6 +34,7 @@ def run_figure15(
     forwarding_latency: int = 2,
 ) -> FigureData:
     """Reproduce Figure 15 for the 8x1w machine under ``policy``."""
+    bench.prefetch(plan_figure15(bench, policy, forwarding_latency))
     profiles = []
     config = bench.clustered(8, forwarding_latency)
     for spec in bench.benchmarks:

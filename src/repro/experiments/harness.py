@@ -9,6 +9,20 @@ the measurement run continues training from the warm state (Section 2.1
 "after warming up the branch predictor and cache"; the criticality predictor
 warms the same way).
 
+Runs are cached at two levels:
+
+* an **in-memory** cache keyed by (kernel, config, policy, collect_ilp,
+  warm) for the lifetime of the workbench;
+* an optional **persistent** :class:`~repro.experiments.cache.RunCache`
+  shared across processes and invocations, keyed by a content hash of the
+  full :class:`~repro.experiments.parallel.RunJob`.
+
+Independent runs can be fanned out over worker processes with
+:meth:`Workbench.prefetch` (each figure module publishes a ``plan_*``
+enumerating the runs it needs); serial and parallel execution produce
+bit-identical results because both go through
+:func:`repro.experiments.parallel.execute_job`.
+
 Policy names (matching Figure 14's bar labels):
 
 * ``dependence`` -- dependence-based steering, oldest-first scheduling
@@ -21,48 +35,45 @@ Policy names (matching Figure 14's bar labels):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.core.config import MachineConfig, clustered_machine, monolithic_machine
-from repro.core.rename import Dependences, extract_dependences
 from repro.core.results import SimulationResult
 from repro.core.scheduling.policies import (
     CriticalFirstScheduler,
     LocScheduler,
     OldestFirstScheduler,
 )
-from repro.core.simulator import ClusteredSimulator
 from repro.core.steering.dependence import (
     CriticalitySteering,
     CriticalitySteeringConfig,
     DependenceSteering,
 )
-from repro.criticality.loc import LocPredictor, PredictorSuite
-from repro.criticality.trainer import ChunkedCriticalityTrainer
-from repro.frontend.branch_predictor import (
-    GshareBranchPredictor,
-    annotate_mispredictions,
+from repro.experiments.cache import RunCache
+from repro.experiments.parallel import (
+    PreparedWorkload,
+    RunJob,
+    dedupe_jobs,
+    default_workers,
+    execute_job,
+    execute_jobs,
+    prepare_workload,
 )
-from repro.vm.trace import DynamicInstruction
 from repro.workloads.common import KernelSpec
 from repro.workloads.suite import SUITE
+
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "POLICY_NAMES",
+    "ParallelWorkbench",
+    "PreparedWorkload",
+    "Workbench",
+    "build_policy",
+]
 
 POLICY_NAMES = ("dependence", "focused", "l", "s", "p")
 
 DEFAULT_INSTRUCTIONS = 12_000
-# A generous bound: no sane run needs more cycles than ~20 per instruction.
-_MAX_CPI_GUARD = 64
-
-
-@dataclass(frozen=True)
-class PreparedWorkload:
-    """A trace with its configuration-independent annotations."""
-
-    name: str
-    trace: tuple[DynamicInstruction, ...]
-    dependences: tuple[Dependences, ...]
-    mispredicted: frozenset[int]
 
 
 def build_policy(name: str):
@@ -91,7 +102,15 @@ def build_policy(name: str):
 
 
 class Workbench:
-    """Caches prepared workloads and canonical runs for one experiment pass."""
+    """Caches prepared workloads and canonical runs for one experiment pass.
+
+    ``workers`` > 1 lets :meth:`prefetch` fan independent runs out over a
+    process pool; ``cache`` adds a persistent on-disk result store shared
+    across workbenches and invocations.  ``simulations_run`` counts the
+    simulations this workbench actually executed (cache hits excluded),
+    which is how the CLI and the tests verify that a warm cache re-executes
+    nothing.
+    """
 
     def __init__(
         self,
@@ -99,6 +118,8 @@ class Workbench:
         seed: int = 0,
         benchmarks: Sequence[KernelSpec] | None = None,
         loc_mode: str = "probabilistic",
+        workers: int = 0,
+        cache: RunCache | None = None,
     ):
         if instructions <= 0:
             raise ValueError("instructions must be positive")
@@ -106,6 +127,9 @@ class Workbench:
         self.seed = seed
         self.benchmarks = tuple(benchmarks if benchmarks is not None else SUITE)
         self.loc_mode = loc_mode
+        self.workers = workers
+        self.cache = cache
+        self.simulations_run = 0
         self._prepared: dict[str, PreparedWorkload] = {}
         self._run_cache: dict[tuple, SimulationResult] = {}
 
@@ -115,16 +139,39 @@ class Workbench:
         cached = self._prepared.get(spec.name)
         if cached is not None:
             return cached
-        trace = tuple(spec.generate(self.instructions, seed=self.seed))
-        dependences = tuple(extract_dependences(trace))
-        mispredicted = frozenset(
-            annotate_mispredictions(trace, GshareBranchPredictor())
-        )
-        prepared = PreparedWorkload(spec.name, trace, dependences, mispredicted)
+        prepared = prepare_workload(spec.name, self.instructions, self.seed)
         self._prepared[spec.name] = prepared
         return prepared
 
     # ------------------------------------------------------------------
+    def job(
+        self,
+        spec: KernelSpec,
+        config: MachineConfig,
+        policy: str,
+        collect_ilp: bool = False,
+        warm: bool = True,
+    ) -> RunJob:
+        """The picklable job describing one run of this workbench."""
+        return RunJob(
+            kernel=spec.name,
+            instructions=self.instructions,
+            seed=self.seed,
+            loc_mode=self.loc_mode,
+            config=config,
+            policy=policy,
+            collect_ilp=collect_ilp,
+            warm=warm,
+        )
+
+    @staticmethod
+    def _memory_key(job: RunJob) -> tuple:
+        # MachineConfig is a frozen dataclass tree, so the full config can
+        # key the cache -- two configs differing only in, say, forwarding
+        # bandwidth or memory hierarchy must not collide.  ``warm`` is part
+        # of the key: a cold run must never be satisfied by a warm result.
+        return (job.kernel, job.config, job.policy, job.collect_ilp, job.warm)
+
     def run(
         self,
         spec: KernelSpec,
@@ -134,18 +181,55 @@ class Workbench:
         warm: bool = True,
     ) -> SimulationResult:
         """Run ``spec`` on ``config`` under ``policy`` (cached)."""
-        # MachineConfig is a frozen dataclass tree, so the full config can
-        # key the cache -- two configs differing only in, say, forwarding
-        # bandwidth or memory hierarchy must not collide.
-        key = (spec.name, config, policy, collect_ilp)
+        job = self.job(spec, config, policy, collect_ilp, warm)
+        key = self._memory_key(job)
         cached = self._run_cache.get(key)
         if cached is not None:
             return cached
-        prepared = self.prepare(spec)
-        result = self._run_once(prepared, config, policy, collect_ilp, warm)
+        if self.cache is not None:
+            loaded = self.cache.load(job)
+            if loaded is not None:
+                self._run_cache[key] = loaded
+                return loaded
+        result = execute_job(job, self.prepare(spec))
+        self.simulations_run += 1
+        if self.cache is not None:
+            self.cache.store(job, result)
         self._run_cache[key] = result
         return result
 
+    # ------------------------------------------------------------------
+    def prefetch(self, jobs: Iterable[RunJob]) -> int:
+        """Materialize ``jobs`` into the caches, fanning out over workers.
+
+        Already-cached jobs (memory or disk) are skipped; the rest run on
+        a process pool when ``workers`` > 1, serially otherwise.  Returns
+        the number of simulations actually executed.  After a prefetch,
+        the matching :meth:`run` calls are cache hits, so figure code can
+        stay serial while the heavy lifting happens in parallel.
+        """
+        pending: list[RunJob] = []
+        for job in dedupe_jobs(jobs):
+            key = self._memory_key(job)
+            if key in self._run_cache:
+                continue
+            if self.cache is not None:
+                loaded = self.cache.load(job)
+                if loaded is not None:
+                    self._run_cache[key] = loaded
+                    continue
+            pending.append(job)
+        if not pending:
+            return 0
+        results = execute_jobs(pending, self.workers)
+        self.simulations_run += len(pending)
+        for job, result in zip(pending, results):
+            if self.cache is not None:
+                self.cache.store(job, result)
+            self._run_cache[self._memory_key(job)] = result
+        return len(pending)
+
+    # ------------------------------------------------------------------
     def monolithic_baseline(self, spec: KernelSpec, policy: str = "l") -> SimulationResult:
         """The 1x8w run results are normalized against."""
         return self.run(spec, monolithic_machine(), policy)
@@ -154,45 +238,11 @@ class Workbench:
         """Convenience passthrough."""
         return clustered_machine(num_clusters, forwarding_latency=forwarding_latency)
 
-    # ------------------------------------------------------------------
-    def _run_once(
-        self,
-        prepared: PreparedWorkload,
-        config: MachineConfig,
-        policy: str,
-        collect_ilp: bool,
-        warm: bool,
-    ) -> SimulationResult:
-        max_cycles = _MAX_CPI_GUARD * len(prepared.trace) + 10_000
-        steering, scheduler, needs_predictors = build_policy(policy)
-        suite = None
-        trainer = None
-        if needs_predictors:
-            suite = PredictorSuite(
-                loc_predictor=LocPredictor(mode=self.loc_mode, seed=self.seed)
-            )
-            trainer = ChunkedCriticalityTrainer(suite)
-            if warm:
-                warm_sim = ClusteredSimulator(
-                    config,
-                    steering=steering,
-                    scheduler=scheduler,
-                    predictors=suite,
-                    trainer=trainer,
-                    max_cycles=max_cycles,
-                )
-                warm_sim.run(
-                    prepared.trace, prepared.dependences, prepared.mispredicted
-                )
-                # Fresh policy state for the measured run; predictors stay warm.
-                steering, scheduler, __ = build_policy(policy)
-        sim = ClusteredSimulator(
-            config,
-            steering=steering,
-            scheduler=scheduler,
-            predictors=suite,
-            trainer=trainer,
-            collect_ilp=collect_ilp,
-            max_cycles=max_cycles,
-        )
-        return sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+
+class ParallelWorkbench(Workbench):
+    """A :class:`Workbench` that defaults to one worker per CPU core."""
+
+    def __init__(self, *args, workers: int | None = None, **kwargs):
+        if workers is None:
+            workers = default_workers()
+        super().__init__(*args, workers=workers, **kwargs)

@@ -26,8 +26,20 @@ CLUSTER_COUNTS = (2, 4, 8)
 _BEST_POLICY = {2: "s", 4: "s", 8: "p"}
 
 
+def plan_global_values(bench: Workbench, forwarding_latency: int = 2):
+    """The runs the Section 2.1 claim needs, for parallel prefetch."""
+    jobs = []
+    for count in CLUSTER_COUNTS:
+        config = bench.clustered(count, forwarding_latency)
+        for spec in bench.benchmarks:
+            jobs.append(bench.job(spec, config, _BEST_POLICY[count]))
+            jobs.append(bench.job(spec, config, "focused"))
+    return jobs
+
+
 def run_global_values(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
     """Section 2.1: cross-cluster values per instruction, ours vs focused."""
+    bench.prefetch(plan_global_values(bench, forwarding_latency))
     figure = FigureData(
         figure_id="Section 2.1",
         title="Global values per instruction (suite average)",
@@ -48,8 +60,16 @@ def run_global_values(bench: Workbench, forwarding_latency: int = 2) -> FigureDa
     return figure
 
 
+def plan_loc_priority_study(bench: Workbench, forwarding_latency: int = 2):
+    """The simulator runs the Section 4 study needs (list scheduling is local)."""
+    return [
+        bench.job(spec, monolithic_machine(), "focused") for spec in bench.benchmarks
+    ]
+
+
 def run_loc_priority_study(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
     """Section 4: idealized scheduling with exact vs LoC vs binary priority."""
+    bench.prefetch(plan_loc_priority_study(bench, forwarding_latency))
     figure = FigureData(
         figure_id="Section 4",
         title="Idealized scheduler priority ablation (avg normalized CPI)",
@@ -94,8 +114,16 @@ def run_loc_priority_study(bench: Workbench, forwarding_latency: int = 2) -> Fig
     return figure
 
 
+def plan_consumer_stats(bench: Workbench):
+    """The runs the Section 6 claim needs, for parallel prefetch."""
+    return [
+        bench.job(spec, monolithic_machine(), "focused") for spec in bench.benchmarks
+    ]
+
+
 def run_consumer_stats(bench: Workbench) -> FigureData:
     """Section 6: producer/consumer criticality structure."""
+    bench.prefetch(plan_consumer_stats(bench))
     figure = FigureData(
         figure_id="Section 6",
         title="Most-critical-consumer statistics (monolithic runs)",

@@ -1,0 +1,168 @@
+"""Parallel experiment execution: picklable run jobs and worker fan-out.
+
+Independent (kernel x machine-config x policy) simulations share nothing,
+so they fan out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+A job is described by a small picklable :class:`RunJob` -- kernel *name*
+rather than spec, so each worker regenerates the trace deterministically
+from the seeded interpreter instead of shipping megabytes of trace over
+the pipe.
+
+Determinism contract: :func:`execute_job` is the *only* code path that
+runs a simulation, for both serial (:meth:`Workbench.run
+<repro.experiments.harness.Workbench.run>`) and parallel
+(:meth:`Workbench.prefetch <repro.experiments.harness.Workbench.prefetch>`)
+execution, and every stochastic component it touches (workload data, LoC
+predictor) derives its stream from the job's explicit seed.  Serial and
+parallel runs therefore produce bit-identical
+:class:`~repro.core.results.SimulationResult`\\ s -- an invariant enforced
+by ``tests/test_parallel_workbench.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.rename import Dependences, extract_dependences
+from repro.core.results import SimulationResult
+from repro.core.simulator import ClusteredSimulator
+from repro.criticality.loc import LocPredictor, PredictorSuite
+from repro.criticality.trainer import ChunkedCriticalityTrainer
+from repro.frontend.branch_predictor import (
+    GshareBranchPredictor,
+    annotate_mispredictions,
+)
+from repro.vm.trace import DynamicInstruction
+from repro.workloads.suite import get_kernel
+
+# A generous bound: no sane run needs more cycles than ~64 per instruction.
+_MAX_CPI_GUARD = 64
+
+
+@dataclass(frozen=True)
+class PreparedWorkload:
+    """A trace with its configuration-independent annotations."""
+
+    name: str
+    trace: tuple[DynamicInstruction, ...]
+    dependences: tuple[Dependences, ...]
+    mispredicted: frozenset[int]
+
+
+@dataclass(frozen=True)
+class RunJob:
+    """Everything needed to reproduce one simulation in any process.
+
+    The fields are exactly the inputs the on-disk cache keys over (plus
+    the cache's schema salt): two jobs that compare equal produce
+    bit-identical results, and two jobs that differ in any field may not
+    share a cache entry.
+    """
+
+    kernel: str
+    instructions: int
+    seed: int
+    loc_mode: str
+    config: MachineConfig
+    policy: str
+    collect_ilp: bool = False
+    warm: bool = True
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not specify one."""
+    return os.cpu_count() or 1
+
+
+def prepare_workload(kernel: str, instructions: int, seed: int) -> PreparedWorkload:
+    """Generate the trace, dependences and mispredictions for one kernel.
+
+    Deterministic in (kernel, instructions, seed): the trace comes from
+    the seeded interpreter and the misprediction set from a freshly
+    constructed gshare predictor.
+    """
+    spec = get_kernel(kernel)
+    trace = tuple(spec.generate(instructions, seed=seed))
+    dependences = tuple(extract_dependences(trace))
+    mispredicted = frozenset(annotate_mispredictions(trace, GshareBranchPredictor()))
+    return PreparedWorkload(spec.name, trace, dependences, mispredicted)
+
+
+def execute_job(
+    job: RunJob, prepared: PreparedWorkload | None = None
+) -> SimulationResult:
+    """Run one simulation, regenerating the trace unless ``prepared`` is given.
+
+    Implements the paper's warm-up methodology: when the policy needs
+    criticality predictors and ``job.warm`` is set, a throwaway run first
+    trains the predictors online, then the measured run continues from the
+    warm state with fresh policy objects.
+    """
+    # Imported here, not at module top: harness imports this module.
+    from repro.experiments.harness import build_policy
+
+    if prepared is None:
+        prepared = prepare_workload(job.kernel, job.instructions, job.seed)
+    max_cycles = _MAX_CPI_GUARD * len(prepared.trace) + 10_000
+    steering, scheduler, needs_predictors = build_policy(job.policy)
+    suite = None
+    trainer = None
+    if needs_predictors:
+        suite = PredictorSuite(
+            loc_predictor=LocPredictor(mode=job.loc_mode, seed=job.seed)
+        )
+        trainer = ChunkedCriticalityTrainer(suite)
+        if job.warm:
+            warm_sim = ClusteredSimulator(
+                job.config,
+                steering=steering,
+                scheduler=scheduler,
+                predictors=suite,
+                trainer=trainer,
+                max_cycles=max_cycles,
+            )
+            warm_sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+            # Fresh policy state for the measured run; predictors stay warm.
+            steering, scheduler, __ = build_policy(job.policy)
+    sim = ClusteredSimulator(
+        job.config,
+        steering=steering,
+        scheduler=scheduler,
+        predictors=suite,
+        trainer=trainer,
+        collect_ilp=job.collect_ilp,
+        max_cycles=max_cycles,
+    )
+    return sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+
+
+def execute_jobs(
+    jobs: Sequence[RunJob], workers: int
+) -> list[SimulationResult]:
+    """Execute ``jobs`` and return results in job order.
+
+    With ``workers <= 1`` (or a single job) everything runs in-process;
+    otherwise jobs fan out over a process pool.  Either way the results
+    are bit-identical -- each worker reconstructs its inputs from the
+    job's explicit seed.
+    """
+    jobs = list(jobs)
+    if workers <= 1 or len(jobs) <= 1:
+        return [execute_job(job) for job in jobs]
+    pool_size = min(workers, len(jobs))
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        return list(pool.map(execute_job, jobs))
+
+
+def dedupe_jobs(jobs: Iterable[RunJob]) -> list[RunJob]:
+    """Drop duplicate jobs, preserving first-seen order."""
+    seen: set[RunJob] = set()
+    unique: list[RunJob] = []
+    for job in jobs:
+        if job not in seen:
+            seen.add(job)
+            unique.append(job)
+    return unique

@@ -5,8 +5,16 @@ Regenerate any reproduced figure from a shell::
     python -m repro.experiments figure4
     python -m repro.experiments figure14 --instructions 20000 --out results/
     python -m repro.experiments all --benchmarks vpr gzip
+    python -m repro.experiments all --seeds 3 --workers 8
 
 Experiment names are the keys of :data:`repro.experiments.EXPERIMENTS`.
+
+Simulations fan out over ``--workers`` processes and persist in an
+on-disk result cache (``~/.cache/repro`` by default; override with
+``--cache-dir`` or ``REPRO_CACHE_DIR``, disable with ``--no-cache``).
+Parallel and cached runs are bit-identical to serial uncached ones; a
+repeat invocation with a warm cache re-executes zero simulations, which
+the per-experiment ``cache hits=... simulated=...`` line makes visible.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import time
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.aggregate import run_seeded
+from repro.experiments.cache import RunCache, default_cache_dir
 from repro.experiments.harness import DEFAULT_INSTRUCTIONS, Workbench
 from repro.workloads.suite import get_kernel, suite_names
 
@@ -55,6 +64,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="average over this many seeds (the paper averages 3 samples)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan independent simulations out over this many worker "
+        "processes (default 0 = serial; results are bit-identical)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="persistent result-cache directory "
+        f"(default {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
+    )
+    parser.add_argument(
         "--out",
         type=pathlib.Path,
         help="also write each figure's table to this directory",
@@ -79,25 +107,45 @@ def main(argv: list[str] | None = None) -> int:
     benchmarks = None
     if args.benchmarks:
         benchmarks = [get_kernel(name) for name in args.benchmarks]
+    cache = None if args.no_cache else RunCache(args.cache_dir)
     bench = Workbench(
-        instructions=args.instructions, seed=args.seed, benchmarks=benchmarks
+        instructions=args.instructions,
+        seed=args.seed,
+        benchmarks=benchmarks,
+        workers=args.workers,
+        cache=cache,
     )
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
 
     for name in names:
         start = time.time()
+        hits_before = cache.hits if cache else 0
+        stores_before = cache.stores if cache else 0
+        simulated_before = bench.simulations_run
         if args.seeds > 1:
             figure = run_seeded(
                 EXPERIMENTS[name],
                 seeds=range(args.seed, args.seed + args.seeds),
                 instructions=args.instructions,
                 benchmarks=benchmarks,
+                workers=args.workers,
+                cache=cache,
             )
+            # The per-seed workbenches are internal to run_seeded; with a
+            # cache every executed simulation is stored exactly once.
+            simulated = (cache.stores - stores_before) if cache else -1
         else:
             figure = EXPERIMENTS[name](bench)
+            simulated = bench.simulations_run - simulated_before
         elapsed = time.time() - start
-        print(f"\n{figure}\n[{name}: {elapsed:.1f}s]")
+        status = f"[{name}: {elapsed:.1f}s"
+        if cache is not None:
+            status += f"; cache hits={cache.hits - hits_before}"
+        if simulated >= 0:
+            status += f"; simulated={simulated}"
+        status += "]"
+        print(f"\n{figure}\n{status}")
         if args.out:
             slug = figure.figure_id.lower().replace(" ", "").replace(".", "")
             (args.out / f"{slug}.txt").write_text(str(figure) + "\n")

@@ -1,0 +1,52 @@
+"""Regenerate the golden figure snapshots.
+
+Run deliberately, and only when a change is *supposed* to alter results
+(new timing model, policy fix, trace-generation change)::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Commit the diff together with the change and a bump of
+``repro.experiments.cache.CACHE_SCHEMA_VERSION``, so stale cache entries
+and stale goldens retire at the same time.
+
+The snapshots are small on purpose: 2000-instruction traces of two
+kernels (one well-behaved, one convergent-dataflow outlier), which is
+enough to pin every CPI cell while keeping ``tests/test_golden.py`` fast.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.harness import Workbench
+from repro.workloads.suite import get_kernel
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+INSTRUCTIONS = 2000
+BENCHMARKS = ("gcc", "vpr")
+SEED = 0
+FIGURES = ("figure2", "figure4", "figure14")
+
+
+def build_bench() -> Workbench:
+    """The exact workbench the comparison test reconstructs."""
+    return Workbench(
+        instructions=INSTRUCTIONS,
+        seed=SEED,
+        benchmarks=[get_kernel(name) for name in BENCHMARKS],
+    )
+
+
+def main() -> None:
+    bench = build_bench()
+    for name in FIGURES:
+        figure = EXPERIMENTS[name](bench)
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(figure.to_dict(), indent=2) + "\n")
+        print(f"wrote {path} ({len(figure.rows)} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,11 +31,28 @@ class TestAverageFigures:
         merged = average_figures([make_figure([1.0]), make_figure([2.0])], (0, 1))
         assert "spread" in merged.notes[-1]
 
-    def test_mismatched_structure_rejected(self):
+    def test_mismatched_row_counts_align_by_label(self):
+        # Figure 15's available-ILP bins differ per seed: rows present in
+        # only some seeds are averaged over the seeds that have them.
+        merged = average_figures(
+            [make_figure([1.0]), make_figure([3.0, 2.0])], (0, 1)
+        )
+        assert [row[0] for row in merged.rows] == ["x0", "x1"]
+        assert merged.rows[0][1] == pytest.approx(2.0)
+        assert merged.rows[1][1] == pytest.approx(2.0)
+
+    def test_mismatched_rows_with_duplicate_labels_rejected(self):
+        ambiguous = FigureData("F", "t", ["name", "v"])
+        ambiguous.add_row("x0", 1.0)
+        ambiguous.add_row("x0", 2.0)
         with pytest.raises(ValueError):
-            average_figures(
-                [make_figure([1.0]), make_figure([1.0, 2.0])], (0, 1)
-            )
+            average_figures([make_figure([1.0]), ambiguous], (0, 1))
+
+    def test_mismatched_headers_rejected(self):
+        other = FigureData("F", "t", ["name", "w"])
+        other.add_row("x0", 1.0)
+        with pytest.raises(ValueError):
+            average_figures([make_figure([1.0]), other], (0, 1))
 
     def test_mismatched_labels_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,67 @@
+"""Golden regression snapshots for fig02/fig04/fig14.
+
+Fresh small-trace runs are compared cell-by-cell against the committed
+tables under ``tests/golden/``, so performance work (parallel fan-out,
+caching, simulator optimizations) can't silently change results.  When a
+change legitimately alters simulation output, regenerate with
+``PYTHONPATH=src python tests/golden/regen.py`` and bump
+``CACHE_SCHEMA_VERSION`` in the same commit.
+"""
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+from .golden.regen import FIGURES, GOLDEN_DIR, build_bench
+
+# Pure-python arithmetic is deterministic; the tolerance only absorbs
+# float repr round-tripping through JSON (which is itself exact in
+# CPython, so equality is effectively bitwise).
+REL_TOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return build_bench()
+
+
+def _cells_match(expected, actual) -> bool:
+    if isinstance(expected, float) and math.isnan(expected):
+        return isinstance(actual, float) and math.isnan(actual)
+    if isinstance(expected, (int, float)) and not isinstance(expected, bool):
+        return (
+            isinstance(actual, (int, float))
+            and actual == pytest.approx(expected, rel=REL_TOL, abs=REL_TOL)
+        )
+    return expected == actual
+
+
+@pytest.mark.parametrize("name", FIGURES)
+def test_figure_matches_golden_snapshot(name, bench):
+    golden_path = pathlib.Path(GOLDEN_DIR) / f"{name}.json"
+    golden = json.loads(golden_path.read_text())
+    figure = EXPERIMENTS[name](bench)
+    fresh = figure.to_dict()
+
+    assert fresh["figure_id"] == golden["figure_id"]
+    assert fresh["headers"] == golden["headers"]
+    assert len(fresh["rows"]) == len(golden["rows"]), (
+        f"{name}: row count changed {len(golden['rows'])} -> {len(fresh['rows'])}"
+    )
+    for row_index, (want, got) in enumerate(zip(golden["rows"], fresh["rows"])):
+        for col, (expected, actual) in enumerate(zip(want, got)):
+            assert _cells_match(expected, actual), (
+                f"{name} row {row_index} ({want[0]}) column "
+                f"{golden['headers'][col]!r}: expected {expected!r}, "
+                f"got {actual!r} -- if this change is intentional, "
+                "regenerate tests/golden/ and bump CACHE_SCHEMA_VERSION"
+            )
+
+
+def test_golden_files_exist():
+    for name in FIGURES:
+        assert (pathlib.Path(GOLDEN_DIR) / f"{name}.json").exists()

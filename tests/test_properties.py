@@ -6,14 +6,17 @@ timing-model consistency, full cycle attribution, dependence correctness
 and counter convergence.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.config import clustered_machine, monolithic_machine
 from repro.core.rename import build_consumer_lists, extract_dependences
+from repro.core.serialize import result_from_dict, result_to_dict
 from repro.core.simulator import ClusteredSimulator
 from repro.criticality.critical_path import analyze_critical_path
 from repro.criticality.graph import validate_timing
 from repro.criticality.slack import compute_global_slack
+from repro.experiments.cache import job_key
+from repro.experiments.parallel import RunJob
 from repro.util.counters import SaturatingCounter, StratifiedFrequencyCounter
 from repro.vm.isa import OpClass
 from repro.vm.trace import DynamicInstruction
@@ -143,15 +146,89 @@ def test_stratified_counter_within_one_step_of_exact(outcomes):
     assert abs(counter.fraction - exact) <= 0.5 / 15
 
 
+# ---------------------------------------------------------------------------
+# Run-cache keys: injective over every field that determines a run's output.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def run_jobs(draw):
+    num_clusters = draw(st.sampled_from([1, 2, 4, 8]))
+    fwd = draw(st.integers(min_value=0, max_value=4))
+    return RunJob(
+        kernel=draw(st.sampled_from(["gcc", "vpr", "mcf", "bzip2"])),
+        instructions=draw(st.integers(min_value=100, max_value=20_000)),
+        seed=draw(st.integers(min_value=0, max_value=7)),
+        loc_mode=draw(st.sampled_from(["probabilistic", "stratified", "exact"])),
+        config=clustered_machine(num_clusters, forwarding_latency=fwd),
+        policy=draw(st.sampled_from(["dependence", "focused", "l", "s", "p"])),
+        collect_ilp=draw(st.booleans()),
+        warm=draw(st.booleans()),
+    )
+
+
+@given(a=run_jobs(), b=run_jobs())
+@settings(max_examples=200, deadline=None)
+def test_cache_keys_injective_over_distinct_jobs(a, b):
+    # Distinct (kernel, instructions, seed, loc_mode, config, policy,
+    # collect_ilp, warm) tuples must never collide on disk.
+    assume(a != b)
+    assert job_key(a) != job_key(b)
+
+
+@given(job=run_jobs())
+@settings(max_examples=100, deadline=None)
+def test_cache_key_is_stable_and_well_formed(job):
+    key = job_key(job)
+    assert key == job_key(job)
+    assert len(key) == 64 and all(c in "0123456789abcdef" for c in key)
+
+
+# ---------------------------------------------------------------------------
+# Result serialization: exact round-trip, nested counters included.
+# ---------------------------------------------------------------------------
+
+
+@given(trace=random_traces(), config_index=st.integers(min_value=0, max_value=2))
+@settings(max_examples=25, deadline=None)
+def test_result_serialization_round_trips_exactly(trace, config_index):
+    import json
+
+    config = CONFIGS[config_index]
+    result = ClusteredSimulator(config, collect_ilp=True, max_cycles=100_000).run(
+        trace, mispredicted=frozenset()
+    )
+    payload = result_to_dict(result)
+    # Survives an actual JSON encode/decode, not just dict copying.
+    revived = result_from_dict(json.loads(json.dumps(payload)))
+    assert result_to_dict(revived) == payload
+    assert revived.cpi == result.cpi
+    assert revived.cycles == result.cycles
+    assert revived.config == result.config
+    assert revived.ilp_profile.issued_sum == result.ilp_profile.issued_sum
+    assert revived.ilp_profile.cycle_count == result.ilp_profile.cycle_count
+    # Consumer back-references are re-linked to the revived records.
+    for original, loaded in zip(result.records, revived.records):
+        assert [w.index for w in original.waiters] == [
+            w.index for w in loaded.waiters
+        ]
+        assert original.forwarded_to_clusters == loaded.forwarded_to_clusters
+
+
 @given(trace=random_traces(), fwd=st.integers(min_value=0, max_value=4))
 @settings(max_examples=30, deadline=None)
-def test_monolithic_is_never_slower_than_clustered(trace, fwd):
-    # Partitioning only removes scheduling freedom; with identical total
-    # resources the monolithic machine is a lower bound.
+def test_monolithic_is_never_far_slower_than_clustered(trace, fwd):
+    # Partitioning removes scheduling freedom, but oldest-first is a greedy
+    # heuristic, so the monolithic machine is NOT a strict lower bound:
+    # splitting the window can accidentally yield a better global schedule
+    # (a Graham list-scheduling anomaly; hypothesis found a 55-vs-49-cycle
+    # example).  What does hold is a Graham-style factor bound: greedy on
+    # the monolithic machine stays within ~2x of any feasible schedule,
+    # and every clustered schedule is feasible for the monolithic machine.
     mono = ClusteredSimulator(monolithic_machine(), max_cycles=100_000).run(
         trace, mispredicted=frozenset()
     )
     split = ClusteredSimulator(
         clustered_machine(4, forwarding_latency=fwd), max_cycles=100_000
     ).run(trace, mispredicted=frozenset())
-    assert mono.cycles <= split.cycles + 1
+    assert mono.cycles <= 2 * split.cycles + 10
