@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Time a *pre-optimization checkout* of the simulator (subprocess helper).
+
+``run.py --baseline-src`` wants to report how much faster the optimized
+simulator is than the code that existed before the event-driven rewrite --
+not just faster than :class:`repro.core.reference.ReferenceSimulator`,
+which shares (and therefore benefits from) the optimized steering and
+predictor modules.  The only honest way to time the old code is to import
+it, and two versions of the ``repro`` package cannot live in one process,
+so this helper runs as a subprocess with the old checkout's ``src`` on its
+path::
+
+    git worktree add .bench-baseline <pre-optimization-sha>
+    python benchmarks/perf/baseline_probe.py --src .bench-baseline/src \
+        --kernels gcc,vpr --instructions 12000 --repeats 3 \
+        --entries '[[1, "l"], [4, "s"]]'
+
+It mirrors run.py's methodology exactly -- warm the predictors once per
+(kernel, config, policy) with the trainer attached, then time best-of-N
+runs against the frozen suite -- and prints one JSON object per line:
+``{"kernel": ..., "clusters": ..., "policy": ..., "cycles": ...,
+"seconds": ...}``.  Only APIs that exist in the pre-optimization checkout
+are used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--src", required=True, help="baseline checkout's src dir")
+    parser.add_argument("--kernels", required=True, help="comma-separated kernels")
+    parser.add_argument("--instructions", type=int, required=True)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--entries", required=True,
+        help='JSON list of [clusters, policy] pairs, e.g. [[1, "l"], [4, "s"]]',
+    )
+    parser.add_argument(
+        "--max-cpi", type=int, default=64,
+        help="deadlock guard: max_cycles = max_cpi * trace length + 10000",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, args.src)
+    from repro.core.config import clustered_machine, monolithic_machine
+    from repro.core.simulator import ClusteredSimulator
+    from repro.criticality.loc import LocPredictor, PredictorSuite
+    from repro.criticality.trainer import ChunkedCriticalityTrainer
+    from repro.experiments.harness import build_policy
+    from repro.experiments.parallel import prepare_workload
+
+    entries = [(int(c), str(p)) for c, p in json.loads(args.entries)]
+    for kernel in [k.strip() for k in args.kernels.split(",")]:
+        prepared = prepare_workload(kernel, args.instructions, 0)
+        max_cycles = args.max_cpi * len(prepared.trace) + 10_000
+        for clusters, policy in entries:
+            config = (
+                monolithic_machine()
+                if clusters == 1
+                else clustered_machine(clusters, forwarding_latency=2)
+            )
+            steering, scheduler, needs_predictors = build_policy(policy)
+            suite = None
+            if needs_predictors:
+                suite = PredictorSuite(
+                    loc_predictor=LocPredictor(mode="probabilistic", seed=0)
+                )
+                trainer = ChunkedCriticalityTrainer(suite)
+                warm = ClusteredSimulator(
+                    config,
+                    steering=steering,
+                    scheduler=scheduler,
+                    predictors=suite,
+                    trainer=trainer,
+                    max_cycles=max_cycles,
+                )
+                warm.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+            best = None
+            cycles = None
+            for __ in range(args.repeats):
+                steering, scheduler, __needs = build_policy(policy)
+                sim = ClusteredSimulator(
+                    config,
+                    steering=steering,
+                    scheduler=scheduler,
+                    predictors=suite,
+                    trainer=None,
+                    max_cycles=max_cycles,
+                )
+                start = time.perf_counter()
+                result = sim.run(
+                    prepared.trace, prepared.dependences, prepared.mispredicted
+                )
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+                cycles = result.cycles
+            print(
+                json.dumps(
+                    {
+                        "kernel": kernel,
+                        "clusters": clusters,
+                        "policy": policy,
+                        "cycles": cycles,
+                        "seconds": round(best, 6),
+                    }
+                ),
+                flush=True,
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,391 @@
+#!/usr/bin/env python
+"""Simulator throughput benchmark: event-driven vs reference cycle loop.
+
+Times the Figure 14 sweep (every suite kernel x cluster-count x policy,
+exactly the bars ``repro.experiments.fig14`` draws) through both
+:class:`repro.core.simulator.ClusteredSimulator` (the optimized,
+event-driven loop) and :class:`repro.core.reference.ReferenceSimulator`
+(the pre-optimization per-cycle loop), and records simulated cycles per
+wall-clock second for every entry in ``BENCH_PR2.json``.
+
+The in-tree reference shares the optimized steering/predictor modules, so
+it understates the full optimization win.  ``--baseline-src`` additionally
+times a *pre-optimization checkout* of the whole package (via
+``baseline_probe.py`` in a subprocess), recording the end-to-end speedup
+over the code as it stood before this work::
+
+    git worktree add .bench-baseline <pre-optimization-sha>
+    PYTHONPATH=src python benchmarks/perf/run.py \
+        --baseline-src .bench-baseline/src
+
+Methodology
+-----------
+
+* Criticality predictors are warmed once per (kernel, config, policy) by a
+  throwaway run of the event simulator with the chunked trainer attached --
+  the same warm-up the experiment harness performs -- and the *timed* runs
+  then use the frozen predictor suite with no trainer, so both simulators
+  time identical steady-state work on identical inputs.
+* Each (simulator, entry) pair runs ``--repeats`` times and the best wall
+  time is kept (the standard defense against scheduler noise).
+* Both simulators must report the same cycle count for every entry; the
+  harness asserts it, making each benchmark run a differential smoke test.
+
+Usage
+-----
+
+Full sweep (writes BENCH_PR2.json next to the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run.py
+
+CI perf smoke (one small kernel, compare against the committed numbers,
+non-zero exit on a >20% cycles/sec regression)::
+
+    PYTHONPATH=src python benchmarks/perf/run.py --smoke \
+        --check BENCH_PR2.json --output BENCH_PR2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import clustered_machine, monolithic_machine  # noqa: E402
+from repro.core.reference import ReferenceSimulator  # noqa: E402
+from repro.core.simulator import ClusteredSimulator  # noqa: E402
+from repro.criticality.loc import LocPredictor, PredictorSuite  # noqa: E402
+from repro.criticality.trainer import ChunkedCriticalityTrainer  # noqa: E402
+from repro.experiments.fig14 import BARS_BY_CLUSTER  # noqa: E402
+from repro.experiments.harness import build_policy  # noqa: E402
+from repro.experiments.parallel import prepare_workload  # noqa: E402
+from repro.workloads.suite import SUITE  # noqa: E402
+
+# The kernel the CI perf-smoke job runs: small, representative, quick.
+SMOKE_KERNEL = "gcc"
+SMOKE_INSTRUCTIONS = 3000
+SMOKE_REPEATS = 3
+# Accepted regression vs the committed numbers before --check fails.
+CHECK_TOLERANCE = 0.20
+
+MAX_CPI_GUARD = 64
+
+
+def sweep_entries(cluster_counts=BARS_BY_CLUSTER):
+    """(clusters, policy) pairs of the Figure 14 sweep, per kernel."""
+    entries = [(1, "l")]
+    for cluster_count, policies in cluster_counts.items():
+        entries.extend((cluster_count, policy) for policy in policies)
+    return entries
+
+
+def machine_for(clusters: int, forwarding_latency: int = 2):
+    if clusters == 1:
+        return monolithic_machine()
+    return clustered_machine(clusters, forwarding_latency=forwarding_latency)
+
+
+def warm_predictors(prepared, config, policy, max_cycles):
+    """Train a fresh predictor suite the way the experiment harness does."""
+    steering, scheduler, needs_predictors = build_policy(policy)
+    if not needs_predictors:
+        return None
+    suite = PredictorSuite(loc_predictor=LocPredictor(mode="probabilistic", seed=0))
+    trainer = ChunkedCriticalityTrainer(suite)
+    sim = ClusteredSimulator(
+        config,
+        steering=steering,
+        scheduler=scheduler,
+        predictors=suite,
+        trainer=trainer,
+        max_cycles=max_cycles,
+    )
+    sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+    return suite
+
+
+def time_simulator(sim_cls, prepared, config, policy, suite, max_cycles, repeats):
+    """Best-of-``repeats`` wall time; returns (seconds, simulated cycles)."""
+    best = None
+    cycles = None
+    for _ in range(repeats):
+        steering, scheduler, __ = build_policy(policy)
+        sim = sim_cls(
+            config,
+            steering=steering,
+            scheduler=scheduler,
+            predictors=suite,
+            trainer=None,
+            max_cycles=max_cycles,
+        )
+        start = time.perf_counter()
+        result = sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        cycles = result.cycles
+    return best, cycles
+
+
+def bench_kernel(kernel, instructions, repeats, entries, verbose=True):
+    """Benchmark one kernel over ``entries``; returns result rows."""
+    prepared = prepare_workload(kernel, instructions, 0)
+    max_cycles = MAX_CPI_GUARD * len(prepared.trace) + 10_000
+    rows = []
+    for clusters, policy in entries:
+        config = machine_for(clusters)
+        suite = warm_predictors(prepared, config, policy, max_cycles)
+        event_s, event_cycles = time_simulator(
+            ClusteredSimulator, prepared, config, policy, suite, max_cycles, repeats
+        )
+        ref_s, ref_cycles = time_simulator(
+            ReferenceSimulator, prepared, config, policy, suite, max_cycles, repeats
+        )
+        if event_cycles != ref_cycles:
+            raise AssertionError(
+                f"cycle mismatch on {kernel} {clusters}cl {policy}: "
+                f"event={event_cycles} reference={ref_cycles}"
+            )
+        for sim, seconds in (("event", event_s), ("reference", ref_s)):
+            rows.append(
+                {
+                    "kernel": kernel,
+                    "clusters": clusters,
+                    "policy": policy,
+                    "sim": sim,
+                    "cycles": event_cycles,
+                    "seconds": round(seconds, 6),
+                    "cycles_per_sec": round(event_cycles / seconds, 1),
+                }
+            )
+        if verbose:
+            print(
+                f"{kernel:8s} {clusters}cl {policy:10s} "
+                f"ref={ref_s * 1000:8.1f}ms ev={event_s * 1000:8.1f}ms "
+                f"speedup={ref_s / event_s:.2f}x",
+                flush=True,
+            )
+    return rows
+
+
+def run_baseline_probe(baseline_src, kernels, instructions, repeats, entries):
+    """Time the pre-optimization checkout in a subprocess; return its rows."""
+    probe = Path(__file__).resolve().parent / "baseline_probe.py"
+    command = [
+        sys.executable,
+        str(probe),
+        "--src", str(baseline_src),
+        "--kernels", ",".join(kernels),
+        "--instructions", str(instructions),
+        "--repeats", str(repeats),
+        "--max-cpi", str(MAX_CPI_GUARD),
+        "--entries", json.dumps([list(entry) for entry in entries]),
+    ]
+    output = subprocess.run(
+        command, check=True, capture_output=True, text=True
+    ).stdout
+    rows = []
+    for line in output.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        probe_row = json.loads(line)
+        probe_row["sim"] = "baseline"
+        probe_row["cycles_per_sec"] = round(
+            probe_row["cycles"] / probe_row["seconds"], 1
+        )
+        rows.append(probe_row)
+    return rows
+
+
+def summarize(rows):
+    """Aggregate cycles/sec per simulator plus the headline speedups."""
+    totals = {"event": [0, 0.0], "reference": [0, 0.0], "baseline": [0, 0.0]}
+    ratios = []
+    by_key = {}
+    for row in rows:
+        totals[row["sim"]][0] += row["cycles"]
+        totals[row["sim"]][1] += row["seconds"]
+        entry = by_key.setdefault(
+            (row["kernel"], row["clusters"], row["policy"]), {}
+        )
+        entry[row["sim"]] = row["seconds"]
+        if "cycles" in entry and entry["cycles"] != row["cycles"]:
+            raise AssertionError(
+                f"cycle mismatch across simulators on {row['kernel']} "
+                f"{row['clusters']}cl {row['policy']}"
+            )
+        entry["cycles"] = row["cycles"]
+    for pair in by_key.values():
+        if "event" in pair and "reference" in pair:
+            ratios.append(pair["reference"] / pair["event"])
+    event_cps = totals["event"][0] / totals["event"][1]
+    ref_cps = totals["reference"][0] / totals["reference"][1]
+    summary = {
+        "event_cycles_per_sec": round(event_cps, 1),
+        "reference_cycles_per_sec": round(ref_cps, 1),
+        "speedup": round(event_cps / ref_cps, 3),
+        "geomean_speedup": round(
+            math.exp(sum(math.log(r) for r in ratios) / len(ratios)), 3
+        ),
+        "entries": len(ratios),
+    }
+    if totals["baseline"][1] > 0:
+        baseline_cps = totals["baseline"][0] / totals["baseline"][1]
+        summary["baseline_cycles_per_sec"] = round(baseline_cps, 1)
+        summary["speedup_vs_baseline"] = round(event_cps / baseline_cps, 3)
+    return summary
+
+
+def run_check(report, committed_path):
+    """Fail (return 1) on a >tolerance cycles/sec regression vs committed."""
+    committed = json.loads(Path(committed_path).read_text())
+    failures = []
+    for section in ("smoke", "sweep"):
+        new = report.get(section)
+        old = committed.get(section)
+        if new is None or old is None:
+            continue
+        new_cps = new["summary"]["event_cycles_per_sec"]
+        old_cps = old["summary"]["event_cycles_per_sec"]
+        floor = old_cps * (1.0 - CHECK_TOLERANCE)
+        status = "ok" if new_cps >= floor else "REGRESSION"
+        print(
+            f"check {section}: event {new_cps:,.0f} cycles/s vs committed "
+            f"{old_cps:,.0f} (floor {floor:,.0f}): {status}"
+        )
+        if new_cps < floor:
+            failures.append(section)
+    if failures:
+        print(f"perf check FAILED: {', '.join(failures)} regressed >"
+              f"{CHECK_TOLERANCE:.0%} vs {committed_path}")
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--instructions", type=int, default=12_000,
+        help="trace length per kernel for the full sweep (default 12000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per entry; best is kept (default 3)",
+    )
+    parser.add_argument(
+        "--kernels", default=None,
+        help="comma-separated kernel subset (default: the full suite)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"run only the CI smoke benchmark ({SMOKE_KERNEL}, "
+             f"{SMOKE_INSTRUCTIONS} instructions)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_PR2.json"),
+        help="where to write the JSON report (default: repo-root BENCH_PR2.json)",
+    )
+    parser.add_argument(
+        "--check", metavar="COMMITTED_JSON", default=None,
+        help="compare against a committed report; exit 1 on a "
+             f">{CHECK_TOLERANCE:.0%} cycles/sec regression",
+    )
+    parser.add_argument(
+        "--baseline-src", metavar="SRC_DIR", default=None,
+        help="src directory of a pre-optimization checkout (e.g. a git "
+             "worktree); also times that code end-to-end via a subprocess "
+             "and records the speedup over it",
+    )
+    args = parser.parse_args(argv)
+
+    report = {"schema": 1}
+    if args.smoke:
+        rows = bench_kernel(
+            SMOKE_KERNEL,
+            SMOKE_INSTRUCTIONS,
+            SMOKE_REPEATS,
+            sweep_entries(),
+        )
+        report["smoke"] = {
+            "kernel": SMOKE_KERNEL,
+            "instructions": SMOKE_INSTRUCTIONS,
+            "repeats": SMOKE_REPEATS,
+            "entries": rows,
+            "summary": summarize(rows),
+        }
+        summary = report["smoke"]["summary"]
+    else:
+        kernels = (
+            [k.strip() for k in args.kernels.split(",")]
+            if args.kernels
+            else [spec.name for spec in SUITE]
+        )
+        rows = []
+        for kernel in kernels:
+            rows.extend(
+                bench_kernel(kernel, args.instructions, args.repeats, sweep_entries())
+            )
+        if args.baseline_src:
+            print("timing pre-optimization baseline "
+                  f"({args.baseline_src})...", flush=True)
+            rows.extend(
+                run_baseline_probe(
+                    args.baseline_src,
+                    kernels,
+                    args.instructions,
+                    args.repeats,
+                    sweep_entries(),
+                )
+            )
+        report["sweep"] = {
+            "kernels": kernels,
+            "instructions": args.instructions,
+            "repeats": args.repeats,
+            "entries": rows,
+            "summary": summarize(rows),
+        }
+        summary = report["sweep"]["summary"]
+
+    print(
+        f"\nevent:     {summary['event_cycles_per_sec']:>14,.0f} cycles/s\n"
+        f"reference: {summary['reference_cycles_per_sec']:>14,.0f} cycles/s\n"
+        f"speedup:   {summary['speedup']:.2f}x aggregate "
+        f"({summary['geomean_speedup']:.2f}x geomean over "
+        f"{summary['entries']} entries)"
+    )
+    if "speedup_vs_baseline" in summary:
+        print(
+            f"baseline:  {summary['baseline_cycles_per_sec']:>14,.0f} cycles/s "
+            f"(pre-optimization checkout); "
+            f"speedup vs baseline: {summary['speedup_vs_baseline']:.2f}x"
+        )
+
+    out_path = Path(args.output)
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+        # A smoke run refreshes only its own section (and vice versa), so
+        # the committed full-sweep numbers survive CI smoke reruns.
+        for key in ("smoke", "sweep"):
+            if key in existing and key not in report:
+                report[key] = existing[key]
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.check:
+        return run_check(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

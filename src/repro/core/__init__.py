@@ -14,6 +14,7 @@ from repro.core.instruction import (
     SteerCause,
 )
 from repro.core.rename import Dependences, build_consumer_lists, extract_dependences
+from repro.core.reference import ReferenceSimulator
 from repro.core.results import IlpProfile, SimulationResult
 from repro.core.simulator import ClusteredSimulator, SimulationDeadlock
 
@@ -27,6 +28,7 @@ __all__ = [
     "InFlight",
     "MachineConfig",
     "PAPER_CLUSTER_COUNTS",
+    "ReferenceSimulator",
     "SimulationDeadlock",
     "SimulationResult",
     "SteerCause",

@@ -52,6 +52,7 @@ class InFlight:
     __slots__ = (
         "instr",
         "deps",
+        "index",
         "cluster",
         "dispatch_time",
         "ready_time",
@@ -77,6 +78,9 @@ class InFlight:
     def __init__(self, instr: DynamicInstruction, deps: Dependences):
         self.instr = instr
         self.deps = deps
+        # Trace index (program order); a plain slot, not a property -- it
+        # is read on every wakeup/issue/commit of the hot loop.
+        self.index: int = instr.index
         self.cluster: int = -1
         self.dispatch_time: int = -1
         self.ready_time: int = -1
@@ -104,11 +108,6 @@ class InFlight:
         # Remote clusters this value was forwarded to -> arrival time there
         # (one transfer per (producer, cluster), reused by later consumers).
         self.forwarded_to_clusters: dict[int, int] = {}
-
-    @property
-    def index(self) -> int:
-        """Trace index (program order)."""
-        return self.instr.index
 
     @property
     def contention_cycles(self) -> int:

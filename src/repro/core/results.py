@@ -21,6 +21,15 @@ class IlpProfile:
         self.issued_sum[available] = self.issued_sum.get(available, 0) + issued
         self.cycle_count[available] = self.cycle_count.get(available, 0) + 1
 
+    def record_idle(self, cycles: int) -> None:
+        """Record ``cycles`` consecutive (0 available, 0 issued) cycles.
+
+        Equivalent to ``cycles`` calls of ``record(0, 0)``; lets the
+        event-driven simulator account for skipped idle stretches in bulk.
+        """
+        self.issued_sum[0] = self.issued_sum.get(0, 0)
+        self.cycle_count[0] = self.cycle_count.get(0, 0) + cycles
+
     def achieved(self, available: int) -> float:
         """Mean instructions issued on cycles with ``available`` ready."""
         count = self.cycle_count.get(available, 0)

@@ -1,4 +1,4 @@
-"""Cycle-driven timing simulator for clustered (and monolithic) machines.
+"""Event-driven timing simulator for clustered (and monolithic) machines.
 
 Each cycle runs four phases in order:
 
@@ -18,11 +18,39 @@ Besides timing, the simulator records the *cause* of every dispatch delay,
 the last-arriving operand of every instruction, and every steering decision,
 so that critical-path attribution (Figures 5/6) is a deterministic replay of
 recorded facts.
+
+This is the **optimized** implementation of the timing model; the
+straightforward per-cycle loop it replaced lives on verbatim as
+:class:`repro.core.reference.ReferenceSimulator`, and the two are
+bit-identical on every (trace, config, policy) combination (enforced by
+``tests/test_differential.py``).  The optimizations, none of which change
+observable behaviour:
+
+* **scan-free wakeup** -- each cluster keeps a wakeup min-heap and a
+  priority-ordered ready heap (:class:`~repro.core.wakeup.
+  ClusterWakeupQueue`); issue pops at most ``issue_width`` (+ the
+  port-blocked few) entries per cycle instead of sorting the whole pool
+  with per-element priority-key calls;
+* **dispatch-time priorities** -- the scheduling policy's priority key is
+  computed once per instruction at dispatch (its inputs -- predictor
+  samples and trace index -- never change afterwards);
+* **per-trace precomputation** -- port class, base latency and the
+  dependence adjacency of every instruction are tabulated once per run
+  instead of being re-derived per dispatch/issue;
+* **idle-cycle skipping** -- when a cycle commits, issues, fetches and
+  dispatches nothing, machine state is provably frozen until the next
+  event (earliest wakeup, head-of-ROB completion, or front-end refill),
+  so the clock jumps straight to it.  Repeated stalled steering queries
+  in the skipped cycles are idempotent by construction, and the ILP
+  profile records the skipped cycles as idle in bulk;
+* **memoized ready pressure** -- ``cluster_ready_pressure`` caches its
+  count per (cluster, cycle, horizon), stamped by the queue's mutation
+  counter, so readiness-aware steering's per-dispatch scans collapse.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Protocol, Sequence
 
 from repro.core.config import MachineConfig
@@ -37,13 +65,14 @@ from repro.core.results import IlpProfile, SimulationResult
 from repro.core.scheduling.policies import OldestFirstScheduler, SchedulingPolicy
 from repro.core.steering.base import SteeringPolicy
 from repro.core.steering.dependence import DependenceSteering
+from repro.core.wakeup import ClusterWakeupQueue
 from repro.frontend.branch_predictor import (
     GshareBranchPredictor,
     annotate_mispredictions,
 )
 from repro.frontend.fetch import FrontEndModel
 from repro.memory.cache import MemoryHierarchy
-from repro.vm.isa import OpClass
+from repro.vm.isa import BASE_LATENCY, OpClass
 from repro.vm.trace import DynamicInstruction
 
 
@@ -76,8 +105,22 @@ def _port_class(opclass: OpClass) -> int:
     return 0
 
 
+# Tabulated once: OpClass value -> (port pool, base latency).  Keyed by the
+# enum's string value rather than the member itself: ``Enum.__hash__`` is a
+# Python-level call, while a str's hash is computed once and cached, so the
+# per-instruction precompute lookup stays on the C fast path.
+_PORT_AND_LATENCY = {
+    opclass._value_: (_port_class(opclass), BASE_LATENCY[opclass])
+    for opclass in OpClass
+}
+
+
 class ClusteredSimulator:
     """Runs one dynamic trace through a configured machine."""
+
+    # Queue implementation, overridable so tests can inject a checking
+    # subclass that asserts the wakeup invariants during real runs.
+    queue_factory = ClusterWakeupQueue
 
     def __init__(
         self,
@@ -101,13 +144,14 @@ class ClusteredSimulator:
         self.num_clusters = config.num_clusters
         self.forwarding_latency = config.forwarding_latency
         self.now = 0
+        self._pressure_tracking = True
 
     # ------------------------------------------------------------------
     # MachineView protocol
     # ------------------------------------------------------------------
     def window_free(self, cluster: int) -> int:
         """Free scheduling-window entries at ``cluster``."""
-        return self.config.cluster.window_size - self._occupancy[cluster]
+        return self._window_size - self._occupancy[cluster]
 
     def cluster_load(self, cluster: int) -> int:
         """Dispatched-but-unissued instruction count at ``cluster``."""
@@ -123,10 +167,24 @@ class ClusteredSimulator:
         The signal the paper's closing discussion says optimal load
         balancing needs ("a cluster that does not already have, and will
         not soon have, ready instructions").
+
+        Memoized per (cluster, cycle, horizon), stamped by the cluster
+        queue's mutation counter: repeated steering queries within one
+        dispatch burst cost O(1) instead of rescanning the wakeup heap.
+        The memo is only live when the steering policy declares
+        ``uses_ready_pressure`` (the hot loop then maintains the mutation
+        counters); any other caller gets a fresh, always-correct count.
         """
-        deadline = self.now + horizon
-        count = len(self._ready_pool[cluster])
-        count += sum(1 for t, __ in self._wakeup[cluster] if t <= deadline)
+        queue = self._queues[cluster]
+        if not self._pressure_tracking:
+            return queue.pressure(self.now, horizon)
+        stamp = (self.now, queue.version)
+        memo_key = (cluster, horizon)
+        hit = self._pressure_memo.get(memo_key)
+        if hit is not None and hit[0] == stamp:
+            return hit[1]
+        count = queue.pressure(self.now, horizon)
+        self._pressure_memo[memo_key] = (stamp, count)
         return count
 
     # ------------------------------------------------------------------
@@ -155,35 +213,111 @@ class ClusteredSimulator:
         config = self.config
         num_clusters = config.num_clusters
         fwd = config.forwarding_latency
-        self.steering.reset()
+        steering = self.steering
+        steering.reset()
 
         records = [InFlight(instr, deps) for instr, deps in zip(trace, dependences)]
         self._records = records
+        total = len(records)
         # Per-cycle global-bypass usage (only tracked for finite bandwidth).
         self._transfer_used: dict[int, int] = {}
-        self._occupancy = [0] * num_clusters
-        self._last_issued = [-1] * num_clusters
-        # Per-cluster min-heap of (ready_time, index) for wakeup, plus the
-        # pool of currently ready-but-unissued instructions.
-        wakeup: list[list[tuple[int, int]]] = [[] for _ in range(num_clusters)]
-        self._wakeup = wakeup
-        ready_pool: list[list[InFlight]] = [[] for _ in range(num_clusters)]
-        self._ready_pool = ready_pool
+        occupancy = [0] * num_clusters
+        self._occupancy = occupancy
+        self._window_size = config.cluster.window_size
+        last_issued = [-1] * num_clusters
+        self._last_issued = last_issued
+        queues = [self.queue_factory() for __ in range(num_clusters)]
+        self._queues = queues
+        # The queues' heap lists are stable objects (mutated in place), so
+        # the hot loop binds them directly instead of hopping through the
+        # queue objects every cluster every cycle.
+        wakeup_lists = [q.wakeup for q in queues]
+        ready_lists = [q.ready for q in queues]
+        self._wakeup_lists = wakeup_lists
+        self._pressure_memo: dict[tuple[int, int], tuple[tuple[int, int], int]] = {}
+        # Mutation counters only matter to the ready-pressure memo; skip
+        # their upkeep for policies that never query pressure.
+        pressure_tracking = getattr(steering, "uses_ready_pressure", True)
+        self._pressure_tracking = pressure_tracking
+
+        # Per-trace precomputation: port class, base latency and dependence
+        # adjacency, tabulated once instead of per dispatch/issue.
+        pclass = [0] * total
+        base_lat = [0] * total
+        port_and_latency = _PORT_AND_LATENCY
+        for i, instr in enumerate(trace):
+            pclass[i], base_lat[i] = port_and_latency[instr.opclass._value_]
+        adjacency = [deps.all_deps for deps in dependences]
+        # Scheduling priority of each instruction, computed once at dispatch.
+        prio: list[tuple | None] = [None] * total
+        self._prio = prio
 
         frontend = FrontEndModel(trace, mispredicted, config.frontend)
         memory = MemoryHierarchy(config.memory)
         ilp = IlpProfile() if self.collect_ilp else None
 
-        key = self.scheduler.priority_key
+        # Invariant config and collaborator lookups, hoisted out of the loop.
+        priority_key = self.scheduler.priority_key
         l1_hit = config.memory.l1.hit_latency
         cluster_cfg = config.cluster
+        issue_width = cluster_cfg.issue_width
         port_limits = (cluster_cfg.int_ports, cluster_cfg.fp_ports, cluster_cfg.mem_ports)
+        commit_width = config.commit_width
+        dispatch_width = config.dispatch_width
+        rob_size = config.rob_size
+        predictors = self.predictors
+        if predictors is not None:
+            predict_critical = predictors.predict_critical
+            predictor_loc = predictors.loc
+        trainer = self.trainer
+        steering_on_commit = (
+            steering.on_commit
+            if getattr(steering, "wants_commit_events", True)
+            else None
+        )
+        # With no trainer attached the predictors are frozen, so per-PC
+        # predictions -- and therefore scheduling priorities, which depend
+        # only on the prediction fields and the trace index -- are
+        # constants of the run.  Tabulate them up front (one predictor
+        # query per unique PC instead of one per dynamic instruction) and
+        # let dispatch read the priority array instead of recomputing.
+        frozen_priorities = trainer is None
+        if frozen_priorities:
+            if predictors is not None:
+                by_pc: dict[int, tuple[bool, float]] = {}
+                by_pc_get = by_pc.get
+                for index in range(total):
+                    pc = trace[index].pc
+                    hit = by_pc_get(pc)
+                    if hit is None:
+                        hit = by_pc[pc] = (predict_critical(pc), predictor_loc(pc))
+                    rec = records[index]
+                    rec.predicted_critical, rec.loc = hit
+                    prio[index] = priority_key(rec)
+            else:
+                for index in range(total):
+                    prio[index] = priority_key(records[index])
+
+        load_latency = memory.load_latency
+        store_access = memory.store_access
+        resolve_misprediction = frontend.resolve_misprediction
+        frontend_tick = frontend.tick
+        fetch_buffer = frontend._buffer
+        fetch_pop = fetch_buffer.popleft
+        redirect_sources = frontend._redirect_sources
+        next_fetch_time = frontend.next_fetch_time
+        wake_consumers = self._wake_consumers
+        remote_arrival = self._remote_arrival
+        completion = CommitReason.COMPLETION
+        commit_order = CommitReason.COMMIT_ORDER
+        load_class = OpClass.LOAD
+        cluster_range = range(num_clusters)
 
         global_values = 0
         rob_count = 0
         commit_ptr = 0
-        total = len(records)
         now = 0
+        ports_used = [0, 0, 0]
         # Cause of the current head-of-dispatch block, if any.
         head_block: tuple[DispatchReason, int | None] | None = None
         deadlock_limit = self.max_cycles
@@ -193,111 +327,253 @@ class ClusteredSimulator:
 
             # ---- commit phase -------------------------------------------
             committed = 0
-            while commit_ptr < total and committed < config.commit_width:
+            while committed < commit_width:
                 rec = records[commit_ptr]
-                if rec.complete_time < 0 or rec.complete_time + 1 > now:
+                complete = rec.complete_time
+                if complete < 0 or complete + 1 > now:
                     break
                 rec.commit_time = now
-                rec.commit_reason = (
-                    CommitReason.COMPLETION
-                    if rec.complete_time + 1 == now
-                    else CommitReason.COMMIT_ORDER
-                )
+                rec.commit_reason = completion if complete + 1 == now else commit_order
                 rob_count -= 1
                 commit_ptr += 1
                 committed += 1
-                if self.trainer is not None:
-                    self.trainer.on_commit(rec)
-                self.steering.on_commit(rec)
+                if trainer is not None:
+                    trainer.on_commit(rec)
+                if steering_on_commit is not None:
+                    steering_on_commit(rec)
+                if commit_ptr >= total:
+                    break
             if commit_ptr >= total:
                 break
 
             # ---- issue phase --------------------------------------------
             available_this_cycle = 0
             issued_this_cycle = 0
-            for cluster in range(num_clusters):
-                heap = wakeup[cluster]
-                pool = ready_pool[cluster]
-                while heap and heap[0][0] <= now:
-                    __, idx = heapq.heappop(heap)
-                    pool.append(records[idx])
+            for cluster in cluster_range:
+                wakeup_heap = wakeup_lists[cluster]
+                pool = ready_lists[cluster]
+                if wakeup_heap and wakeup_heap[0][0] <= now:
+                    # Inlined ClusterWakeupQueue.drain (the version bump
+                    # is unnecessary: moving a due entry from the wakeup
+                    # heap to the ready pool leaves the pressure count
+                    # unchanged, and the pop bump below covers the pops).
+                    while wakeup_heap and wakeup_heap[0][0] <= now:
+                        heappush(pool, heappop(wakeup_heap)[2])
                 if not pool:
                     continue
-                available_this_cycle += len(pool)
-                pool.sort(key=key)
-                leftovers: list[InFlight] = []
+                if ilp is not None:
+                    available_this_cycle += len(pool)
+                if pressure_tracking:
+                    queues[cluster].version += 1  # the pops mutate the pool
                 issued = 0
-                ports_used = [0, 0, 0]
-                for rec in pool:
-                    if issued >= cluster_cfg.issue_width:
-                        leftovers.append(rec)
+                ports_used[0] = ports_used[1] = ports_used[2] = 0
+                blocked = None
+                while pool and issued < issue_width:
+                    entry = heappop(pool)
+                    rec = entry[1]
+                    index = rec.index
+                    port = pclass[index]
+                    if ports_used[port] >= port_limits[port]:
+                        if blocked is None:
+                            blocked = [entry]
+                        else:
+                            blocked.append(entry)
                         continue
-                    pclass = _port_class(rec.instr.opclass)
-                    if ports_used[pclass] >= port_limits[pclass]:
-                        leftovers.append(rec)
-                        continue
-                    ports_used[pclass] += 1
+                    ports_used[port] += 1
                     issued += 1
-                    self._issue(rec, now, memory, l1_hit, frontend, mispredicted)
-                    self._occupancy[cluster] -= 1
-                    self._last_issued[cluster] = rec.index
-                    global_values += self._wake_consumers(rec, fwd)
-                ready_pool[cluster] = leftovers
+                    # Begin execution of ``rec`` at cycle ``now``.
+                    rec.issue_time = now
+                    latency = base_lat[index]
+                    if port == 2:
+                        instr = rec.instr
+                        if instr.opclass is load_class:
+                            access = load_latency(instr.mem_addr)
+                            latency += access
+                            extra = access - l1_hit
+                            if extra > 0:
+                                rec.mem_latency_extra = extra
+                        else:
+                            store_access(instr.mem_addr)
+                    rec.latency = latency
+                    complete = now + latency
+                    rec.complete_time = complete
+                    if index in mispredicted:
+                        resolve_misprediction(index, complete)
+                    occupancy[cluster] -= 1
+                    last_issued[cluster] = index
+                    if rec.waiters:
+                        global_values += wake_consumers(rec, fwd)
+                if blocked is not None:
+                    for entry in blocked:
+                        heappush(pool, entry)
                 issued_this_cycle += issued
             if ilp is not None:
                 ilp.record(available_this_cycle, issued_this_cycle)
 
             # ---- fetch phase --------------------------------------------
-            frontend.tick(now)
+            # Inlined tick() early-out: skip the call while fetch is
+            # blocked on a branch or the pipeline is still refilling.
+            if frontend._blocked_on is None and frontend._unblock_time <= now:
+                fetched = frontend_tick(now)
+            else:
+                fetched = 0
 
             # ---- dispatch/steer phase -----------------------------------
             dispatched = 0
-            while dispatched < config.dispatch_width:
-                head = frontend.peek()
-                if head is None:
-                    if not frontend.exhausted and frontend.blocked_on is not None:
-                        head_block = (
-                            DispatchReason.FETCH_REDIRECT,
-                            frontend.blocked_on,
-                        )
+            stall_guard = None
+            while dispatched < dispatch_width:
+                if not fetch_buffer:
+                    # Inlined ``not frontend.exhausted`` (the buffer is
+                    # already known to be empty here, so exhaustion is
+                    # just the cursor reaching the end of the trace).
+                    blocked_on = frontend._blocked_on
+                    if blocked_on is not None and frontend._cursor < total:
+                        head_block = (DispatchReason.FETCH_REDIRECT, blocked_on)
                     break
-                rec = records[head.index]
-                if rob_count >= config.rob_size:
-                    head_block = (DispatchReason.ROB_FULL, head.index - config.rob_size)
+                head = fetch_buffer[0]
+                index = head.index
+                rec = records[index]
+                if rob_count >= rob_size:
+                    head_block = (DispatchReason.ROB_FULL, index - rob_size)
                     break
-                if self.predictors is not None:
-                    rec.predicted_critical = self.predictors.predict_critical(head.pc)
-                    rec.loc = self.predictors.loc(head.pc)
-                decision = self.steering.choose(rec, self)
-                if decision.is_stall:
+                if not frozen_priorities and predictors is not None:
+                    pc = head.pc
+                    rec.predicted_critical = predict_critical(pc)
+                    rec.loc = predictor_loc(pc)
+                decision = steering.choose(rec, self)
+                cluster = decision.cluster
+                if cluster is None:
                     blocking = decision.blocking_cluster
-                    pred = (
-                        self._last_issued[blocking] if blocking is not None else None
-                    )
+                    pred = last_issued[blocking] if blocking is not None else None
                     head_block = (decision.stall_reason, pred)
+                    # A stalled steering decision can flip with the passage
+                    # of time alone: a completed producer leaves the
+                    # policy's in-flight set once its value is visible
+                    # everywhere (complete + fwd < now + 1).  Record the
+                    # earliest such expiry so idle-cycle skipping never
+                    # jumps past the cycle where the reference loop would
+                    # have re-evaluated this stall differently.
+                    for dep in rec.deps.reg_deps:
+                        complete = records[dep].complete_time
+                        if complete >= 0:
+                            expiry = complete + fwd
+                            if expiry > now and (
+                                stall_guard is None or expiry < stall_guard
+                            ):
+                                stall_guard = expiry
                     break
 
-                frontend.pop()
-                cluster = decision.cluster
+                fetch_pop()
                 rec.cluster = cluster
                 rec.steer_cause = decision.cause
                 rec.dispatch_time = now
-                self._set_dispatch_reason(rec, head_block, frontend)
-                head_block = None
-                self._occupancy[cluster] += 1
+                if head_block is not None:
+                    self._set_dispatch_reason(rec, head_block, frontend)
+                    head_block = None
+                else:
+                    # Inlined common case of _set_dispatch_reason.
+                    redirect = redirect_sources.get(index)
+                    if redirect is not None:
+                        rec.dispatch_reason = DispatchReason.FETCH_REDIRECT
+                        rec.dispatch_pred = redirect
+                    elif index:
+                        rec.dispatch_reason = DispatchReason.FETCH_BANDWIDTH
+                        rec.dispatch_pred = index - 1
+                    else:
+                        rec.dispatch_reason = DispatchReason.START
+                        rec.dispatch_pred = None
+                occupancy[cluster] += 1
                 rob_count += 1
-                global_values += self._wire_dependences(rec, records, wakeup, fwd)
+                if frozen_priorities:
+                    priority = prio[index]
+                else:
+                    priority = priority_key(rec)
+                    prio[index] = priority
+                # Inlined _wire_dependences: connect to producers, count
+                # new cross-cluster transfers, schedule the wakeup if all
+                # operands are already timed.
+                pending = 0
+                deps_tuple = adjacency[index]
+                if deps_tuple:
+                    mem_dep = rec.deps.mem_dep
+                    for dep in deps_tuple:
+                        producer = records[dep]
+                        if producer.issue_time < 0:
+                            producer.waiters.append(rec)
+                            pending += 1
+                            continue
+                        crossed = producer.cluster != cluster and dep != mem_dep
+                        if crossed:
+                            arrival, new = remote_arrival(producer, cluster, fwd)
+                            global_values += new
+                        else:
+                            arrival = producer.complete_time
+                        if arrival >= rec.operand_avail:
+                            rec.operand_avail = arrival
+                            rec.last_arriving_producer = dep
+                            rec.critical_operand_forwarded = crossed
+                rec.pending_deps = pending
+                if pending == 0:
+                    ready_time = now + 1
+                    if rec.operand_avail > ready_time:
+                        ready_time = rec.operand_avail
+                    rec.ready_time = ready_time
+                    if ready_time == now + 1 and not pressure_tracking:
+                        # Issue for this cycle already ran, so an
+                        # already-timed instruction can enter the ready
+                        # heap directly and skip the wakeup round-trip.
+                        # (With pressure tracking the wakeup heap is the
+                        # horizon the pressure count scans, so the entry
+                        # must pass through it.)
+                        heappush(ready_lists[cluster], (priority, rec))
+                    else:
+                        heappush(
+                            wakeup_lists[cluster],
+                            (ready_time, index, (priority, rec)),
+                        )
+                        if pressure_tracking:
+                            queues[cluster].version += 1
                 dispatched += 1
 
             now += 1
+            # ---- idle-cycle skipping ------------------------------------
+            # A cycle that committed, issued, fetched and dispatched nothing
+            # left the machine state bit-identical to its start (stalled
+            # steering/predictor queries are idempotent), so every following
+            # cycle repeats it verbatim until the next event: the earliest
+            # wakeup, the head of the ROB completing, or the front end
+            # becoming able to fetch again.  Jump the clock straight there.
+            # (Zero issues imply every ready pool is empty: the first entry
+            # popped from a non-empty pool always finds a free port.)
+            if not (committed or issued_this_cycle or fetched or dispatched):
+                head_complete = records[commit_ptr].complete_time
+                next_event = head_complete + 1 if head_complete >= 0 else None
+                for wakeup_heap in wakeup_lists:
+                    if wakeup_heap:
+                        ready_time = wakeup_heap[0][0]
+                        if next_event is None or ready_time < next_event:
+                            next_event = ready_time
+                fetch_time = next_fetch_time()
+                if fetch_time is not None and (
+                    next_event is None or fetch_time < next_event
+                ):
+                    next_event = fetch_time
+                if stall_guard is not None and (
+                    next_event is None or stall_guard < next_event
+                ):
+                    next_event = stall_guard
+                if next_event is not None and next_event > now:
+                    if ilp is not None:
+                        ilp.record_idle(next_event - now)
+                    now = next_event
             if deadlock_limit is not None and now > deadlock_limit:
                 raise SimulationDeadlock(
                     f"exceeded {deadlock_limit} cycles with "
                     f"{commit_ptr}/{total} committed"
                 )
 
-        if self.trainer is not None:
-            self.trainer.finish()
+        if trainer is not None:
+            trainer.finish()
         return SimulationResult(
             config=config,
             records=records,
@@ -307,37 +583,13 @@ class ClusteredSimulator:
             l1_hits=memory.l1.hits,
             l1_misses=memory.l1.misses,
             ilp_profile=ilp,
-            steering_name=self.steering.name,
+            steering_name=steering.name,
             scheduler_name=self.scheduler.name,
         )
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _issue(
-        self,
-        rec: InFlight,
-        now: int,
-        memory: MemoryHierarchy,
-        l1_hit: int,
-        frontend: FrontEndModel,
-        mispredicted: frozenset[int],
-    ) -> None:
-        """Begin execution of ``rec`` at cycle ``now``."""
-        instr = rec.instr
-        rec.issue_time = now
-        latency = instr.base_latency
-        if instr.is_load:
-            access = memory.load_latency(instr.mem_addr)
-            latency += access
-            rec.mem_latency_extra = max(0, access - l1_hit)
-        elif instr.is_store:
-            memory.store_access(instr.mem_addr)
-        rec.latency = latency
-        rec.complete_time = now + latency
-        if instr.index in mispredicted:
-            frontend.resolve_misprediction(instr.index, rec.complete_time)
-
     def _wake_consumers(self, producer: InFlight, fwd: int) -> int:
         """Notify dispatched consumers that ``producer``'s result is timed.
 
@@ -345,61 +597,41 @@ class ClusteredSimulator:
         """
         transfers = 0
         complete = producer.complete_time
+        producer_index = producer.index
+        producer_cluster = producer.cluster
+        queues = self._queues
+        wakeup_lists = self._wakeup_lists
+        pressure_tracking = self._pressure_tracking
+        prio = self._prio
         for waiter in producer.waiters:
-            is_mem_dep = waiter.deps.mem_dep == producer.index
-            crossed = not is_mem_dep and waiter.cluster != producer.cluster
+            cluster = waiter.cluster
+            crossed = cluster != producer_cluster and (
+                waiter.deps.mem_dep != producer_index
+            )
             if crossed:
-                arrival, new = self._remote_arrival(producer, waiter.cluster, fwd)
+                arrival, new = self._remote_arrival(producer, cluster, fwd)
                 transfers += new
             else:
                 arrival = complete
             if arrival >= waiter.operand_avail:
                 waiter.operand_avail = arrival
-                waiter.last_arriving_producer = producer.index
+                waiter.last_arriving_producer = producer_index
                 waiter.critical_operand_forwarded = crossed
-            waiter.pending_deps -= 1
-            if waiter.pending_deps == 0:
-                waiter.ready_time = max(waiter.dispatch_time + 1, waiter.operand_avail)
-                heapq.heappush(
-                    self._wakeup[waiter.cluster], (waiter.ready_time, waiter.index)
+            pending = waiter.pending_deps - 1
+            waiter.pending_deps = pending
+            if pending == 0:
+                ready_time = waiter.dispatch_time + 1
+                if waiter.operand_avail > ready_time:
+                    ready_time = waiter.operand_avail
+                waiter.ready_time = ready_time
+                index = waiter.index
+                heappush(
+                    wakeup_lists[cluster],
+                    (ready_time, index, (prio[index], waiter)),
                 )
+                if pressure_tracking:
+                    queues[cluster].version += 1
         producer.waiters = []
-        return transfers
-
-    def _wire_dependences(
-        self,
-        rec: InFlight,
-        records: list[InFlight],
-        wakeup: list[list[tuple[int, int]]],
-        fwd: int,
-    ) -> int:
-        """Connect a newly dispatched instruction to its producers.
-
-        Returns the number of new cross-cluster value transfers.
-        """
-        pending = 0
-        transfers = 0
-        for dep in rec.deps.all_deps:
-            producer = records[dep]
-            if producer.issue_time < 0:
-                producer.waiters.append(rec)
-                pending += 1
-                continue
-            is_mem_dep = rec.deps.mem_dep == dep
-            crossed = not is_mem_dep and producer.cluster != rec.cluster
-            if crossed:
-                arrival, new = self._remote_arrival(producer, rec.cluster, fwd)
-                transfers += new
-            else:
-                arrival = producer.complete_time
-            if arrival >= rec.operand_avail:
-                rec.operand_avail = arrival
-                rec.last_arriving_producer = producer.index
-                rec.critical_operand_forwarded = crossed
-        rec.pending_deps = pending
-        if pending == 0:
-            rec.ready_time = max(rec.dispatch_time + 1, rec.operand_avail)
-            heapq.heappush(wakeup[rec.cluster], (rec.ready_time, rec.index))
         return transfers
 
     def _remote_arrival(

@@ -40,7 +40,7 @@ class MachineView(Protocol):
         ...
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SteeringDecision:
     """Outcome of one steering choice.
 
@@ -64,9 +64,23 @@ class SteeringPolicy:
     """Base class for steering policies."""
 
     name: str = "base"
+    # Hot-loop hints for the simulator.  ``wants_commit_events`` lets it
+    # skip the per-commit ``on_commit`` callback for policies that do not
+    # learn at retirement; ``uses_ready_pressure`` enables the mutation
+    # counters that keep ``cluster_ready_pressure`` memoization exact.
+    # Both default to the conservative setting for unknown subclasses
+    # (callbacks delivered, pressure computed fresh on every query).
+    wants_commit_events: bool = True
+    uses_ready_pressure: bool = False
+    # Cached (machine, records, occupancy, window_size) fast-path view,
+    # re-resolved whenever the machine object changes and dropped on
+    # reset() -- both simulators reset the policy before rebinding their
+    # per-run state lists, so a stale view can never leak across runs.
+    _mview: tuple | None = None
 
     def reset(self) -> None:
         """Clear per-run state (called once per simulation)."""
+        self._mview = None
 
     def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
         """Pick a cluster (or stall) for ``instr``."""
@@ -76,6 +90,41 @@ class SteeringPolicy:
         """Observe a retiring instruction (used by learning policies)."""
 
 
+# SteeringDecision is frozen, so identical decisions are freely shared.
+# Steering policies return decisions from a tiny value space (cluster x
+# cause, or stall-reason x blocking-cluster), and every dispatch allocates
+# one -- interning them removes that allocation from the hot path.  The
+# cache keys use the enums' string values (hash computed once and cached
+# by the str object) instead of the members themselves, whose ``__hash__``
+# is a Python-level call.
+_STEER_CACHE: dict[tuple[int, str], SteeringDecision] = {}
+_STALL_CACHE: dict[tuple[str, int | None], SteeringDecision] = {}
+
+
+def steer_decision(cluster: int, cause: SteerCause) -> SteeringDecision:
+    """Interned "steer to ``cluster`` because ``cause``" decision."""
+    key = (cluster, cause._value_)
+    decision = _STEER_CACHE.get(key)
+    if decision is None:
+        decision = SteeringDecision(cluster, cause)
+        _STEER_CACHE[key] = decision
+    return decision
+
+
+def stall_decision(
+    reason: DispatchReason, blocking_cluster: int | None
+) -> SteeringDecision:
+    """Interned "stall dispatch because ``reason``" decision."""
+    key = (reason._value_, blocking_cluster)
+    decision = _STALL_CACHE.get(key)
+    if decision is None:
+        decision = SteeringDecision(
+            cluster=None, stall_reason=reason, blocking_cluster=blocking_cluster
+        )
+        _STALL_CACHE[key] = decision
+    return decision
+
+
 def least_loaded_cluster(machine: MachineView, require_space: bool = True) -> int | None:
     """The cluster with the fewest in-flight instructions.
 
@@ -83,12 +132,29 @@ def least_loaded_cluster(machine: MachineView, require_space: bool = True) -> in
     None is returned when every window is full.  Ties break toward the
     lowest-numbered cluster for determinism.
     """
+    occupancy = getattr(machine, "_occupancy", None)
+    if occupancy is not None:
+        # Both simulators track occupancy as one list, and
+        # ``window_free(c) == window_size - occupancy[c]`` -- so one probe
+        # recovers the window size and the scan walks the list directly
+        # instead of paying two method calls per cluster.
+        window_size = machine.window_free(0) + occupancy[0]
+        best = None
+        best_load = None
+        for cluster, load in enumerate(occupancy):
+            if require_space and load >= window_size:
+                continue
+            if best_load is None or load < best_load:
+                best, best_load = cluster, load
+        return best
+    window_free = machine.window_free
+    cluster_load = machine.cluster_load
     best = None
     best_load = None
     for cluster in range(machine.num_clusters):
-        if require_space and machine.window_free(cluster) <= 0:
+        if require_space and window_free(cluster) <= 0:
             continue
-        load = machine.cluster_load(cluster)
+        load = cluster_load(cluster)
         if best_load is None or load < best_load:
             best, best_load = cluster, load
     return best
@@ -97,8 +163,4 @@ def least_loaded_cluster(machine: MachineView, require_space: bool = True) -> in
 def structural_stall(machine: MachineView) -> SteeringDecision:
     """The decision to return when every cluster window is full."""
     fullest = max(range(machine.num_clusters), key=machine.cluster_load)
-    return SteeringDecision(
-        cluster=None,
-        stall_reason=DispatchReason.CLUSTER_FULL,
-        blocking_cluster=fullest,
-    )
+    return stall_decision(DispatchReason.CLUSTER_FULL, fullest)

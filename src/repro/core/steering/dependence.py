@@ -24,37 +24,115 @@ from dataclasses import dataclass
 
 from repro.core.instruction import DispatchReason, InFlight, SteerCause
 from repro.core.steering.base import (
+    _STEER_CACHE,
     MachineView,
     SteeringDecision,
     SteeringPolicy,
     least_loaded_cluster,
+    stall_decision,
+    steer_decision,
     structural_stall,
 )
 from repro.util.counters import SaturatingCounter
+
+# Hoisted pieces of the interned-decision lookup (see base._STEER_CACHE):
+# the hot ``choose`` bodies below probe the cache inline with string cause
+# values instead of paying a call plus an enum access per dispatch.
+_steer_cache_get = _STEER_CACHE.get
+_NO_PRODUCER = SteerCause.NO_PRODUCER
+_PRODUCER = SteerCause.PRODUCER
+_DYADIC = SteerCause.DYADIC
+_NO_PRODUCER_V = _NO_PRODUCER._value_
+_PRODUCER_V = _PRODUCER._value_
+_DYADIC_V = _DYADIC._value_
 
 
 class DependenceSteering(SteeringPolicy):
     """Plain dependence-based steering with load-balance fallback."""
 
     name = "dependence"
+    wants_commit_events = False
 
     def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
-        producers = self._in_flight_producers(instr, machine)
-        if not producers:
+        view = self._mview
+        if view is None or view[0] is not machine:
+            self._mview = view = (
+                machine,
+                getattr(machine, "_records", None),
+                getattr(machine, "_occupancy", None),
+                getattr(machine, "_window_size", None),
+            )
+        records = view[1]
+        # Inlined _in_flight_producers for the direct-record-list case:
+        # the single-producer outcome (by far the most common) never
+        # builds a list at all.
+        first = None
+        producers = None
+        if records is not None:
+            reg_deps = instr.deps.reg_deps
+            if reg_deps:
+                visible_before = machine.now + 1 - machine.forwarding_latency
+                for dep in reg_deps:
+                    producer = records[dep]
+                    complete = producer.complete_time
+                    if complete < 0 or complete >= visible_before:
+                        if first is None:
+                            first = producer
+                        elif producers is None:
+                            producers = [first, producer]
+                        else:
+                            producers.append(producer)
+        else:
+            found = self._in_flight_producers(instr, machine)
+            if found:
+                first = found[0]
+                if len(found) > 1:
+                    producers = found
+
+        if first is None:
             cluster = least_loaded_cluster(machine)
             if cluster is None:
                 return structural_stall(machine)
-            return SteeringDecision(cluster, SteerCause.NO_PRODUCER)
+            decision = _steer_cache_get((cluster, _NO_PRODUCER_V))
+            return decision if decision is not None else steer_decision(
+                cluster, _NO_PRODUCER
+            )
 
-        ranked = self._ranked_producers(producers)
-        clusters = {p.cluster for p in producers}
-        cause = SteerCause.DYADIC if len(clusters) > 1 else SteerCause.PRODUCER
+        if producers is None:
+            ranked = (first,)
+            cause_value = _PRODUCER_V
+        else:
+            ranked = self._ranked_producers(producers)
+            first_cluster = producers[0].cluster
+            cause_value = _PRODUCER_V
+            for producer in producers:
+                if producer.cluster != first_cluster:
+                    cause_value = _DYADIC_V
+                    break
         # "Whenever there is a choice of cluster to which a consumer can be
         # sent": any producer's cluster keeps locality, so try them all in
-        # preference order before giving up.
-        for producer in ranked:
-            if machine.window_free(producer.cluster) > 0:
-                return SteeringDecision(producer.cluster, cause)
+        # preference order before giving up.  When the machine exposes its
+        # occupancy list and window size, test for space directly instead
+        # of paying a method call per candidate.
+        window_size = view[3]
+        if window_size is not None:
+            occupancy = view[2]
+            for producer in ranked:
+                cluster = producer.cluster
+                if occupancy[cluster] < window_size:
+                    decision = _steer_cache_get((cluster, cause_value))
+                    return decision if decision is not None else steer_decision(
+                        cluster, SteerCause(cause_value)
+                    )
+        else:
+            window_free = machine.window_free
+            for producer in ranked:
+                cluster = producer.cluster
+                if window_free(cluster) > 0:
+                    decision = _steer_cache_get((cluster, cause_value))
+                    return decision if decision is not None else steer_decision(
+                        cluster, SteerCause(cause_value)
+                    )
         return self._handle_full_desired(instr, machine, ranked[0], ranked[0].cluster)
 
     def _handle_full_desired(
@@ -68,7 +146,7 @@ class DependenceSteering(SteeringPolicy):
         cluster = least_loaded_cluster(machine)
         if cluster is None:
             return structural_stall(machine)
-        return SteeringDecision(cluster, SteerCause.LOAD_BALANCE_FULL)
+        return steer_decision(cluster, SteerCause.LOAD_BALANCE_FULL)
 
     def _in_flight_producers(
         self, instr: InFlight, machine: MachineView
@@ -79,14 +157,26 @@ class DependenceSteering(SteeringPolicy):
         broadcast to remote clusters: until ``complete + forwarding`` has
         passed, collocating with it saves the forwarding latency.
         """
+        reg_deps = instr.deps.reg_deps
+        if not reg_deps:
+            return []
         producers = []
-        horizon = machine.now + 1
-        for dep in instr.deps.reg_deps:
-            producer = machine.record(dep)
-            if (
-                producer.complete_time < 0
-                or producer.complete_time + machine.forwarding_latency >= horizon
-            ):
+        visible_before = machine.now + 1 - machine.forwarding_latency
+        # Index the simulator's record list directly when it is exposed;
+        # ``machine.record`` is the same lookup behind a method call.
+        records = getattr(machine, "_records", None)
+        if records is not None:
+            for dep in reg_deps:
+                producer = records[dep]
+                complete = producer.complete_time
+                if complete < 0 or complete >= visible_before:
+                    producers.append(producer)
+            return producers
+        record = machine.record
+        for dep in reg_deps:
+            producer = record(dep)
+            complete = producer.complete_time
+            if complete < 0 or complete >= visible_before:
                 producers.append(producer)
         return producers
 
@@ -97,6 +187,8 @@ class DependenceSteering(SteeringPolicy):
         youngest in-flight operand is the one most likely to arrive last, so
         collocating with it hides the most latency.
         """
+        if len(producers) == 1:
+            return producers
         return sorted(producers, key=lambda p: p.index, reverse=True)
 
 
@@ -134,9 +226,15 @@ class CriticalitySteering(DependenceSteering):
         if self.config.proactive:
             parts.append("proactive")
         self.name = "+".join(parts)
+        # Only the proactive stack learns from retiring instructions; the
+        # consumer-LoC and followed-producer bookkeeping below feeds that
+        # learning exclusively, so non-proactive configurations skip it.
+        self._proactive = self.config.proactive
+        self.wants_commit_events = self.config.proactive
         self.reset()
 
     def reset(self) -> None:
+        self._mview = None
         # Producers already followed by one consumer (proactive rule).
         self._followed: set[int] = set()
         # Highest consumer LoC seen per producing instruction (trace index).
@@ -147,30 +245,94 @@ class CriticalitySteering(DependenceSteering):
         self._balance_candidates: dict[int, SaturatingCounter] = {}
 
     def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
-        producers = self._in_flight_producers(instr, machine)
-        if not producers:
+        view = self._mview
+        if view is None or view[0] is not machine:
+            self._mview = view = (
+                machine,
+                getattr(machine, "_records", None),
+                getattr(machine, "_occupancy", None),
+                getattr(machine, "_window_size", None),
+            )
+        records = view[1]
+        first = None
+        producers = None
+        if records is not None:
+            reg_deps = instr.deps.reg_deps
+            if reg_deps:
+                visible_before = machine.now + 1 - machine.forwarding_latency
+                for dep in reg_deps:
+                    producer = records[dep]
+                    complete = producer.complete_time
+                    if complete < 0 or complete >= visible_before:
+                        if first is None:
+                            first = producer
+                        elif producers is None:
+                            producers = [first, producer]
+                        else:
+                            producers.append(producer)
+        else:
+            found = self._in_flight_producers(instr, machine)
+            if found:
+                first = found[0]
+                if len(found) > 1:
+                    producers = found
+
+        if first is None:
             cluster = least_loaded_cluster(machine)
             if cluster is None:
                 return structural_stall(machine)
-            return SteeringDecision(cluster, SteerCause.NO_PRODUCER)
+            decision = _steer_cache_get((cluster, _NO_PRODUCER_V))
+            return decision if decision is not None else steer_decision(
+                cluster, _NO_PRODUCER
+            )
 
-        ranked = self._ranked_producers(producers)
-        preferred = ranked[0]
-        clusters = {p.cluster for p in producers}
-        cause = SteerCause.DYADIC if len(clusters) > 1 else SteerCause.PRODUCER
+        if producers is None:
+            ranked = (first,)
+            cause_value = _PRODUCER_V
+            preferred = first
+        else:
+            ranked = self._ranked_producers(producers)
+            preferred = ranked[0]
+            first_cluster = producers[0].cluster
+            cause_value = _PRODUCER_V
+            for producer in producers:
+                if producer.cluster != first_cluster:
+                    cause_value = _DYADIC_V
+                    break
 
-        self._note_consumer(instr, producers)
-        if self.config.proactive and self._should_balance_away(instr, preferred):
-            cluster = least_loaded_cluster(machine)
-            if cluster is None:
-                return structural_stall(machine)
-            self._followed.add(preferred.index)
-            return SteeringDecision(cluster, SteerCause.PROACTIVE)
+        proactive = self._proactive
+        if proactive:
+            self._note_consumer(instr, producers if producers is not None else ranked)
+            if self._should_balance_away(instr, preferred):
+                cluster = least_loaded_cluster(machine)
+                if cluster is None:
+                    return structural_stall(machine)
+                self._followed.add(preferred.index)
+                return steer_decision(cluster, SteerCause.PROACTIVE)
 
-        for producer in ranked:
-            if machine.window_free(producer.cluster) > 0:
-                self._followed.add(producer.index)
-                return SteeringDecision(producer.cluster, cause)
+        window_size = view[3]
+        if window_size is not None:
+            occupancy = view[2]
+            for producer in ranked:
+                cluster = producer.cluster
+                if occupancy[cluster] < window_size:
+                    if proactive:
+                        self._followed.add(producer.index)
+                    decision = _steer_cache_get((cluster, cause_value))
+                    return decision if decision is not None else steer_decision(
+                        cluster, SteerCause(cause_value)
+                    )
+        else:
+            window_free = machine.window_free
+            for producer in ranked:
+                cluster = producer.cluster
+                if window_free(cluster) > 0:
+                    if proactive:
+                        self._followed.add(producer.index)
+                    decision = _steer_cache_get((cluster, cause_value))
+                    return decision if decision is not None else steer_decision(
+                        cluster, SteerCause(cause_value)
+                    )
         return self._handle_full_desired(instr, machine, preferred, preferred.cluster)
 
     def on_commit(self, instr: InFlight) -> None:
@@ -192,6 +354,8 @@ class CriticalitySteering(DependenceSteering):
                 self._max_consumer_loc.clear()
 
     def _ranked_producers(self, producers: list[InFlight]) -> list[InFlight]:
+        if len(producers) == 1:
+            return producers
         if self.config.preference == "binary":
             # Focused steering: a predicted-critical producer always wins.
             return sorted(
@@ -212,15 +376,11 @@ class CriticalitySteering(DependenceSteering):
             self.config.stall_over_steer
             and instr.loc >= self.config.stall_loc_threshold
         ):
-            return SteeringDecision(
-                cluster=None,
-                stall_reason=DispatchReason.STEER_STALL,
-                blocking_cluster=desired,
-            )
+            return stall_decision(DispatchReason.STEER_STALL, desired)
         cluster = least_loaded_cluster(machine)
         if cluster is None:
             return structural_stall(machine)
-        return SteeringDecision(cluster, SteerCause.LOAD_BALANCE_FULL)
+        return steer_decision(cluster, SteerCause.LOAD_BALANCE_FULL)
 
     def _note_consumer(self, instr: InFlight, producers: list[InFlight]) -> None:
         """Track the most critical consumer seen for each produced value."""

@@ -24,6 +24,7 @@ from repro.core.instruction import InFlight, SteerCause
 from repro.core.steering.base import (
     MachineView,
     SteeringDecision,
+    steer_decision,
     structural_stall,
 )
 from repro.core.steering.dependence import (
@@ -50,6 +51,8 @@ def least_ready_pressure_cluster(
 
 class ReadinessAwareSteering(CriticalitySteering):
     """The full policy stack with readiness-aware load balancing."""
+
+    uses_ready_pressure = True
 
     def __init__(
         self,
@@ -82,4 +85,4 @@ class ReadinessAwareSteering(CriticalitySteering):
         target = self._balance_target(machine)
         if target is None:
             return structural_stall(machine)
-        return SteeringDecision(target, decision.cause)
+        return steer_decision(target, decision.cause)

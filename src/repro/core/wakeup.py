@@ -1,0 +1,114 @@
+"""Per-cluster event-driven wakeup and ready queues.
+
+One :class:`ClusterWakeupQueue` holds the scheduling-window state of a
+single cluster in two min-heaps:
+
+* the **wakeup heap** -- instructions whose operands are all timed but
+  not yet available, keyed by the cycle they become ready; entries are
+  ``(ready_time, trace_index, ready_entry)`` so ordering is total and
+  deterministic without ever comparing records;
+* the **ready pool** -- instructions ready to issue, keyed by the
+  scheduling policy's priority tuple; entries are ``(priority, record)``
+  and priority tuples always end in the trace index, so they are unique
+  and the heap realizes exactly the order a full sort would.
+
+The simulator computes each instruction's priority **once at dispatch**
+(predictor samples never change afterwards) instead of re-sorting every
+cluster's pool every cycle, and drains the wakeup heap lazily -- the
+scan-free, event-driven wakeup the per-cycle reference loop lacks.
+
+``version`` is a monotonic mutation counter: it increments on every
+structural change to either heap, so derived quantities (the steering
+view's ready-pressure count) can be memoized per ``(cycle, version)``
+stamp and stay exact -- the memo is a pure cache, never a semantic
+change.
+
+Invariants (enforced by ``tests/test_wakeup_invariants.py``):
+
+* :meth:`drain` at cycle ``now`` yields every entry with
+  ``ready_time <= now`` and nothing else -- an entry never surfaces
+  before its ready time, and never lingers past it;
+* :meth:`schedule` is only ever called with a ready time strictly in
+  the future, so a drained entry's ready time is never "in the past"
+  relative to the cycle that scheduled it;
+* :meth:`pressure` equals the brute-force recount over both heaps after
+  any sequence of mutations.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any
+
+__all__ = ["ClusterWakeupQueue"]
+
+
+class ClusterWakeupQueue:
+    """Wakeup heap + priority-ordered ready pool for one cluster."""
+
+    __slots__ = ("wakeup", "ready", "version")
+
+    def __init__(self) -> None:
+        # (ready_time, trace_index, ready_entry) min-heap.
+        self.wakeup: list[tuple[int, int, Any]] = []
+        # (priority_tuple, record) min-heap.
+        self.ready: list[Any] = []
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    def schedule(self, ready_time: int, index: int, entry: Any) -> None:
+        """Enqueue ``entry`` to surface in the ready pool at ``ready_time``."""
+        heappush(self.wakeup, (ready_time, index, entry))
+        self.version += 1
+
+    def drain(self, now: int) -> int:
+        """Move every entry with ``ready_time <= now`` into the ready pool.
+
+        Returns the number of entries moved.  O(1) when nothing is due.
+        """
+        wakeup = self.wakeup
+        if not wakeup or wakeup[0][0] > now:
+            return 0
+        ready = self.ready
+        moved = 0
+        while wakeup and wakeup[0][0] <= now:
+            heappush(ready, heappop(wakeup)[2])
+            moved += 1
+        self.version += 1
+        return moved
+
+    def pop_ready(self) -> Any:
+        """Remove and return the highest-priority ready entry."""
+        self.version += 1
+        return heappop(self.ready)
+
+    def requeue_ready(self, entry: Any) -> None:
+        """Reinsert an entry popped this cycle but not issued (port-blocked).
+
+        ``pop_ready`` already bumped ``version`` for the same phase, and
+        memo stamps only need to change when contents change, so this
+        bumps again for symmetry rather than correctness.
+        """
+        heappush(self.ready, entry)
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    def next_wakeup(self) -> int | None:
+        """Earliest pending ready time, or None when the heap is empty."""
+        return self.wakeup[0][0] if self.wakeup else None
+
+    def ready_count(self) -> int:
+        """Instructions ready to issue right now."""
+        return len(self.ready)
+
+    def pressure(self, now: int, horizon: int = 0) -> int:
+        """Ready-or-soon-ready count: the steering view's raw signal."""
+        deadline = now + horizon
+        count = len(self.ready)
+        for ready_time, __, ___ in self.wakeup:
+            if ready_time <= deadline:
+                count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self.ready) + len(self.wakeup)

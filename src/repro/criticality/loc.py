@@ -81,6 +81,13 @@ class PredictorSuite:
 
     binary: "BinaryCriticalityPredictor" = None  # type: ignore[assignment]
     loc_predictor: LocPredictor = field(default_factory=LocPredictor)
+    # Per-PC memo of the two dispatch-time queries.  Predictions are pure
+    # functions of the per-PC counter state, so each entry stays valid until
+    # the next :meth:`train` for that PC invalidates it.  Dispatch samples
+    # every instruction but training arrives in retirement chunks, so the
+    # memo turns the common re-query of a hot PC into one dict hit.
+    _crit_memo: dict[int, bool] = field(default_factory=dict)
+    _loc_memo: dict[int, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.binary is None:
@@ -92,11 +99,21 @@ class PredictorSuite:
         """Train both predictors with one detected instance."""
         self.binary.train(pc, critical)
         self.loc_predictor.train(pc, critical)
+        self._crit_memo.pop(pc, None)
+        self._loc_memo.pop(pc, None)
 
     def predict_critical(self, pc: int) -> bool:
         """Binary criticality prediction for ``pc``."""
-        return self.binary.predict(pc)
+        memo = self._crit_memo
+        hit = memo.get(pc)
+        if hit is None:
+            hit = memo[pc] = self.binary.predict(pc)
+        return hit
 
     def loc(self, pc: int) -> float:
         """Likelihood-of-criticality estimate for ``pc``."""
-        return self.loc_predictor.value(pc)
+        memo = self._loc_memo
+        hit = memo.get(pc)
+        if hit is None:
+            hit = memo[pc] = self.loc_predictor.value(pc)
+        return hit

@@ -40,7 +40,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness -> parallel)
 # Bump whenever simulation output legitimately changes (timing model,
 # policies, trace generation, serialization schema): old entries must not
 # satisfy new lookups.
-CACHE_SCHEMA_VERSION = 1
+# 2: RunJob grew the ``sim`` field (event vs reference timing loop).
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -65,6 +66,7 @@ def job_key(job: RunJob) -> str:
         "policy": job.policy,
         "collect_ilp": job.collect_ilp,
         "warm": job.warm,
+        "sim": job.sim,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -120,15 +120,19 @@ class Workbench:
         loc_mode: str = "probabilistic",
         workers: int = 0,
         cache: RunCache | None = None,
+        sim: str = "event",
     ):
         if instructions <= 0:
             raise ValueError("instructions must be positive")
+        if sim not in ("event", "reference"):
+            raise ValueError(f"unknown simulator {sim!r}; want 'event' or 'reference'")
         self.instructions = instructions
         self.seed = seed
         self.benchmarks = tuple(benchmarks if benchmarks is not None else SUITE)
         self.loc_mode = loc_mode
         self.workers = workers
         self.cache = cache
+        self.sim = sim
         self.simulations_run = 0
         self._prepared: dict[str, PreparedWorkload] = {}
         self._run_cache: dict[tuple, SimulationResult] = {}
@@ -162,6 +166,7 @@ class Workbench:
             policy=policy,
             collect_ilp=collect_ilp,
             warm=warm,
+            sim=self.sim,
         )
 
     @staticmethod
@@ -170,7 +175,14 @@ class Workbench:
         # key the cache -- two configs differing only in, say, forwarding
         # bandwidth or memory hierarchy must not collide.  ``warm`` is part
         # of the key: a cold run must never be satisfied by a warm result.
-        return (job.kernel, job.config, job.policy, job.collect_ilp, job.warm)
+        return (
+            job.kernel,
+            job.config,
+            job.policy,
+            job.collect_ilp,
+            job.warm,
+            job.sim,
+        )
 
     def run(
         self,

@@ -70,6 +70,11 @@ class RunJob:
     policy: str
     collect_ilp: bool = False
     warm: bool = True
+    # Which timing loop runs the job: "event" (the optimized simulator) or
+    # "reference" (the pre-optimization loop kept as a differential oracle).
+    # The two are bit-identical, but they are distinct code paths, so the
+    # cache keys over this field like any other.
+    sim: str = "event"
 
 
 def default_workers() -> int:
@@ -104,6 +109,14 @@ def execute_job(
     # Imported here, not at module top: harness imports this module.
     from repro.experiments.harness import build_policy
 
+    if job.sim == "event":
+        sim_cls = ClusteredSimulator
+    elif job.sim == "reference":
+        from repro.core.reference import ReferenceSimulator
+
+        sim_cls = ReferenceSimulator
+    else:
+        raise ValueError(f"unknown simulator {job.sim!r}; want 'event' or 'reference'")
     if prepared is None:
         prepared = prepare_workload(job.kernel, job.instructions, job.seed)
     max_cycles = _MAX_CPI_GUARD * len(prepared.trace) + 10_000
@@ -116,7 +129,7 @@ def execute_job(
         )
         trainer = ChunkedCriticalityTrainer(suite)
         if job.warm:
-            warm_sim = ClusteredSimulator(
+            warm_sim = sim_cls(
                 job.config,
                 steering=steering,
                 scheduler=scheduler,
@@ -127,7 +140,7 @@ def execute_job(
             warm_sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
             # Fresh policy state for the measured run; predictors stay warm.
             steering, scheduler, __ = build_policy(job.policy)
-    sim = ClusteredSimulator(
+    sim = sim_cls(
         job.config,
         steering=steering,
         scheduler=scheduler,

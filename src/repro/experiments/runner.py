@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent result cache",
     )
     parser.add_argument(
+        "--reference-sim",
+        action="store_true",
+        help="run every simulation on the pre-optimization reference loop "
+        "(repro.core.reference) instead of the event-driven simulator; "
+        "results are bit-identical, only slower -- an escape hatch for "
+        "cross-checking the optimized hot path",
+    )
+    parser.add_argument(
         "--out",
         type=pathlib.Path,
         help="also write each figure's table to this directory",
@@ -114,6 +122,7 @@ def main(argv: list[str] | None = None) -> int:
         benchmarks=benchmarks,
         workers=args.workers,
         cache=cache,
+        sim="reference" if args.reference_sim else "event",
     )
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)

@@ -60,6 +60,13 @@ class FrontEndModel:
         self._trace = trace
         self._mispredicted = mispredicted
         self.config = config or FrontEndConfig()
+        # Hoisted config/trace invariants: tick() runs once per simulated
+        # cycle, so it reads these plain attributes rather than chasing the
+        # config object every time.
+        self._width = self.config.width
+        self._buffer_size = self.config.buffer_size
+        self._break_taken = self.config.break_on_taken_branch
+        self._trace_len = len(trace)
         self._cursor = 0
         self._buffer: deque[DynamicInstruction] = deque()
         # The first instructions reach dispatch after the pipeline fills.
@@ -80,29 +87,55 @@ class FrontEndModel:
         """Index of the mispredicted branch fetch is waiting on, if any."""
         return self._blocked_on
 
-    def tick(self, now: int) -> None:
-        """Fetch up to ``width`` instructions into the buffer this cycle."""
+    def tick(self, now: int) -> int:
+        """Fetch up to ``width`` instructions this cycle; return the count."""
         if self._blocked_on is not None or now < self._unblock_time:
-            return
+            return 0
+        cursor = self._cursor
+        trace_len = self._trace_len
+        if cursor >= trace_len:
+            return 0
+        trace = self._trace
+        buffer = self._buffer
+        mispredicted = self._mispredicted
+        break_taken = self._break_taken
         fetched = 0
-        config = self.config
-        while (
-            fetched < config.width
-            and self._cursor < len(self._trace)
-            and len(self._buffer) < config.buffer_size
-        ):
-            instr = self._trace[self._cursor]
-            self._buffer.append(instr)
-            self._cursor += 1
+        width = self._width
+        room = self._buffer_size - len(buffer)
+        if room < width:
+            width = room
+        while fetched < width and cursor < trace_len:
+            instr = trace[cursor]
+            buffer.append(instr)
+            cursor += 1
             fetched += 1
             if self._pending_redirect is not None:
                 self._redirect_sources[instr.index] = self._pending_redirect
                 self._pending_redirect = None
-            if instr.index in self._mispredicted:
+            if instr.index in mispredicted:
                 self._blocked_on = instr.index
                 break
-            if config.break_on_taken_branch and instr.is_branch and instr.taken:
+            if break_taken and instr.is_branch and instr.taken:
                 break
+        self._cursor = cursor
+        return fetched
+
+    def next_fetch_time(self) -> int | None:
+        """Earliest future cycle at which :meth:`tick` could fetch again.
+
+        None when fetch is waiting on an unresolved branch, the trace is
+        exhausted, or the buffer is full -- all conditions only dispatch
+        or execution progress can clear.  Used by the simulator's
+        idle-cycle skipping: when nothing else is in flight, the clock can
+        jump straight to this cycle.
+        """
+        if (
+            self._blocked_on is not None
+            or self._cursor >= self._trace_len
+            or len(self._buffer) >= self._buffer_size
+        ):
+            return None
+        return self._unblock_time
 
     def peek(self) -> DynamicInstruction | None:
         """Next buffered instruction available for dispatch, or None."""

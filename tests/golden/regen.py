@@ -1,6 +1,7 @@
-"""Regenerate the golden figure snapshots.
+"""Regenerate ALL golden figure snapshots in one invocation.
 
-Run deliberately, and only when a change is *supposed* to alter results
+Covers every reproduced figure (2, 4, 5, 6, 8, 14, 15).  Run
+deliberately, and only when a change is *supposed* to alter results
 (new timing model, policy fix, trace-generation change)::
 
     PYTHONPATH=src python tests/golden/regen.py
@@ -27,7 +28,15 @@ GOLDEN_DIR = pathlib.Path(__file__).parent
 INSTRUCTIONS = 2000
 BENCHMARKS = ("gcc", "vpr")
 SEED = 0
-FIGURES = ("figure2", "figure4", "figure14")
+FIGURES = (
+    "figure2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure8",
+    "figure14",
+    "figure15",
+)
 
 
 def build_bench() -> Workbench:

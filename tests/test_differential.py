@@ -1,0 +1,221 @@
+"""Differential oracle: optimized simulator vs the frozen reference loop.
+
+The event-driven :class:`~repro.core.simulator.ClusteredSimulator` must be
+*bit-identical* to :class:`~repro.core.reference.ReferenceSimulator` -- not
+approximately equal: every per-instruction timestamp, provenance enum,
+waiter edge, counter and the ILP profile must match, which is exactly what
+:func:`repro.core.serialize.results_identical` (canonical-JSON compare)
+checks.  The matrix covers:
+
+* every policy stack of Figure 14 plus readiness-aware steering, on
+  1/2/4/8 clusters, with warm predictors and a live trainer;
+* stress configurations (tiny windows, long forwarding latency) that
+  maximize stalls, port conflicts and idle-skip opportunities;
+* hypothesis-driven (kernel, seed, length, policy, clusters) combinations,
+  so every run of the suite explores traces the fixed matrix does not.
+
+A serialize round-trip is asserted along the way, so "identical" is also
+stable under persistence (the run cache stores exactly this form).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.reference import ReferenceSimulator
+from repro.core.simulator import ClusteredSimulator
+from repro.core.serialize import (
+    result_from_dict,
+    result_to_dict,
+    results_identical,
+)
+from repro.core.steering.readiness import ReadinessAwareSteering
+from repro.core.scheduling.policies import LocScheduler
+from repro.criticality.loc import LocPredictor, PredictorSuite
+from repro.criticality.trainer import ChunkedCriticalityTrainer
+from repro.experiments.harness import POLICY_NAMES, build_policy
+from repro.experiments.parallel import prepare_workload
+
+INSTRUCTIONS = 700
+CLUSTER_COUNTS = (1, 2, 4, 8)
+
+
+def _machine(clusters: int, forwarding_latency: int = 2):
+    if clusters == 1:
+        return monolithic_machine()
+    return clustered_machine(clusters, forwarding_latency=forwarding_latency)
+
+
+def _stress(clusters: int, forwarding_latency: int = 4, window: int = 4):
+    """Tiny windows + slow forwarding: maximal stalling and idle skipping."""
+    base = clustered_machine(clusters, forwarding_latency=forwarding_latency)
+    return dataclasses.replace(
+        base, cluster=dataclasses.replace(base.cluster, window_size=window)
+    )
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    cache: dict[tuple[str, int, int], object] = {}
+
+    def get(kernel: str, instructions: int = INSTRUCTIONS, seed: int = 0):
+        key = (kernel, instructions, seed)
+        if key not in cache:
+            cache[key] = prepare_workload(kernel, instructions, seed)
+        return cache[key]
+
+    return get
+
+
+def _policy_pair(policy: str):
+    """Fresh (steering, scheduler, needs_predictors); knows 'readiness'."""
+    if policy == "readiness":
+        return ReadinessAwareSteering(), LocScheduler(), True
+    return build_policy(policy)
+
+
+def run_both(
+    prepared, config, policy: str, collect_ilp: bool = True, live_trainer: bool = True
+):
+    """Run both simulators with identical warm predictors.
+
+    ``live_trainer=False`` freezes the warmed predictor suite for the
+    measured runs (the benchmark-harness methodology), which exercises the
+    optimized simulator's frozen-priority precompute path.
+    """
+    max_cycles = 64 * len(prepared.trace) + 10_000
+    results = []
+    for sim_cls in (ClusteredSimulator, ReferenceSimulator):
+        steering, scheduler, needs_predictors = _policy_pair(policy)
+        suite = trainer = None
+        if needs_predictors:
+            suite = PredictorSuite(
+                loc_predictor=LocPredictor(mode="probabilistic", seed=0)
+            )
+            trainer = ChunkedCriticalityTrainer(suite)
+            warm = sim_cls(
+                config,
+                steering=steering,
+                scheduler=scheduler,
+                predictors=suite,
+                trainer=trainer,
+                max_cycles=max_cycles,
+            )
+            warm.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+            steering, scheduler, __ = _policy_pair(policy)
+        sim = sim_cls(
+            config,
+            steering=steering,
+            scheduler=scheduler,
+            predictors=suite,
+            trainer=trainer if live_trainer else None,
+            collect_ilp=collect_ilp,
+            max_cycles=max_cycles,
+        )
+        results.append(
+            sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+        )
+    return results
+
+
+def assert_bit_identical(event, reference, context: str):
+    __tracebackhide__ = True
+    if not results_identical(event, reference):
+        want = result_to_dict(reference)
+        got = result_to_dict(event)
+        for i, (w, g) in enumerate(zip(want["records"], got["records"])):
+            if w != g:
+                diff = {k: (w[k], g[k]) for k in w if w[k] != g[k]}
+                pytest.fail(f"{context}: first divergent record {i}: {diff}")
+        top = {
+            k: (want[k], got[k])
+            for k in want
+            if k != "records" and want[k] != got[k]
+        }
+        pytest.fail(f"{context}: top-level divergence: {top}")
+
+
+# ---------------------------------------------------------------------------
+# The fixed policy matrix
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("clusters", CLUSTER_COUNTS)
+@pytest.mark.parametrize("policy", POLICY_NAMES + ("readiness",))
+def test_policy_matrix_bit_identical(workloads, policy, clusters):
+    prepared = workloads("gcc")
+    event, reference = run_both(prepared, _machine(clusters), policy)
+    assert_bit_identical(event, reference, f"gcc {policy} {clusters}cl")
+
+
+@pytest.mark.parametrize("clusters", (2, 8))
+@pytest.mark.parametrize("policy", ("dependence", "s", "p", "readiness"))
+def test_stress_configs_bit_identical(workloads, policy, clusters):
+    """Tiny windows and slow forwarding exercise every stall path."""
+    prepared = workloads("mcf")
+    event, reference = run_both(prepared, _stress(clusters), policy)
+    assert_bit_identical(event, reference, f"mcf {policy} {clusters}cl stress")
+
+
+@pytest.mark.parametrize("clusters", (2, 8))
+@pytest.mark.parametrize("policy", ("focused", "l", "s", "p"))
+def test_frozen_predictors_bit_identical(workloads, policy, clusters):
+    """Warm suite, no trainer: the benchmark methodology.  Exercises the
+    optimized simulator's frozen-priority precompute path."""
+    prepared = workloads("gzip")
+    event, reference = run_both(
+        prepared, _machine(clusters), policy, live_trainer=False
+    )
+    assert_bit_identical(event, reference, f"gzip {policy} {clusters}cl frozen")
+
+
+def test_serialize_round_trip_preserves_identity(workloads):
+    prepared = workloads("vpr")
+    event, reference = run_both(prepared, _machine(4), "s")
+    revived = result_from_dict(result_to_dict(event))
+    assert results_identical(revived, event)
+    assert results_identical(revived, reference)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis-driven exploration
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    kernel=st.sampled_from(("gcc", "vpr", "gzip", "twolf", "perl")),
+    seed=st.integers(min_value=0, max_value=2**16),
+    instructions=st.integers(min_value=50, max_value=900),
+    policy=st.sampled_from(POLICY_NAMES + ("readiness",)),
+    clusters=st.sampled_from(CLUSTER_COUNTS),
+    forwarding_latency=st.integers(min_value=1, max_value=6),
+    window=st.sampled_from((4, 8, 32)),
+)
+def test_hypothesis_traces_bit_identical(
+    kernel, seed, instructions, policy, clusters, forwarding_latency, window
+):
+    prepared = prepare_workload(kernel, instructions, seed)
+    if clusters == 1:
+        config = monolithic_machine()
+    else:
+        base = clustered_machine(clusters, forwarding_latency=forwarding_latency)
+        config = dataclasses.replace(
+            base, cluster=dataclasses.replace(base.cluster, window_size=window)
+        )
+    event, reference = run_both(prepared, config, policy)
+    assert_bit_identical(
+        event,
+        reference,
+        f"{kernel} seed={seed} n={instructions} {policy} {clusters}cl "
+        f"fwd={forwarding_latency} win={window}",
+    )

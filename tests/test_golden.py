@@ -1,4 +1,4 @@
-"""Golden regression snapshots for fig02/fig04/fig14.
+"""Golden regression snapshots for every reproduced figure.
 
 Fresh small-trace runs are compared cell-by-cell against the committed
 tables under ``tests/golden/``, so performance work (parallel fan-out,

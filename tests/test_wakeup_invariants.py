@@ -1,0 +1,174 @@
+"""Invariants of the event-driven wakeup/ready heaps.
+
+:mod:`repro.core.wakeup` documents three invariants; these tests enforce
+them against a brute-force shadow model driven by randomized
+dispatch/issue/commit-shaped operation sequences, plus one integration
+check that the simulator's memoized ``cluster_ready_pressure`` stays
+exact while a real steering policy queries it mid-run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import clustered_machine
+from repro.core.simulator import ClusteredSimulator
+from repro.core.steering.readiness import ReadinessAwareSteering
+from repro.core.scheduling.policies import LocScheduler
+from repro.core.wakeup import ClusterWakeupQueue
+from repro.criticality.loc import LocPredictor, PredictorSuite
+from repro.criticality.trainer import ChunkedCriticalityTrainer
+from repro.experiments.parallel import prepare_workload
+
+
+class ShadowModel:
+    """Brute-force mirror of one queue: plain lists, no heaps."""
+
+    def __init__(self):
+        self.waiting: list[tuple[int, int, object]] = []
+        self.ready: list[object] = []
+
+    def schedule(self, ready_time, index, entry):
+        self.waiting.append((ready_time, index, entry))
+
+    def drain(self, now):
+        due = [w for w in self.waiting if w[0] <= now]
+        self.waiting = [w for w in self.waiting if w[0] > now]
+        self.ready.extend(w[2] for w in due)
+        return len(due)
+
+    def pop_ready(self):
+        best = min(self.ready)
+        self.ready.remove(best)
+        return best
+
+    def pressure(self, now, horizon=0):
+        deadline = now + horizon
+        return len(self.ready) + sum(1 for w in self.waiting if w[0] <= deadline)
+
+
+def random_walk(seed: int, steps: int = 400):
+    """Drive queue and shadow through one random op sequence, checking
+    every invariant after every step."""
+    rng = random.Random(seed)
+    queue = ClusterWakeupQueue()
+    shadow = ShadowModel()
+    now = 0
+    next_index = 0
+    popped_log = []
+
+    for __ in range(steps):
+        op = rng.random()
+        if op < 0.45:
+            # Dispatch: wakeup times are always strictly in the future.
+            ready_time = now + rng.randint(1, 12)
+            entry = ((rng.randint(0, 3), next_index), ready_time)
+            queue.schedule(ready_time, next_index, entry)
+            shadow.schedule(ready_time, next_index, entry)
+            next_index += 1
+        elif op < 0.65:
+            # Time advances (maybe several cycles), then the issue phase
+            # drains whatever became due.
+            now += rng.randint(1, 6)
+            moved = queue.drain(now)
+            assert moved == shadow.drain(now)
+        elif op < 0.85 and queue.ready_count():
+            # Issue: pop the best-priority entry; sometimes port-block it
+            # back in (requeue must preserve order exactly).
+            entry = queue.pop_ready()
+            assert entry == shadow.pop_ready()
+            popped_log.append((now, entry))
+            if rng.random() < 0.3:
+                queue.requeue_ready(entry)
+                shadow.ready.append(entry)
+        else:
+            # Steering query between phases: pressure at a random horizon.
+            horizon = rng.randint(0, 8)
+            assert queue.pressure(now, horizon) == shadow.pressure(now, horizon)
+
+        # Global invariants, re-checked after every operation.
+        assert len(queue) == len(shadow.ready) + len(shadow.waiting)
+        assert queue.ready_count() == len(shadow.ready)
+        nxt = queue.next_wakeup()
+        if shadow.waiting:
+            assert nxt == min(w[0] for w in shadow.waiting)
+            # Time only advances through the drain op above, so nothing
+            # due may ever linger in the wakeup heap: every pending ready
+            # time is strictly in the future.
+            assert nxt > now
+        else:
+            assert nxt is None
+        for horizon in (0, 2):
+            assert queue.pressure(now, horizon) == shadow.pressure(now, horizon)
+
+    # An entry never surfaced before the ready time it was scheduled with.
+    for popped_at, entry in popped_log:
+        assert entry[1] <= popped_at, (
+            f"entry with ready_time={entry[1]} issued at cycle {popped_at}"
+        )
+    return popped_log
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_walk_matches_brute_force(seed):
+    popped = random_walk(seed)
+    # The walk must actually exercise the issue path to prove anything.
+    assert popped
+
+
+def test_drain_is_exact_boundary():
+    """drain(now) yields exactly the entries with ready_time <= now."""
+    queue = ClusterWakeupQueue()
+    for index, t in enumerate((5, 3, 7, 3, 9)):
+        queue.schedule(t, index, (t, index))
+    assert queue.drain(2) == 0
+    assert queue.drain(3) == 2
+    assert sorted(entry[0] for entry in queue.ready) == [3, 3]
+    assert queue.next_wakeup() == 5
+    assert queue.drain(8) == 2
+    assert queue.next_wakeup() == 9
+
+
+def test_version_counts_every_mutation():
+    queue = ClusterWakeupQueue()
+    stamps = [queue.version]
+    queue.schedule(4, 0, ((0, 0), 4))
+    stamps.append(queue.version)
+    queue.drain(4)
+    stamps.append(queue.version)
+    queue.pop_ready()
+    stamps.append(queue.version)
+    queue.requeue_ready(((0, 0), 4))
+    stamps.append(queue.version)
+    assert stamps == sorted(set(stamps)), "version must strictly increase"
+
+
+def test_simulator_pressure_memo_is_exact():
+    """The memoized ready-pressure view equals a fresh recount mid-run."""
+    checked = 0
+
+    class CheckedSimulator(ClusteredSimulator):
+        def cluster_ready_pressure(self, cluster, horizon=0):
+            nonlocal checked
+            memoized = super().cluster_ready_pressure(cluster, horizon)
+            fresh = self._queues[cluster].pressure(self.now, horizon)
+            assert memoized == fresh, (
+                f"memo drift at cycle {self.now}, cluster {cluster}, "
+                f"horizon {horizon}: memo={memoized} fresh={fresh}"
+            )
+            checked += 1
+            return memoized
+
+    prepared = prepare_workload("gcc", 1500, 0)
+    suite = PredictorSuite(loc_predictor=LocPredictor(mode="probabilistic", seed=0))
+    sim = CheckedSimulator(
+        clustered_machine(4, forwarding_latency=2),
+        steering=ReadinessAwareSteering(),
+        scheduler=LocScheduler(),
+        predictors=suite,
+        trainer=ChunkedCriticalityTrainer(suite),
+    )
+    sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+    assert checked > 100, "the readiness policy must actually query pressure"
