@@ -18,14 +18,20 @@ Usage::
 import sys
 from collections import defaultdict
 
-from repro.analysis.consumers import exact_loc_by_pc
-from repro.analysis.pipeview import contention_hotspots, render_pipeline
-from repro.core.config import monolithic_machine
-from repro.criticality.critical_path import analyze_critical_path, critical_flags
-from repro.criticality.slack import compute_global_slack, slack_histogram
-from repro.experiments.harness import Workbench
-from repro.util.tables import format_histogram, format_table
-from repro.workloads.suite import get_kernel
+from repro.api import (
+    Workbench,
+    analyze_critical_path,
+    compute_global_slack,
+    contention_hotspots,
+    critical_flags,
+    exact_loc_by_pc,
+    format_histogram,
+    format_table,
+    get_kernel,
+    monolithic_machine,
+    render_pipeline,
+    slack_histogram,
+)
 
 
 def main() -> None:

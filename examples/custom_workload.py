@@ -17,19 +17,20 @@ Usage::
 
 from collections import Counter
 
-from repro.core.config import clustered_machine, monolithic_machine
-from repro.core.rename import extract_dependences
-from repro.core.simulator import ClusteredSimulator
-from repro.criticality.critical_path import analyze_critical_path
-from repro.experiments.harness import build_policy
-from repro.frontend.branch_predictor import (
+from repro.api import (
+    ClusteredSimulator,
     GshareBranchPredictor,
+    analyze_critical_path,
     annotate_mispredictions,
+    assemble,
+    build_policy,
+    clustered_machine,
+    extract_dependences,
+    format_table,
+    interpret,
+    monolithic_machine,
+    seeded_rng,
 )
-from repro.util.rng import seeded_rng
-from repro.util.tables import format_table
-from repro.vm.assembler import assemble
-from repro.vm.interpreter import run
 
 # The paper's Figure 12(a): for (i = 0; i < N; ++i) if (A[i] == a) break;
 # compiled, as in Figure 12(b), with two separate loop-carried dependences
@@ -60,7 +61,7 @@ def build_trace(instructions=6000):
     value = 7777
     for pos in range(200, 4096, 391):
         memory[1024 + pos] = value
-    return run(
+    return interpret(
         assemble(FIGURE12_SOURCE),
         instructions,
         initial_memory=memory,

@@ -18,18 +18,17 @@ Usage::
     python examples/paper_vignettes.py
 """
 
-from repro.analysis.pipeview import render_pipeline
-from repro.core.config import clustered_machine
-from repro.core.scheduling.policies import LocScheduler, OldestFirstScheduler
-from repro.core.simulator import ClusteredSimulator
-from repro.core.steering.dependence import (
+from repro.api import (
+    ClusteredSimulator,
     CriticalitySteering,
     CriticalitySteeringConfig,
     DependenceSteering,
-)
-from repro.workloads.patterns import (
+    LocScheduler,
+    OldestFirstScheduler,
+    clustered_machine,
     convergent_pairs,
     divergent_tree,
+    render_pipeline,
     serial_chain,
 )
 

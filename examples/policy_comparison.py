@@ -13,13 +13,17 @@ Usage::
 
 import sys
 
-from repro.core.config import monolithic_machine
-from repro.core.scheduling.policies import OldestFirstScheduler
-from repro.core.simulator import ClusteredSimulator
-from repro.core.steering.simple import LoadBalanceSteering, ModuloSteering
-from repro.experiments.harness import Workbench
-from repro.util.tables import format_table
-from repro.workloads.suite import get_kernel, suite_names
+from repro.api import (
+    ClusteredSimulator,
+    LoadBalanceSteering,
+    ModuloSteering,
+    OldestFirstScheduler,
+    Workbench,
+    format_table,
+    get_kernel,
+    monolithic_machine,
+    suite_names,
+)
 
 LADDER = ["modulo", "loadbal", "dependence", "focused", "l", "s", "p"]
 

@@ -12,11 +12,14 @@ Usage::
 
 import sys
 
-from repro.analysis.breakdown import cpi_breakdown
-from repro.core.config import clustered_machine, monolithic_machine
-from repro.experiments.harness import Workbench
-from repro.util.tables import format_table
-from repro.workloads.suite import get_kernel
+from repro.api import (
+    Workbench,
+    clustered_machine,
+    cpi_breakdown,
+    format_table,
+    get_kernel,
+    monolithic_machine,
+)
 
 
 def main() -> None:

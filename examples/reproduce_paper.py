@@ -16,7 +16,7 @@ Usage::
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS, Workbench
+from repro.api import EXPERIMENTS, Workbench
 
 
 def main() -> None:

@@ -17,10 +17,10 @@ The package builds, from scratch, everything the paper's evaluation needs:
 * :mod:`repro.analysis` / :mod:`repro.experiments` -- the analyses and the
   per-figure reproduction harness.
 
-Quickstart::
+Quickstart (``repro.api`` is the stable, semver-governed entry point)::
 
-    from repro.experiments import Workbench, run_figure4
-    print(run_figure4(Workbench(instructions=8000)))
+    from repro.api import Workbench, figure
+    print(figure("figure4", Workbench(instructions=8000)))
 """
 
 from repro.core import (
@@ -30,10 +30,11 @@ from repro.core import (
     clustered_machine,
     monolithic_machine,
 )
-from repro.experiments import EXPERIMENTS, Workbench
+from repro.experiments import EXPERIMENTS
+from repro.experiments.harness import Workbench
 from repro.workloads import SUITE, get_kernel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusteredSimulator",

@@ -4,9 +4,13 @@ stream that the criticality analyses consume."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.config import MachineConfig
 from repro.core.instruction import InFlight
+
+if TYPE_CHECKING:  # pragma: no cover - telemetry sits above the core layer
+    from repro.telemetry.recorder import TelemetryData
 
 
 @dataclass
@@ -59,6 +63,11 @@ class SimulationResult:
     ilp_profile: IlpProfile | None = None
     steering_name: str = ""
     scheduler_name: str = ""
+    # Optional observability payload (set by the experiment layer when a
+    # job requests metrics).  Purely observational: two runs differing
+    # only in telemetry have identical timing, and the differential
+    # identity check (`results_identical`) ignores this field.
+    telemetry: TelemetryData | None = None
 
     @property
     def instructions(self) -> int:

@@ -26,6 +26,10 @@ class SchedulingPolicy:
         """Sort key for ``instr`` among this cycle's ready instructions."""
         raise NotImplementedError
 
+    def describe(self) -> dict:
+        """JSON-type description for telemetry / run reports."""
+        return {"name": self.name}
+
 
 class OldestFirstScheduler(SchedulingPolicy):
     """Issue in program order."""

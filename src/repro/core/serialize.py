@@ -16,6 +16,15 @@ classifications) matches the original exactly.
 Cross-record references (``InFlight.waiters``) are serialized as trace
 indices and re-linked on load, so the reconstructed record graph has the
 same shape as the live one.
+
+Telemetry payloads (``SimulationResult.telemetry``) are optional and
+round-trip losslessly, but are deliberately **absent** from the dict when
+unset -- a telemetry-off result serializes byte-identically to the
+pre-telemetry schema, so existing cache entries stay valid and
+``CACHE_SCHEMA_VERSION`` did not need to move.  ``results_identical``
+compares *simulation* output and ignores telemetry (an observational
+payload that legitimately differs between the event and reference
+simulators, which sample live state differently).
 """
 
 from __future__ import annotations
@@ -210,9 +219,13 @@ def _record_from_dict(data: dict[str, Any]) -> InFlight:
 
 
 def result_to_dict(result: SimulationResult) -> dict[str, Any]:
-    """Lossless JSON-type representation of a run."""
+    """Lossless JSON-type representation of a run.
+
+    The ``telemetry`` key exists only when the run carried a payload, so
+    telemetry-off results keep the exact pre-telemetry representation.
+    """
     ilp = result.ilp_profile
-    return {
+    data = {
         "config": config_to_dict(result.config),
         "records": [record_to_dict(r) for r in result.records],
         "cycles": result.cycles,
@@ -229,6 +242,11 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
         "steering_name": result.steering_name,
         "scheduler_name": result.scheduler_name,
     }
+    if result.telemetry is not None:
+        from repro.telemetry.recorder import telemetry_to_dict
+
+        data["telemetry"] = telemetry_to_dict(result.telemetry)
+    return data
 
 
 def result_from_dict(data: dict[str, Any]) -> SimulationResult:
@@ -247,6 +265,11 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
                 int(k): v for k, v in data["ilp_profile"]["cycle_count"].items()
             },
         )
+    telemetry = None
+    if data.get("telemetry") is not None:
+        from repro.telemetry.recorder import telemetry_from_dict
+
+        telemetry = telemetry_from_dict(data["telemetry"])
     return SimulationResult(
         config=config_from_dict(data["config"]),
         records=records,
@@ -258,6 +281,7 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
         ilp_profile=ilp,
         steering_name=data["steering_name"],
         scheduler_name=data["scheduler_name"],
+        telemetry=telemetry,
     )
 
 
@@ -266,6 +290,11 @@ def results_identical(a: SimulationResult, b: SimulationResult) -> bool:
 
     Compares the canonical JSON forms, so every timing field, provenance
     enum, waiter edge and counter must match -- the invariant the parallel
-    execution layer guarantees relative to serial execution.
+    execution layer guarantees relative to serial execution.  Telemetry is
+    observational metadata, not simulation output, and is excluded.
     """
-    return result_to_dict(a) == result_to_dict(b)
+    left = result_to_dict(a)
+    right = result_to_dict(b)
+    left.pop("telemetry", None)
+    right.pop("telemetry", None)
+    return left == right

@@ -46,6 +46,12 @@ observable behaviour:
 * **memoized ready pressure** -- ``cluster_ready_pressure`` caches its
   count per (cluster, cycle, horizon), stamped by the queue's mutation
   counter, so readiness-aware steering's per-dispatch scans collapse.
+
+Observability: an optional ``telemetry`` sink (:mod:`repro.telemetry`)
+snapshots per-cluster occupancy, ready/wakeup depths and ready pressure
+every ``telemetry.interval`` cycles.  The hook is read-only and costs one
+integer comparison per executed cycle when disabled, so telemetry never
+changes simulation output and telemetry-off throughput is unchanged.
 """
 
 from __future__ import annotations
@@ -92,6 +98,24 @@ class TrainerLike(Protocol):
     def finish(self) -> None: ...
 
 
+class TelemetryLike(Protocol):
+    """Optional observability sink (see :mod:`repro.telemetry`).
+
+    ``sample`` must be read-only: attaching telemetry never changes
+    simulation output (enforced by ``tests/test_telemetry.py``).
+    """
+
+    interval: int
+
+    def sample(self, now, occupancy, queues) -> None: ...
+
+
+# Sentinel "next telemetry sample" cycle when telemetry is off: larger
+# than any reachable cycle count, so the hot loop pays exactly one int
+# comparison per executed cycle and the sampling branch never fires.
+_NO_SAMPLE = 1 << 62
+
+
 class SimulationDeadlock(RuntimeError):
     """Raised when the machine stops making progress (a simulator bug)."""
 
@@ -131,6 +155,7 @@ class ClusteredSimulator:
         trainer: TrainerLike | None = None,
         collect_ilp: bool = False,
         max_cycles: int | None = None,
+        telemetry: TelemetryLike | None = None,
     ):
         self.config = config
         self.steering = steering or DependenceSteering()
@@ -139,6 +164,7 @@ class ClusteredSimulator:
         self.trainer = trainer
         self.collect_ilp = collect_ilp
         self.max_cycles = max_cycles
+        self.telemetry = telemetry
 
         # MachineView attributes for the steering policy.
         self.num_clusters = config.num_clusters
@@ -313,6 +339,19 @@ class ClusteredSimulator:
         load_class = OpClass.LOAD
         cluster_range = range(num_clusters)
 
+        # Telemetry sampling: with a sink attached, snapshot live state
+        # every ``interval`` cycles; without one, ``next_sample`` is a
+        # sentinel no run reaches and the branch below never fires.
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.interval > 0:
+            telemetry_sample = telemetry.sample
+            sample_interval = telemetry.interval
+            next_sample = 0
+        else:
+            telemetry_sample = None
+            sample_interval = 0
+            next_sample = _NO_SAMPLE
+
         global_values = 0
         rob_count = 0
         commit_ptr = 0
@@ -324,6 +363,12 @@ class ClusteredSimulator:
 
         while commit_ptr < total:
             self.now = now
+            if now >= next_sample:
+                # Read-only snapshot of per-cluster live state; the idle
+                # skip can jump past a nominal boundary, in which case the
+                # sample lands on the next executed cycle.
+                telemetry_sample(now, occupancy, queues)
+                next_sample = now - now % sample_interval + sample_interval
 
             # ---- commit phase -------------------------------------------
             committed = 0

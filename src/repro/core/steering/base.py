@@ -82,6 +82,14 @@ class SteeringPolicy:
         """Clear per-run state (called once per simulation)."""
         self._mview = None
 
+    def describe(self) -> dict:
+        """JSON-type description for telemetry / run reports.
+
+        Subclasses with tunable knobs extend the dict; every description
+        carries at least the policy ``name``.
+        """
+        return {"name": self.name}
+
     def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
         """Pick a cluster (or stall) for ``instr``."""
         raise NotImplementedError

@@ -335,6 +335,18 @@ class CriticalitySteering(DependenceSteering):
                     )
         return self._handle_full_desired(instr, machine, preferred, preferred.cluster)
 
+    def describe(self) -> dict:
+        config = self.config
+        return {
+            "name": self.name,
+            "preference": config.preference,
+            "stall_over_steer": config.stall_over_steer,
+            "stall_loc_threshold": config.stall_loc_threshold,
+            "proactive": config.proactive,
+            "keep_min_loc": config.keep_min_loc,
+            "keep_fraction": config.keep_fraction,
+        }
+
     def on_commit(self, instr: InFlight) -> None:
         """Retire-time learning of balance candidates (Section 7)."""
         if not self.config.proactive:

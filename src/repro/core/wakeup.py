@@ -101,6 +101,14 @@ class ClusterWakeupQueue:
         """Instructions ready to issue right now."""
         return len(self.ready)
 
+    def snapshot(self, now: int, horizon: int = 0) -> tuple[int, int, int]:
+        """(ready count, wakeup-heap depth, pressure): the telemetry sample.
+
+        Read-only -- safe to call from a telemetry hook mid-run without
+        perturbing simulation state.
+        """
+        return len(self.ready), len(self.wakeup), self.pressure(now, horizon)
+
     def pressure(self, now: int, horizon: int = 0) -> int:
         """Ready-or-soon-ready count: the steering view's raw signal."""
         deadline = now + horizon

@@ -1,31 +1,42 @@
-"""Experiment harness: one module per reproduced figure or in-text claim."""
+"""Experiment harness: one module per reproduced figure or in-text claim.
 
-from repro.experiments.aggregate import average_figures, run_seeded
-from repro.experiments.cache import RunCache, default_cache_dir, job_key
-from repro.experiments.fig02 import run_figure2
-from repro.experiments.fig04 import run_figure4
-from repro.experiments.fig05 import run_figure5
-from repro.experiments.fig06 import run_figure6
-from repro.experiments.fig08 import run_figure8
-from repro.experiments.fig14 import run_figure14
-from repro.experiments.fig15 import run_figure15
+Two registries drive the CLI and the stable facade:
+
+* :data:`EXPERIMENTS` -- name -> ``run_*`` function producing a
+  :class:`~repro.experiments.figure.FigureData`;
+* :data:`PLANS` -- name -> ``plan_*`` function enumerating the
+  :class:`~repro.experiments.parallel.RunJob`\\ s the figure needs (what
+  ``prefetch`` fans out, and what the ``--metrics`` run report walks).
+
+Deep imports of harness/cache/parallel machinery through this package
+(``from repro.experiments import Workbench`` etc.) are **deprecated** in
+favour of :mod:`repro.api`; they still work, via a module ``__getattr__``
+that warns once per name.  The defining modules
+(:mod:`repro.experiments.harness`, :mod:`repro.experiments.cache`,
+:mod:`repro.experiments.parallel`, :mod:`repro.experiments.aggregate`)
+remain stable, warning-free import targets for internal code.
+"""
+
+import warnings
+
+from repro.experiments.fig02 import plan_figure2, run_figure2
+from repro.experiments.fig04 import plan_figure4, run_figure4
+from repro.experiments.fig05 import plan_figure5, run_figure5
+from repro.experiments.fig06 import plan_figure6, run_figure6
+from repro.experiments.fig08 import plan_figure8, run_figure8
+from repro.experiments.fig14 import plan_figure14, run_figure14
+from repro.experiments.fig15 import plan_figure15, run_figure15
 from repro.experiments.figure import FigureData
-from repro.experiments.harness import (
-    DEFAULT_INSTRUCTIONS,
-    POLICY_NAMES,
-    ParallelWorkbench,
-    PreparedWorkload,
-    Workbench,
-    build_policy,
-)
-from repro.experiments.parallel import RunJob, execute_job, execute_jobs
 from repro.experiments.intext import (
+    plan_consumer_stats,
+    plan_global_values,
+    plan_loc_priority_study,
     run_consumer_stats,
     run_global_values,
     run_loc_priority_study,
 )
 
-# Registry used by examples and the benchmark harness.
+# Registry used by examples, the CLI and the benchmark harness.
 EXPERIMENTS = {
     "figure2": run_figure2,
     "figure4": run_figure4,
@@ -39,23 +50,74 @@ EXPERIMENTS = {
     "consumer_stats": run_consumer_stats,
 }
 
+# The matching run plans: every entry takes a Workbench and returns the
+# RunJobs the experiment will consume (figure2's list scheduling and some
+# in-text analyses also do in-process work the plan does not cover).
+PLANS = {
+    "figure2": plan_figure2,
+    "figure4": plan_figure4,
+    "figure5": plan_figure5,
+    "figure6": plan_figure6,
+    "figure8": plan_figure8,
+    "figure14": plan_figure14,
+    "figure15": plan_figure15,
+    "global_values": plan_global_values,
+    "loc_priority": plan_loc_priority_study,
+    "consumer_stats": plan_consumer_stats,
+}
+
+# Names that used to be re-exported eagerly here and now live behind the
+# stable facade.  Maps the public name to its defining module; resolved
+# lazily with a DeprecationWarning so old deep imports keep working.
+_DEPRECATED = {
+    "DEFAULT_INSTRUCTIONS": "repro.experiments.harness",
+    "POLICY_NAMES": "repro.experiments.harness",
+    "ParallelWorkbench": "repro.experiments.harness",
+    "PreparedWorkload": "repro.experiments.parallel",
+    "Workbench": "repro.experiments.harness",
+    "build_policy": "repro.experiments.harness",
+    "RunCache": "repro.experiments.cache",
+    "RunJob": "repro.experiments.parallel",
+    "default_cache_dir": "repro.experiments.cache",
+    "execute_job": "repro.experiments.parallel",
+    "execute_jobs": "repro.experiments.parallel",
+    "job_key": "repro.experiments.cache",
+    "average_figures": "repro.experiments.aggregate",
+    "run_seeded": "repro.experiments.aggregate",
+}
+
+
+def __getattr__(name: str):
+    module = _DEPRECATED.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name!r} from 'repro.experiments' is deprecated; "
+        f"import it from 'repro.api' (stable facade) or {module!r}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # warn once per name, then resolve attribute-fast
+    return value
+
+
 __all__ = [
-    "DEFAULT_INSTRUCTIONS",
-    "average_figures",
-    "run_seeded",
     "EXPERIMENTS",
     "FigureData",
-    "POLICY_NAMES",
-    "ParallelWorkbench",
-    "PreparedWorkload",
-    "RunCache",
-    "RunJob",
-    "Workbench",
-    "build_policy",
-    "default_cache_dir",
-    "execute_job",
-    "execute_jobs",
-    "job_key",
+    "PLANS",
+    "plan_consumer_stats",
+    "plan_figure14",
+    "plan_figure15",
+    "plan_figure2",
+    "plan_figure4",
+    "plan_figure5",
+    "plan_figure6",
+    "plan_figure8",
+    "plan_global_values",
+    "plan_loc_priority_study",
     "run_consumer_stats",
     "run_figure14",
     "run_figure15",

@@ -29,6 +29,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from typing import TYPE_CHECKING
 
 from repro.core.results import SimulationResult
@@ -41,6 +42,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness -> parallel)
 # policies, trace generation, serialization schema): old entries must not
 # satisfy new lookups.
 # 2: RunJob grew the ``sim`` field (event vs reference timing loop).
+# (RunJob later grew ``metrics``; it enters the key payload only when
+# True, so every pre-existing hash -- and entry -- stayed valid and the
+# version did not need to move.)
 CACHE_SCHEMA_VERSION = 2
 
 
@@ -68,15 +72,27 @@ def job_key(job: RunJob) -> str:
         "warm": job.warm,
         "sim": job.sim,
     }
+    if job.metrics:
+        # Only when True: a telemetry-off job must hash exactly as it did
+        # before the field existed, so old cache entries keep satisfying
+        # new lookups.  A metrics run caches separately because its stored
+        # artifact carries the telemetry payload.
+        payload["metrics"] = True
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class RunCache:
-    """On-disk store of :class:`SimulationResult`\\ s, keyed by :func:`job_key`."""
+    """On-disk store of :class:`SimulationResult`\\ s, keyed by :func:`job_key`.
 
-    def __init__(self, root: pathlib.Path | str | None = None):
+    An optional :class:`~repro.telemetry.tracing.Tracer` times every load
+    and store as ``cache.load`` / ``cache.store`` spans (loads are tagged
+    with whether they hit).
+    """
+
+    def __init__(self, root: pathlib.Path | str | None = None, tracer=None):
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.tracer = tracer
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -88,6 +104,19 @@ class RunCache:
     # ------------------------------------------------------------------
     def load(self, job: RunJob) -> SimulationResult | None:
         """Return the cached result for ``job``, or None (counting hit/miss)."""
+        if self.tracer is None:
+            return self._load(job)
+        start = time.perf_counter()
+        result = self._load(job)
+        self.tracer.add(
+            "cache.load",
+            time.perf_counter() - start,
+            kernel=job.kernel,
+            hit=result is not None,
+        )
+        return result
+
+    def _load(self, job: RunJob) -> SimulationResult | None:
         path = self.path_for(job_key(job))
         try:
             with gzip.open(path, "rt", encoding="utf-8") as handle:
@@ -107,6 +136,13 @@ class RunCache:
 
     def store(self, job: RunJob, result: SimulationResult) -> None:
         """Persist ``result`` atomically under ``job``'s key."""
+        if self.tracer is not None:
+            with self.tracer.span("cache.store", kernel=job.kernel):
+                self._store(job, result)
+        else:
+            self._store(job, result)
+
+    def _store(self, job: RunJob, result: SimulationResult) -> None:
         key = job_key(job)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)

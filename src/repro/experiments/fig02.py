@@ -14,6 +14,12 @@ from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 from repro.idealized.list_scheduler import list_schedule
 
+# Registry name: the key this figure goes by in EXPERIMENTS / PLANS
+# and on the CLI.
+NAME = "figure2"
+
+__all__ = ["NAME", "plan_figure2", "run_figure2"]
+
 CLUSTER_COUNTS = (2, 4, 8)
 
 

@@ -13,6 +13,12 @@ from repro.core.config import monolithic_machine
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 
+# Registry name: the key this figure goes by in EXPERIMENTS / PLANS
+# and on the CLI.
+NAME = "figure4"
+
+__all__ = ["NAME", "plan_figure4", "run_figure4"]
+
 CLUSTER_COUNTS = (2, 4, 8)
 
 

@@ -14,6 +14,12 @@ from repro.core.config import monolithic_machine
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 
+# Registry name: the key this figure goes by in EXPERIMENTS / PLANS
+# and on the CLI.
+NAME = "figure5"
+
+__all__ = ["NAME", "plan_figure5", "run_figure5"]
+
 CONFIG_LABELS = (1, 2, 4, 8)
 
 

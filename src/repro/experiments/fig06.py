@@ -20,6 +20,12 @@ from repro.analysis.events import classify_lost_cycle_events
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 
+# Registry name: the key this figure goes by in EXPERIMENTS / PLANS
+# and on the CLI.
+NAME = "figure6"
+
+__all__ = ["NAME", "plan_figure6", "run_figure6"]
+
 CLUSTER_COUNTS = (2, 4, 8)
 
 

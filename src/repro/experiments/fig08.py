@@ -16,6 +16,12 @@ from repro.criticality.critical_path import critical_flags
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 
+# Registry name: the key this figure goes by in EXPERIMENTS / PLANS
+# and on the CLI.
+NAME = "figure8"
+
+__all__ = ["NAME", "plan_figure8", "run_figure8"]
+
 BIN_PERCENT = 5
 FIELDS_THRESHOLD_PERCENT = 100 / 8  # 1-in-8 instances => predicted critical
 

@@ -19,6 +19,12 @@ from repro.core.config import monolithic_machine
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 
+# Registry name: the key this figure goes by in EXPERIMENTS / PLANS
+# and on the CLI.
+NAME = "figure14"
+
+__all__ = ["NAME", "plan_figure14", "run_figure14"]
+
 BARS_BY_CLUSTER = {2: ("focused", "l", "s"), 4: ("focused", "l", "s"), 8: ("focused", "l", "s", "p")}
 
 

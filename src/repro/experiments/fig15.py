@@ -15,6 +15,12 @@ from repro.analysis.ilp import merge_profiles
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 
+# Registry name: the key this figure goes by in EXPERIMENTS / PLANS
+# and on the CLI.
+NAME = "figure15"
+
+__all__ = ["NAME", "plan_figure15", "run_figure15"]
+
 
 def plan_figure15(
     bench: Workbench, policy: str = "p", forwarding_latency: int = 2

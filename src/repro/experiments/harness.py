@@ -110,6 +110,11 @@ class Workbench:
     simulations this workbench actually executed (cache hits excluded),
     which is how the CLI and the tests verify that a warm cache re-executes
     nothing.
+
+    Observability (both opt-in, zero-cost when off): ``metrics=True``
+    attaches a :class:`~repro.telemetry.recorder.TelemetryData` payload to
+    every result this workbench runs; ``tracer`` collects wall-time spans
+    around trace prep, warm-up, measurement and cache traffic.
     """
 
     def __init__(
@@ -121,6 +126,8 @@ class Workbench:
         workers: int = 0,
         cache: RunCache | None = None,
         sim: str = "event",
+        metrics: bool = False,
+        tracer=None,
     ):
         if instructions <= 0:
             raise ValueError("instructions must be positive")
@@ -133,9 +140,14 @@ class Workbench:
         self.workers = workers
         self.cache = cache
         self.sim = sim
+        self.metrics = metrics
+        self.tracer = tracer
+        if cache is not None and tracer is not None and cache.tracer is None:
+            cache.tracer = tracer
         self.simulations_run = 0
         self._prepared: dict[str, PreparedWorkload] = {}
         self._run_cache: dict[tuple, SimulationResult] = {}
+        self._job_for_key: dict[tuple, RunJob] = {}
 
     # ------------------------------------------------------------------
     def prepare(self, spec: KernelSpec) -> PreparedWorkload:
@@ -143,7 +155,11 @@ class Workbench:
         cached = self._prepared.get(spec.name)
         if cached is not None:
             return cached
-        prepared = prepare_workload(spec.name, self.instructions, self.seed)
+        if self.tracer is not None:
+            with self.tracer.span("trace-prep", kernel=spec.name):
+                prepared = prepare_workload(spec.name, self.instructions, self.seed)
+        else:
+            prepared = prepare_workload(spec.name, self.instructions, self.seed)
         self._prepared[spec.name] = prepared
         return prepared
 
@@ -167,6 +183,7 @@ class Workbench:
             collect_ilp=collect_ilp,
             warm=warm,
             sim=self.sim,
+            metrics=self.metrics,
         )
 
     @staticmethod
@@ -175,6 +192,8 @@ class Workbench:
         # key the cache -- two configs differing only in, say, forwarding
         # bandwidth or memory hierarchy must not collide.  ``warm`` is part
         # of the key: a cold run must never be satisfied by a warm result.
+        # ``metrics`` too: a metrics result carries a telemetry payload a
+        # plain lookup must not observe (and vice versa).
         return (
             job.kernel,
             job.config,
@@ -182,6 +201,7 @@ class Workbench:
             job.collect_ilp,
             job.warm,
             job.sim,
+            job.metrics,
         )
 
     def run(
@@ -195,6 +215,7 @@ class Workbench:
         """Run ``spec`` on ``config`` under ``policy`` (cached)."""
         job = self.job(spec, config, policy, collect_ilp, warm)
         key = self._memory_key(job)
+        self._job_for_key.setdefault(key, job)
         cached = self._run_cache.get(key)
         if cached is not None:
             return cached
@@ -203,7 +224,7 @@ class Workbench:
             if loaded is not None:
                 self._run_cache[key] = loaded
                 return loaded
-        result = execute_job(job, self.prepare(spec))
+        result = execute_job(job, self.prepare(spec), tracer=self.tracer)
         self.simulations_run += 1
         if self.cache is not None:
             self.cache.store(job, result)
@@ -223,6 +244,7 @@ class Workbench:
         pending: list[RunJob] = []
         for job in dedupe_jobs(jobs):
             key = self._memory_key(job)
+            self._job_for_key.setdefault(key, job)
             if key in self._run_cache:
                 continue
             if self.cache is not None:
@@ -233,13 +255,31 @@ class Workbench:
             pending.append(job)
         if not pending:
             return 0
-        results = execute_jobs(pending, self.workers)
+        results = execute_jobs(pending, self.workers, tracer=self.tracer)
         self.simulations_run += len(pending)
         for job, result in zip(pending, results):
             if self.cache is not None:
                 self.cache.store(job, result)
             self._run_cache[self._memory_key(job)] = result
         return len(pending)
+
+    # ------------------------------------------------------------------
+    def result_for(self, job: RunJob) -> SimulationResult | None:
+        """The already-materialized result for ``job``, if any (no run)."""
+        return self._run_cache.get(self._memory_key(job))
+
+    def cached_results(self) -> list[tuple[RunJob, SimulationResult]]:
+        """Every (job, result) this workbench has materialized, in order.
+
+        The run-report builder walks this to aggregate a whole experiment
+        invocation without re-running anything.
+        """
+        pairs = []
+        for key, result in self._run_cache.items():
+            job = self._job_for_key.get(key)
+            if job is not None:
+                pairs.append((job, result))
+        return pairs
 
     # ------------------------------------------------------------------
     def monolithic_baseline(self, spec: KernelSpec, policy: str = "l") -> SimulationResult:

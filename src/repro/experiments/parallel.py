@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.config import MachineConfig
 from repro.core.rename import Dependences, extract_dependences
@@ -37,6 +38,9 @@ from repro.frontend.branch_predictor import (
 )
 from repro.vm.trace import DynamicInstruction
 from repro.workloads.suite import get_kernel
+
+if TYPE_CHECKING:  # pragma: no cover - avoid an import cycle at runtime
+    from repro.telemetry.tracing import Tracer
 
 # A generous bound: no sane run needs more cycles than ~64 per instruction.
 _MAX_CPI_GUARD = 64
@@ -75,6 +79,11 @@ class RunJob:
     # The two are bit-identical, but they are distinct code paths, so the
     # cache keys over this field like any other.
     sim: str = "event"
+    # Attach a telemetry payload to the result.  Metrics are observational
+    # -- a metrics run's timing is bit-identical to a plain run -- but the
+    # cached artifact differs (it carries the payload), so the cache keys
+    # over this field too (only when True, to keep old hashes valid).
+    metrics: bool = False
 
 
 def default_workers() -> int:
@@ -97,7 +106,9 @@ def prepare_workload(kernel: str, instructions: int, seed: int) -> PreparedWorkl
 
 
 def execute_job(
-    job: RunJob, prepared: PreparedWorkload | None = None
+    job: RunJob,
+    prepared: PreparedWorkload | None = None,
+    tracer: "Tracer | None" = None,
 ) -> SimulationResult:
     """Run one simulation, regenerating the trace unless ``prepared`` is given.
 
@@ -105,9 +116,19 @@ def execute_job(
     criticality predictors and ``job.warm`` is set, a throwaway run first
     trains the predictors online, then the measured run continues from the
     warm state with fresh policy objects.
+
+    With ``job.metrics`` set, a :class:`~repro.telemetry.recorder.Recorder`
+    observes the *measured* run (never the warm-up) and its payload lands
+    on ``result.telemetry``.  With ``tracer`` given, the prep / warm-up /
+    measure stages are timed as spans.
     """
     # Imported here, not at module top: harness imports this module.
     from repro.experiments.harness import build_policy
+
+    def span(name: str, **meta):
+        if tracer is None:
+            return nullcontext()
+        return tracer.span(name, kernel=job.kernel, policy=job.policy, **meta)
 
     if job.sim == "event":
         sim_cls = ClusteredSimulator
@@ -118,7 +139,8 @@ def execute_job(
     else:
         raise ValueError(f"unknown simulator {job.sim!r}; want 'event' or 'reference'")
     if prepared is None:
-        prepared = prepare_workload(job.kernel, job.instructions, job.seed)
+        with span("trace-prep"):
+            prepared = prepare_workload(job.kernel, job.instructions, job.seed)
     max_cycles = _MAX_CPI_GUARD * len(prepared.trace) + 10_000
     steering, scheduler, needs_predictors = build_policy(job.policy)
     suite = None
@@ -137,9 +159,23 @@ def execute_job(
                 trainer=trainer,
                 max_cycles=max_cycles,
             )
-            warm_sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+            with span("warmup"):
+                warm_sim.run(
+                    prepared.trace, prepared.dependences, prepared.mispredicted
+                )
             # Fresh policy state for the measured run; predictors stay warm.
             steering, scheduler, __ = build_policy(job.policy)
+    recorder = None
+    sim_kwargs = {}
+    if job.metrics:
+        from repro.telemetry.recorder import Recorder
+
+        recorder = Recorder()
+        recorder.note_policies(steering, scheduler)
+        if sim_cls is ClusteredSimulator:
+            # The frozen reference loop takes no telemetry hook; its
+            # metrics come entirely from the post-run record scan.
+            sim_kwargs["telemetry"] = recorder
     sim = sim_cls(
         job.config,
         steering=steering,
@@ -148,26 +184,52 @@ def execute_job(
         trainer=trainer,
         collect_ilp=job.collect_ilp,
         max_cycles=max_cycles,
+        **sim_kwargs,
     )
-    return sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+    with span("measure", sim=job.sim):
+        result = sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+    if recorder is not None:
+        result.telemetry = recorder.finalize(result)
+    return result
+
+
+def execute_job_traced(job: RunJob) -> tuple[SimulationResult, list[tuple]]:
+    """Pool-worker entry point: run ``job`` and ship the spans home.
+
+    A worker process cannot share the parent's :class:`Tracer`, so it
+    times its stages locally and returns the exported span tuples for the
+    parent to :meth:`~repro.telemetry.tracing.Tracer.merge`.
+    """
+    from repro.telemetry.tracing import Tracer
+
+    tracer = Tracer()
+    result = execute_job(job, tracer=tracer)
+    return result, tracer.export()
 
 
 def execute_jobs(
-    jobs: Sequence[RunJob], workers: int
+    jobs: Sequence[RunJob], workers: int, tracer: "Tracer | None" = None
 ) -> list[SimulationResult]:
     """Execute ``jobs`` and return results in job order.
 
     With ``workers <= 1`` (or a single job) everything runs in-process;
     otherwise jobs fan out over a process pool.  Either way the results
     are bit-identical -- each worker reconstructs its inputs from the
-    job's explicit seed.
+    job's explicit seed.  With ``tracer`` given, per-stage spans from
+    every worker are merged into it (tagged ``worker=True``).
     """
     jobs = list(jobs)
     if workers <= 1 or len(jobs) <= 1:
-        return [execute_job(job) for job in jobs]
+        return [execute_job(job, tracer=tracer) for job in jobs]
     pool_size = min(workers, len(jobs))
     with ProcessPoolExecutor(max_workers=pool_size) as pool:
-        return list(pool.map(execute_job, jobs))
+        if tracer is None:
+            return list(pool.map(execute_job, jobs))
+        results = []
+        for result, spans in pool.map(execute_job_traced, jobs):
+            tracer.merge(spans, worker=True)
+            results.append(result)
+        return results
 
 
 def dedupe_jobs(jobs: Iterable[RunJob]) -> list[RunJob]:

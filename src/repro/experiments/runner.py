@@ -6,6 +6,7 @@ Regenerate any reproduced figure from a shell::
     python -m repro.experiments figure14 --instructions 20000 --out results/
     python -m repro.experiments all --benchmarks vpr gzip
     python -m repro.experiments all --seeds 3 --workers 8
+    python -m repro.experiments --list-figures
 
 Experiment names are the keys of :data:`repro.experiments.EXPERIMENTS`.
 
@@ -15,6 +16,18 @@ on-disk result cache (``~/.cache/repro`` by default; override with
 Parallel and cached runs are bit-identical to serial uncached ones; a
 repeat invocation with a warm cache re-executes zero simulations, which
 the per-experiment ``cache hits=... simulated=...`` line makes visible.
+
+Observability flags (:mod:`repro.telemetry`):
+
+* ``--metrics`` attaches per-run telemetry and writes a validated JSON
+  run report (``<figure>_report.json``) next to the figure outputs;
+* ``--trace-out FILE`` writes the span trace (wall time per stage) as
+  JSON;
+* ``--profile`` prints the span summary table after the run.
+
+Output modes: ``--json`` alone streams each figure as a JSON document on
+stdout (status lines move to stderr); with ``--out`` it keeps the
+human-readable stdout and additionally writes ``<figure>.json`` files.
 """
 
 from __future__ import annotations
@@ -25,7 +38,7 @@ import pathlib
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS
+from repro.experiments import EXPERIMENTS, PLANS
 from repro.experiments.aggregate import run_seeded
 from repro.experiments.cache import RunCache, default_cache_dir
 from repro.experiments.harness import DEFAULT_INSTRUCTIONS, Workbench
@@ -39,9 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         metavar="EXPERIMENT",
         help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'",
+    )
+    parser.add_argument(
+        "--list-figures",
+        action="store_true",
+        help="print the known experiment names and exit",
     )
     parser.add_argument(
         "--instructions",
@@ -91,6 +109,25 @@ def build_parser() -> argparse.ArgumentParser:
         "cross-checking the optimized hot path",
     )
     parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-run pipeline telemetry and write a validated "
+        "JSON run report per experiment (<figure>_report.json under "
+        "--out, default results/)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        metavar="FILE",
+        help="write the wall-time span trace (trace prep, warm-up, "
+        "measurement, cache traffic) as JSON to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the span summary table after the run",
+    )
+    parser.add_argument(
         "--out",
         type=pathlib.Path,
         help="also write each figure's table to this directory",
@@ -98,13 +135,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="with --out, also write machine-readable <figure>.json files",
+        help="machine-readable output: with --out, also write "
+        "<figure>.json files; without --out, print each figure as a "
+        "JSON document on stdout (status lines go to stderr)",
     )
     return parser
 
 
+def _report_runs(bench: Workbench, name: str):
+    """The (job, result) pairs experiment ``name`` consumed, in plan order."""
+    plan = PLANS.get(name)
+    if plan is None:
+        return bench.cached_results()
+    pairs = []
+    for job in plan(bench):
+        result = bench.result_for(job)
+        if result is not None:
+            pairs.append((job, result))
+    return pairs
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list_figures:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if not args.experiments:
+        print("no experiments given (try --list-figures or 'all')", file=sys.stderr)
+        return 2
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -112,10 +171,21 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
+    # JSON-stream mode: one combined {name: figure} object on stdout at
+    # the end, everything else on stderr as it happens.
+    json_stream = args.json and not args.out
+    status_stream = sys.stderr if json_stream else sys.stdout
+    streamed: dict[str, object] = {}
+
+    tracer = None
+    if args.metrics or args.trace_out or args.profile:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
     benchmarks = None
     if args.benchmarks:
         benchmarks = [get_kernel(name) for name in args.benchmarks]
-    cache = None if args.no_cache else RunCache(args.cache_dir)
+    cache = None if args.no_cache else RunCache(args.cache_dir, tracer=tracer)
     bench = Workbench(
         instructions=args.instructions,
         seed=args.seed,
@@ -123,9 +193,12 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache=cache,
         sim="reference" if args.reference_sim else "event",
+        metrics=args.metrics,
+        tracer=tracer,
     )
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
+    report_dir = args.out if args.out else pathlib.Path("results")
 
     for name in names:
         start = time.time()
@@ -154,7 +227,11 @@ def main(argv: list[str] | None = None) -> int:
         if simulated >= 0:
             status += f"; simulated={simulated}"
         status += "]"
-        print(f"\n{figure}\n{status}")
+        if json_stream:
+            streamed[name] = figure.to_dict()
+            print(status, file=status_stream)
+        else:
+            print(f"\n{figure}\n{status}")
         if args.out:
             slug = figure.figure_id.lower().replace(" ", "").replace(".", "")
             (args.out / f"{slug}.txt").write_text(str(figure) + "\n")
@@ -162,6 +239,45 @@ def main(argv: list[str] | None = None) -> int:
                 (args.out / f"{slug}.json").write_text(
                     json.dumps(figure.to_dict(), indent=2) + "\n"
                 )
+        if args.metrics:
+            from repro.telemetry import RunReport
+
+            if args.seeds > 1:
+                print(
+                    f"[{name}: run report skipped -- --metrics reports "
+                    "cover single-seed invocations]",
+                    file=status_stream,
+                )
+            else:
+                report = RunReport.from_runs(
+                    name,
+                    _report_runs(bench, name),
+                    workbench={
+                        "instructions": bench.instructions,
+                        "seed": bench.seed,
+                        "loc_mode": bench.loc_mode,
+                        "workers": bench.workers,
+                        "sim": bench.sim,
+                        "benchmarks": [spec.name for spec in bench.benchmarks],
+                    },
+                    figure=figure.to_dict(),
+                    tracer=tracer,
+                    cache_stats=cache.stats() if cache else None,
+                    elapsed_seconds=elapsed,
+                )
+                report_dir.mkdir(parents=True, exist_ok=True)
+                report_path = report_dir / f"{name}_report.json"
+                report_path.write_text(report.to_json())
+                print(report.render(), file=status_stream)
+                print(f"[run report: {report_path}]", file=status_stream)
+    if args.trace_out and tracer is not None:
+        args.trace_out.parent.mkdir(parents=True, exist_ok=True)
+        args.trace_out.write_text(json.dumps(tracer.to_dict(), indent=2) + "\n")
+        print(f"[trace: {args.trace_out}]", file=status_stream)
+    if args.profile and tracer is not None:
+        print(tracer.format_summary(), file=status_stream)
+    if json_stream:
+        print(json.dumps(streamed, indent=2))
     return 0
 
 

@@ -1,0 +1,44 @@
+"""Opt-in observability for the simulator and the experiment stack.
+
+Three layers, all zero-cost when unused:
+
+* :mod:`repro.telemetry.recorder` -- the :class:`Telemetry` protocol the
+  simulator samples through, the :class:`Recorder` implementation, and
+  the :class:`TelemetryData` payload carried on
+  :attr:`SimulationResult.telemetry`;
+* :mod:`repro.telemetry.tracing` -- span-style wall-time tracing
+  (:class:`Tracer` / :class:`Span`) threaded through the workbench,
+  ``execute_job`` and the persistent run cache;
+* :mod:`repro.telemetry.report` -- the :class:`RunReport` artifact
+  (validated, versioned JSON plus a terminal rendering) the CLI emits
+  under ``--metrics``.
+
+The stable import path for all of these is :mod:`repro.api`.
+"""
+
+from repro.telemetry.recorder import (
+    DEFAULT_INTERVAL,
+    NullTelemetry,
+    Recorder,
+    Telemetry,
+    TelemetryData,
+    telemetry_from_dict,
+    telemetry_to_dict,
+)
+from repro.telemetry.report import REPORT_SCHEMA, RunReport, validate_report
+from repro.telemetry.tracing import Span, Tracer
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "NullTelemetry",
+    "REPORT_SCHEMA",
+    "Recorder",
+    "RunReport",
+    "Span",
+    "Telemetry",
+    "TelemetryData",
+    "Tracer",
+    "telemetry_from_dict",
+    "telemetry_to_dict",
+    "validate_report",
+]

@@ -1,0 +1,115 @@
+"""Span-style wall-time tracing for the experiment stack.
+
+A :class:`Tracer` collects named :class:`Span` records around the phases
+the harness actually spends time in -- trace preparation, predictor
+warm-up, the measured run, persistent-cache lookups and stores, and
+worker fan-out -- so a run report can attribute wall time the same way
+the simulator attributes cycles.
+
+Workers in a process pool cannot share the parent's tracer, so each
+worker records into its own and ships the spans back as plain tuples
+(:meth:`Tracer.export`), which the parent merges (:meth:`Tracer.merge`)
+tagged ``worker=True``.  Tracing is strictly opt-in: every call site
+takes ``tracer=None`` and skips the bookkeeping entirely when absent.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Span", "Tracer", "null_span"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed region: a name, its wall-clock duration, and tags."""
+
+    name: str
+    seconds: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_tuple(self) -> tuple[str, float, dict[str, Any]]:
+        """Picklable form for shipping across process boundaries."""
+        return (self.name, self.seconds, dict(self.meta))
+
+
+@contextmanager
+def null_span():
+    """The do-nothing span used when no tracer is attached."""
+    yield
+
+
+class Tracer:
+    """Collects spans; aggregates by name for reports and ``--profile``."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self.spans: list[Span] = []
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **meta: Any):
+        """Time the enclosed block as one span named ``name``."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.spans.append(Span(name, self._clock() - start, meta))
+
+    def add(self, name: str, seconds: float, **meta: Any) -> None:
+        """Record an externally timed span."""
+        self.spans.append(Span(name, seconds, meta))
+
+    # ------------------------------------------------------------------
+    def export(self) -> list[tuple[str, float, dict[str, Any]]]:
+        """All spans as picklable tuples (worker -> parent transport)."""
+        return [span.to_tuple() for span in self.spans]
+
+    def merge(
+        self,
+        exported: Iterable[tuple[str, float, dict[str, Any]]],
+        **extra_meta: Any,
+    ) -> None:
+        """Absorb spans exported by another tracer, adding ``extra_meta``."""
+        for name, seconds, meta in exported:
+            self.spans.append(Span(name, seconds, {**meta, **extra_meta}))
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-name totals: ``{name: {count, seconds}}``, insertion order."""
+        totals: dict[str, dict[str, float]] = {}
+        for span in self.spans:
+            entry = totals.setdefault(span.name, {"count": 0, "seconds": 0.0})
+            entry["count"] += 1
+            entry["seconds"] += span.seconds
+        for entry in totals.values():
+            entry["seconds"] = round(entry["seconds"], 6)
+        return totals
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form: the raw span log plus the per-name summary."""
+        return {
+            "spans": [
+                {"name": s.name, "seconds": round(s.seconds, 6), "meta": s.meta}
+                for s in self.spans
+            ],
+            "summary": self.summary(),
+        }
+
+    def format_summary(self) -> str:
+        """Aligned plain-text table of the per-name totals."""
+        from repro.util.tables import format_table
+
+        summary = self.summary()
+        total = sum(entry["seconds"] for entry in summary.values())
+        rows = [
+            [name, int(entry["count"]), entry["seconds"],
+             100.0 * entry["seconds"] / total if total else 0.0]
+            for name, entry in sorted(
+                summary.items(), key=lambda item: -item[1]["seconds"]
+            )
+        ]
+        return format_table(["span", "count", "seconds", "share_%"], rows)

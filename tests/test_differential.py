@@ -182,6 +182,43 @@ def test_serialize_round_trip_preserves_identity(workloads):
     assert results_identical(revived, reference)
 
 
+def test_telemetry_does_not_perturb_identity(workloads):
+    """A telemetry-observed event run stays bit-identical to the reference.
+
+    The recorder only reads live state (occupancy, heap snapshots), so the
+    event simulator with a telemetry hook attached must produce exactly
+    the timing the plain reference loop does.
+    """
+    from repro.telemetry import Recorder
+
+    prepared = workloads("gcc")
+    max_cycles = 64 * len(prepared.trace) + 10_000
+    steering, scheduler, __ = _policy_pair("dependence")
+    recorder = Recorder(interval=64)
+    recorder.note_policies(steering, scheduler)
+    sim = ClusteredSimulator(
+        config=_machine(4),
+        steering=steering,
+        scheduler=scheduler,
+        collect_ilp=True,
+        max_cycles=max_cycles,
+        telemetry=recorder,
+    )
+    event = sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+    event.telemetry = recorder.finalize(event)
+    assert event.telemetry is not None and event.telemetry.samples
+
+    steering, scheduler, __ = _policy_pair("dependence")
+    reference = ReferenceSimulator(
+        config=_machine(4),
+        steering=steering,
+        scheduler=scheduler,
+        collect_ilp=True,
+        max_cycles=max_cycles,
+    ).run(prepared.trace, prepared.dependences, prepared.mispredicted)
+    assert_bit_identical(event, reference, "gcc dependence 4cl telemetry")
+
+
 # ---------------------------------------------------------------------------
 # Hypothesis-driven exploration
 # ---------------------------------------------------------------------------

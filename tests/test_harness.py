@@ -1,16 +1,22 @@
-"""Tests for the experiment Workbench and policy construction."""
+"""Tests for the experiment Workbench and policy construction.
+
+Everything here imports from :mod:`repro.api` -- the stable facade must
+cover the whole harness workflow without deep imports.
+"""
 
 import pytest
 
-from repro.core.config import monolithic_machine
-from repro.core.scheduling.policies import (
+from repro.api import (
     CriticalFirstScheduler,
+    CriticalitySteering,
+    DependenceSteering,
     LocScheduler,
     OldestFirstScheduler,
+    Workbench,
+    build_policy,
+    get_kernel,
+    monolithic_machine,
 )
-from repro.core.steering.dependence import CriticalitySteering, DependenceSteering
-from repro.experiments.harness import Workbench, build_policy
-from repro.workloads.suite import get_kernel
 
 
 @pytest.fixture(scope="module")
@@ -114,7 +120,7 @@ class TestCacheKeyCompleteness:
     def test_bandwidth_configs_not_conflated(self):
         import dataclasses
 
-        from repro.core.config import clustered_machine
+        from repro.api import clustered_machine
 
         bench = Workbench(instructions=1200, benchmarks=[get_kernel("gcc")])
         wide = clustered_machine(8)
