@@ -52,7 +52,7 @@ def main(argv=None):
     from repro.core.simulator import ClusteredSimulator
     from repro.criticality.loc import LocPredictor, PredictorSuite
     from repro.criticality.trainer import ChunkedCriticalityTrainer
-    from repro.experiments.harness import build_policy
+    from repro.specs.policy import resolve_policy
     from repro.experiments.parallel import prepare_workload
 
     entries = [(int(c), str(p)) for c, p in json.loads(args.entries)]
@@ -65,7 +65,7 @@ def main(argv=None):
                 if clusters == 1
                 else clustered_machine(clusters, forwarding_latency=2)
             )
-            steering, scheduler, needs_predictors = build_policy(policy)
+            steering, scheduler, needs_predictors = resolve_policy(policy).build()
             suite = None
             if needs_predictors:
                 suite = PredictorSuite(
@@ -84,7 +84,7 @@ def main(argv=None):
             best = None
             cycles = None
             for __ in range(args.repeats):
-                steering, scheduler, __needs = build_policy(policy)
+                steering, scheduler, __needs = resolve_policy(policy).build()
                 sim = ClusteredSimulator(
                     config,
                     steering=steering,

@@ -64,7 +64,7 @@ from repro.core.simulator import ClusteredSimulator  # noqa: E402
 from repro.criticality.loc import LocPredictor, PredictorSuite  # noqa: E402
 from repro.criticality.trainer import ChunkedCriticalityTrainer  # noqa: E402
 from repro.experiments.fig14 import BARS_BY_CLUSTER  # noqa: E402
-from repro.experiments.harness import build_policy  # noqa: E402
+from repro.specs.policy import resolve_policy  # noqa: E402
 from repro.experiments.parallel import prepare_workload  # noqa: E402
 from repro.workloads.suite import SUITE  # noqa: E402
 
@@ -94,7 +94,7 @@ def machine_for(clusters: int, forwarding_latency: int = 2):
 
 def warm_predictors(prepared, config, policy, max_cycles):
     """Train a fresh predictor suite the way the experiment harness does."""
-    steering, scheduler, needs_predictors = build_policy(policy)
+    steering, scheduler, needs_predictors = resolve_policy(policy).build()
     if not needs_predictors:
         return None
     suite = PredictorSuite(loc_predictor=LocPredictor(mode="probabilistic", seed=0))
@@ -116,7 +116,7 @@ def time_simulator(sim_cls, prepared, config, policy, suite, max_cycles, repeats
     best = None
     cycles = None
     for _ in range(repeats):
-        steering, scheduler, __ = build_policy(policy)
+        steering, scheduler, __ = resolve_policy(policy).build()
         sim = sim_cls(
             config,
             steering=steering,

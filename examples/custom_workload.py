@@ -23,12 +23,12 @@ from repro.api import (
     analyze_critical_path,
     annotate_mispredictions,
     assemble,
-    build_policy,
     clustered_machine,
     extract_dependences,
     format_table,
     interpret,
     monolithic_machine,
+    resolve_policy,
     seeded_rng,
 )
 
@@ -83,7 +83,7 @@ def main() -> None:
         trace, deps, mispredicted
     )
     for policy_name in ("dependence", "focused", "p"):
-        steering, scheduler, needs_predictors = build_policy(policy_name)
+        steering, scheduler, needs_predictors = resolve_policy(policy_name).build()
         extra = {}
         if needs_predictors:
             from repro.criticality.loc import PredictorSuite

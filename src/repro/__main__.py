@@ -1,0 +1,6 @@
+"""``python -m repro``: forward to the ``repro`` console command."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,12 @@ legacy re-exports on the :mod:`repro.experiments` package now emit
 The surface covers everything needed to reproduce the paper end to end
 without a single deep import:
 
+* **specs & registries** -- the declarative layer
+  (:class:`MachineSpec`, :class:`PolicySpec`, :class:`ExperimentSpec`,
+  :func:`load_spec`, :func:`run_spec`, :func:`spec_hash`) and the
+  component registries out-of-tree policies plug into
+  (:func:`register_steering`, :func:`register_scheduler`,
+  :func:`register_predictor`);
 * **workbench & execution** -- :class:`Workbench`,
   :class:`ParallelWorkbench`, :class:`RunCache`, :class:`RunJob`,
   :func:`execute_job`, :func:`execute_jobs`, :func:`job_key`,
@@ -87,7 +93,7 @@ from repro.core.steering.simple import LoadBalanceSteering, ModuloSteering
 from repro.criticality.critical_path import analyze_critical_path, critical_flags
 from repro.criticality.loc import LocPredictor, PredictorSuite
 from repro.criticality.slack import compute_global_slack, slack_histogram
-from repro.experiments import EXPERIMENTS, PLANS, FigureData
+from repro.experiments import EXPERIMENTS, PLANS, SPECS, FigureData
 from repro.experiments.aggregate import average_figures, run_seeded
 from repro.experiments.cache import RunCache, default_cache_dir, job_key
 from repro.experiments.harness import (
@@ -103,6 +109,28 @@ from repro.experiments.parallel import (
     execute_job,
     execute_jobs,
     prepare_workload,
+)
+from repro.experiments.sweep import run_spec
+from repro.specs import (
+    PRESETS,
+    ExperimentSpec,
+    MachineSpec,
+    PolicySpec,
+    PredictorSpec,
+    SchedulerSpec,
+    SpecError,
+    SteeringSpec,
+    SweepSpec,
+    WorkloadSpec,
+    canonical_policy,
+    load_spec,
+    policy_label,
+    policy_names,
+    register_predictor,
+    register_scheduler,
+    register_steering,
+    resolve_policy,
+    spec_hash,
 )
 from repro.frontend.branch_predictor import (
     GshareBranchPredictor,
@@ -268,6 +296,28 @@ __all__ = [
     "EXPERIMENTS",
     "FigureData",
     "PLANS",
+    "SPECS",
+    # specs & registries
+    "ExperimentSpec",
+    "MachineSpec",
+    "PRESETS",
+    "PolicySpec",
+    "PredictorSpec",
+    "SchedulerSpec",
+    "SpecError",
+    "SteeringSpec",
+    "SweepSpec",
+    "WorkloadSpec",
+    "canonical_policy",
+    "load_spec",
+    "policy_label",
+    "policy_names",
+    "register_predictor",
+    "register_scheduler",
+    "register_steering",
+    "resolve_policy",
+    "run_spec",
+    "spec_hash",
     # machines
     "ClusterConfig",
     "MachineConfig",

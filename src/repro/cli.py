@@ -1,0 +1,117 @@
+"""The ``repro`` console command.
+
+A thin front door over the experiment runner plus spec-file tooling::
+
+    repro figure14 --workers 8          # == python -m repro.experiments ...
+    repro --spec specs/custom_sweep.json
+    repro specs list                    # registered components + presets
+    repro specs show figure14           # an experiment's spec as JSON
+    repro specs validate specs/*.json   # schema-check spec files
+
+``python -m repro`` forwards here, so all three spellings are
+equivalent.  Everything that is not a ``specs`` subcommand is handed to
+:func:`repro.experiments.runner.main` unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.specs import (
+    PREDICTORS,
+    PRESETS,
+    SCHEDULERS,
+    STEERING,
+    SpecError,
+    load_spec,
+    policy_names,
+    spec_hash,
+)
+
+__all__ = ["main"]
+
+
+def _specs_list() -> int:
+    from repro.experiments import SPECS
+
+    print("policy presets:", ", ".join(policy_names()))
+    extras = sorted(set(PRESETS) - set(policy_names()))
+    if extras:
+        print("extra presets:", ", ".join(extras))
+    print("steering kinds:", ", ".join(STEERING.names()))
+    print("scheduler kinds:", ", ".join(SCHEDULERS.names()))
+    print("predictor kinds:", ", ".join(PREDICTORS.names()))
+    print("experiment specs:", ", ".join(SPECS))
+    return 0
+
+
+def _specs_show(name: str) -> int:
+    from repro.experiments import SPECS
+
+    builder = SPECS.get(name)
+    if builder is not None:
+        print(SPECS[name]().to_json(), end="")
+        return 0
+    preset = PRESETS.get(name)
+    if preset is not None:
+        import json
+
+        print(json.dumps(preset.to_dict(), indent=2))
+        print(f"# canonical hash: {spec_hash(preset)}", file=sys.stderr)
+        return 0
+    print(
+        f"unknown spec {name!r}; experiments: {', '.join(SPECS)}; "
+        f"presets: {', '.join(sorted(PRESETS))}",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _specs_validate(paths: list[str]) -> int:
+    status = 0
+    for path in paths:
+        try:
+            spec = load_spec(path)
+        except SpecError as exc:
+            print(f"FAIL {path}: {exc}")
+            status = 1
+            continue
+        print(
+            f"ok   {path}: {spec.name!r} "
+            f"({len(spec.sweeps)} sweep{'s' if len(spec.sweeps) != 1 else ''}, "
+            f"hash {spec_hash(spec)[:12]})"
+        )
+    return status
+
+
+def _specs_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro specs",
+        description="Inspect and validate experiment/policy specs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="registered component kinds, presets and specs")
+    show = sub.add_parser("show", help="print a spec (experiment or preset) as JSON")
+    show.add_argument("name")
+    validate = sub.add_parser("validate", help="schema-check spec JSON files")
+    validate.add_argument("paths", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _specs_list()
+    if args.command == "show":
+        return _specs_show(args.name)
+    return _specs_validate(args.paths)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "specs":
+        return _specs_main(argv[1:])
+    from repro.experiments.runner import main as runner_main
+
+    return runner_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,12 +89,13 @@ class MachineConfig:
         return f"{self.num_clusters}x{self.cluster.issue_width}w"
 
 
-# Table 1 totals for the monolithic machine.
-_TOTAL_WIDTH = 8
-_TOTAL_INT = 8
-_TOTAL_FP = 4
-_TOTAL_MEM = 4
-_TOTAL_WINDOW = 128
+# Table 1 totals for the monolithic machine (public: the spec layer and
+# out-of-tree geometry code reference them).
+TOTAL_WIDTH = 8
+TOTAL_INT = 8
+TOTAL_FP = 4
+TOTAL_MEM = 4
+TOTAL_WINDOW = 128
 
 
 def clustered_machine(
@@ -108,14 +109,14 @@ def clustered_machine(
     configurations are 1 (monolithic), 2, 4 and 8.  Partial per-cluster
     resources round up (Section 2.1, footnote 1).
     """
-    if _TOTAL_WIDTH % num_clusters != 0:
-        raise ValueError(f"{num_clusters} clusters do not divide width {_TOTAL_WIDTH}")
+    if TOTAL_WIDTH % num_clusters != 0:
+        raise ValueError(f"{num_clusters} clusters do not divide width {TOTAL_WIDTH}")
     cluster = ClusterConfig(
-        issue_width=_TOTAL_WIDTH // num_clusters,
-        int_ports=max(1, math.ceil(_TOTAL_INT / num_clusters)),
-        fp_ports=max(1, math.ceil(_TOTAL_FP / num_clusters)),
-        mem_ports=max(1, math.ceil(_TOTAL_MEM / num_clusters)),
-        window_size=_TOTAL_WINDOW // num_clusters,
+        issue_width=TOTAL_WIDTH // num_clusters,
+        int_ports=max(1, math.ceil(TOTAL_INT / num_clusters)),
+        fp_ports=max(1, math.ceil(TOTAL_FP / num_clusters)),
+        mem_ports=max(1, math.ceil(TOTAL_MEM / num_clusters)),
+        window_size=TOTAL_WINDOW // num_clusters,
     )
     return MachineConfig(
         num_clusters=num_clusters,

@@ -19,13 +19,13 @@ remain stable, warning-free import targets for internal code.
 
 import warnings
 
-from repro.experiments.fig02 import plan_figure2, run_figure2
-from repro.experiments.fig04 import plan_figure4, run_figure4
-from repro.experiments.fig05 import plan_figure5, run_figure5
-from repro.experiments.fig06 import plan_figure6, run_figure6
-from repro.experiments.fig08 import plan_figure8, run_figure8
-from repro.experiments.fig14 import plan_figure14, run_figure14
-from repro.experiments.fig15 import plan_figure15, run_figure15
+from repro.experiments.fig02 import plan_figure2, run_figure2, spec_figure2
+from repro.experiments.fig04 import plan_figure4, run_figure4, spec_figure4
+from repro.experiments.fig05 import plan_figure5, run_figure5, spec_figure5
+from repro.experiments.fig06 import plan_figure6, run_figure6, spec_figure6
+from repro.experiments.fig08 import plan_figure8, run_figure8, spec_figure8
+from repro.experiments.fig14 import plan_figure14, run_figure14, spec_figure14
+from repro.experiments.fig15 import plan_figure15, run_figure15, spec_figure15
 from repro.experiments.figure import FigureData
 from repro.experiments.intext import (
     plan_consumer_stats,
@@ -34,6 +34,9 @@ from repro.experiments.intext import (
     run_consumer_stats,
     run_global_values,
     run_loc_priority_study,
+    spec_consumer_stats,
+    spec_global_values,
+    spec_loc_priority_study,
 )
 
 # Registry used by examples, the CLI and the benchmark harness.
@@ -48,6 +51,23 @@ EXPERIMENTS = {
     "global_values": run_global_values,
     "loc_priority": run_loc_priority_study,
     "consumer_stats": run_consumer_stats,
+}
+
+# The declarative form of each experiment: name -> ``spec_*`` builder
+# returning the :class:`~repro.specs.ExperimentSpec` whose jobs the
+# figure's plan enumerates.  ``repro specs show <name>`` renders these,
+# and the checked-in ``specs/*.json`` files serialize them.
+SPECS = {
+    "figure2": spec_figure2,
+    "figure4": spec_figure4,
+    "figure5": spec_figure5,
+    "figure6": spec_figure6,
+    "figure8": spec_figure8,
+    "figure14": spec_figure14,
+    "figure15": spec_figure15,
+    "global_values": spec_global_values,
+    "loc_priority": spec_loc_priority_study,
+    "consumer_stats": spec_consumer_stats,
 }
 
 # The matching run plans: every entry takes a Workbench and returns the
@@ -108,6 +128,7 @@ __all__ = [
     "EXPERIMENTS",
     "FigureData",
     "PLANS",
+    "SPECS",
     "plan_consumer_stats",
     "plan_figure14",
     "plan_figure15",

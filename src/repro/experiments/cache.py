@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.results import SimulationResult
 from repro.core.serialize import config_to_dict, result_from_dict, result_to_dict
+from repro.specs.policy import policy_label, resolve_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness -> parallel)
     from repro.experiments.parallel import RunJob
@@ -45,7 +46,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness -> parallel)
 # (RunJob later grew ``metrics``; it enters the key payload only when
 # True, so every pre-existing hash -- and entry -- stayed valid and the
 # version did not need to move.)
-CACHE_SCHEMA_VERSION = 2
+# 3: the ``policy`` key payload changed from a bare preset name to the
+#    policy's canonical spec payload (repro.specs) so presets and novel
+#    PolicySpec compositions share one hash domain.  Migration: none
+#    needed -- v2 entries are simply never looked up again; delete the
+#    cache directory to reclaim the space, or re-run to repopulate.
+CACHE_SCHEMA_VERSION = 3
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -59,7 +65,13 @@ def default_cache_dir() -> pathlib.Path:
 
 
 def job_key(job: RunJob) -> str:
-    """Stable content hash of everything that determines a run's output."""
+    """Stable content hash of everything that determines a run's output.
+
+    The policy enters the payload as its canonical spec payload
+    (:meth:`repro.specs.PolicySpec.canonical_payload`), never as a name:
+    a preset name, its expanded :class:`~repro.specs.PolicySpec`, and any
+    dict spelling of the same stack all hash to one key.
+    """
     payload = {
         "version": CACHE_SCHEMA_VERSION,
         "kernel": job.kernel,
@@ -67,7 +79,7 @@ def job_key(job: RunJob) -> str:
         "seed": job.seed,
         "loc_mode": job.loc_mode,
         "config": config_to_dict(job.config),
-        "policy": job.policy,
+        "policy": resolve_policy(job.policy).canonical_payload(),
         "collect_ilp": job.collect_ilp,
         "warm": job.warm,
         "sim": job.sim,
@@ -154,7 +166,8 @@ class RunCache:
                 "instructions": job.instructions,
                 "seed": job.seed,
                 "loc_mode": job.loc_mode,
-                "policy": job.policy,
+                "policy": policy_label(job.policy),
+                "policy_spec": resolve_policy(job.policy).canonical_payload(),
                 "collect_ilp": job.collect_ilp,
                 "warm": job.warm,
             },

@@ -13,22 +13,36 @@ from repro.core.config import clustered_machine, monolithic_machine
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 from repro.idealized.list_scheduler import list_schedule
+from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
 # Registry name: the key this figure goes by in EXPERIMENTS / PLANS
 # and on the CLI.
 NAME = "figure2"
 
-__all__ = ["NAME", "plan_figure2", "run_figure2"]
+__all__ = ["NAME", "plan_figure2", "run_figure2", "spec_figure2"]
 
 CLUSTER_COUNTS = (2, 4, 8)
 
 
+def spec_figure2(forwarding_latency: int = 2) -> ExperimentSpec:
+    """Figure 2's simulator runs as a declarative spec.
+
+    Only the monolithic latency-probe runs are simulator jobs; the list
+    scheduling itself happens in-process in :func:`run_figure2`.
+    """
+    return ExperimentSpec(
+        name=NAME,
+        figure=NAME,
+        description="Idealized list scheduling (latency probes)",
+        sweeps=(
+            SweepSpec(machines=(MachineSpec(1),), policies=("dependence",)),
+        ),
+    )
+
+
 def plan_figure2(bench: Workbench, forwarding_latency: int = 2):
     """The simulator runs Figure 2 needs (list scheduling stays in-process)."""
-    return [
-        bench.job(spec, monolithic_machine(), "dependence")
-        for spec in bench.benchmarks
-    ]
+    return spec_figure2(forwarding_latency).jobs(bench)
 
 
 def run_figure2(bench: Workbench, forwarding_latency: int = 2) -> FigureData:

@@ -12,26 +12,39 @@ from __future__ import annotations
 from repro.core.config import monolithic_machine
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
+from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
 # Registry name: the key this figure goes by in EXPERIMENTS / PLANS
 # and on the CLI.
 NAME = "figure4"
 
-__all__ = ["NAME", "plan_figure4", "run_figure4"]
+__all__ = ["NAME", "plan_figure4", "run_figure4", "spec_figure4"]
 
 CLUSTER_COUNTS = (2, 4, 8)
 
 
+def spec_figure4(forwarding_latency: int = 2) -> ExperimentSpec:
+    """Figure 4's sweep as a declarative spec."""
+    return ExperimentSpec(
+        name=NAME,
+        figure=NAME,
+        description="Focused steering and scheduling vs monolithic",
+        sweeps=(
+            SweepSpec(machines=(MachineSpec(1),), policies=("focused",)),
+            SweepSpec(
+                machines=tuple(
+                    MachineSpec(count, forwarding_latency=forwarding_latency)
+                    for count in CLUSTER_COUNTS
+                ),
+                policies=("focused",),
+            ),
+        ),
+    )
+
+
 def plan_figure4(bench: Workbench, forwarding_latency: int = 2):
     """The runs Figure 4 needs, for parallel prefetch."""
-    jobs = []
-    for spec in bench.benchmarks:
-        jobs.append(bench.job(spec, monolithic_machine(), "focused"))
-        for count in CLUSTER_COUNTS:
-            jobs.append(
-                bench.job(spec, bench.clustered(count, forwarding_latency), "focused")
-            )
-    return jobs
+    return spec_figure4(forwarding_latency).jobs(bench)
 
 
 def run_figure4(bench: Workbench, forwarding_latency: int = 2) -> FigureData:

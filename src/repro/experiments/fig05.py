@@ -13,28 +13,40 @@ from repro.analysis.breakdown import FIGURE5_SEGMENTS, cpi_breakdown
 from repro.core.config import monolithic_machine
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
+from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
 # Registry name: the key this figure goes by in EXPERIMENTS / PLANS
 # and on the CLI.
 NAME = "figure5"
 
-__all__ = ["NAME", "plan_figure5", "run_figure5"]
+__all__ = ["NAME", "plan_figure5", "run_figure5", "spec_figure5"]
 
 CONFIG_LABELS = (1, 2, 4, 8)
 
 
+def spec_figure5(forwarding_latency: int = 2) -> ExperimentSpec:
+    """Figure 5's sweep as a declarative spec."""
+    return ExperimentSpec(
+        name=NAME,
+        figure=NAME,
+        description="Critical-path breakdown under focused steering",
+        sweeps=(
+            SweepSpec(
+                machines=tuple(
+                    MachineSpec(1)
+                    if label == 1
+                    else MachineSpec(label, forwarding_latency=forwarding_latency)
+                    for label in CONFIG_LABELS
+                ),
+                policies=("focused",),
+            ),
+        ),
+    )
+
+
 def plan_figure5(bench: Workbench, forwarding_latency: int = 2):
     """The runs Figure 5 needs, for parallel prefetch."""
-    jobs = []
-    for spec in bench.benchmarks:
-        for label in CONFIG_LABELS:
-            config = (
-                monolithic_machine()
-                if label == 1
-                else bench.clustered(label, forwarding_latency)
-            )
-            jobs.append(bench.job(spec, config, "focused"))
-    return jobs
+    return spec_figure5(forwarding_latency).jobs(bench)
 
 
 def run_figure5(bench: Workbench, forwarding_latency: int = 2) -> FigureData:

@@ -19,23 +19,38 @@ from __future__ import annotations
 from repro.analysis.events import classify_lost_cycle_events
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
+from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
 # Registry name: the key this figure goes by in EXPERIMENTS / PLANS
 # and on the CLI.
 NAME = "figure6"
 
-__all__ = ["NAME", "plan_figure6", "run_figure6"]
+__all__ = ["NAME", "plan_figure6", "run_figure6", "spec_figure6"]
 
 CLUSTER_COUNTS = (2, 4, 8)
 
 
+def spec_figure6(forwarding_latency: int = 2) -> ExperimentSpec:
+    """Figure 6's sweep as a declarative spec."""
+    return ExperimentSpec(
+        name=NAME,
+        figure=NAME,
+        description="Critical-path stall events under focused steering",
+        sweeps=(
+            SweepSpec(
+                machines=tuple(
+                    MachineSpec(count, forwarding_latency=forwarding_latency)
+                    for count in CLUSTER_COUNTS
+                ),
+                policies=("focused",),
+            ),
+        ),
+    )
+
+
 def plan_figure6(bench: Workbench, forwarding_latency: int = 2):
     """The runs Figure 6 needs, for parallel prefetch."""
-    return [
-        bench.job(spec, bench.clustered(count, forwarding_latency), "focused")
-        for spec in bench.benchmarks
-        for count in CLUSTER_COUNTS
-    ]
+    return spec_figure6(forwarding_latency).jobs(bench)
 
 
 def run_figure6(bench: Workbench, forwarding_latency: int = 2) -> FigureData:

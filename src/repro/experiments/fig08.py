@@ -15,22 +15,33 @@ from repro.core.config import monolithic_machine
 from repro.criticality.critical_path import critical_flags
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
+from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
 # Registry name: the key this figure goes by in EXPERIMENTS / PLANS
 # and on the CLI.
 NAME = "figure8"
 
-__all__ = ["NAME", "plan_figure8", "run_figure8"]
+__all__ = ["NAME", "plan_figure8", "run_figure8", "spec_figure8"]
 
 BIN_PERCENT = 5
 FIELDS_THRESHOLD_PERCENT = 100 / 8  # 1-in-8 instances => predicted critical
 
 
+def spec_figure8() -> ExperimentSpec:
+    """Figure 8's monolithic probe runs as a declarative spec."""
+    return ExperimentSpec(
+        name=NAME,
+        figure=NAME,
+        description="LoC distribution probes on the monolithic machine",
+        sweeps=(
+            SweepSpec(machines=(MachineSpec(1),), policies=("focused",)),
+        ),
+    )
+
+
 def plan_figure8(bench: Workbench):
     """The runs Figure 8 needs, for parallel prefetch."""
-    return [
-        bench.job(spec, monolithic_machine(), "focused") for spec in bench.benchmarks
-    ]
+    return spec_figure8().jobs(bench)
 
 
 def run_figure8(bench: Workbench) -> FigureData:

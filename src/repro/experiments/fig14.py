@@ -18,26 +18,45 @@ from repro.analysis.breakdown import cpi_breakdown
 from repro.core.config import monolithic_machine
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
+from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
 # Registry name: the key this figure goes by in EXPERIMENTS / PLANS
 # and on the CLI.
 NAME = "figure14"
 
-__all__ = ["NAME", "plan_figure14", "run_figure14"]
+__all__ = ["NAME", "plan_figure14", "run_figure14", "spec_figure14"]
 
 BARS_BY_CLUSTER = {2: ("focused", "l", "s"), 4: ("focused", "l", "s"), 8: ("focused", "l", "s", "p")}
 
 
+def spec_figure14(forwarding_latency: int = 2) -> ExperimentSpec:
+    """Figure 14's sweep as a declarative spec.
+
+    The checked-in ``specs/figure14.json`` is this spec serialized; a
+    test keeps the two in lock-step.
+    """
+    return ExperimentSpec(
+        name=NAME,
+        figure=NAME,
+        description="Proposed policies, stacked, vs 1x8w with LoC scheduling",
+        sweeps=(
+            SweepSpec(machines=(MachineSpec(1),), policies=("l",)),
+            *(
+                SweepSpec(
+                    machines=(
+                        MachineSpec(count, forwarding_latency=forwarding_latency),
+                    ),
+                    policies=policies,
+                )
+                for count, policies in BARS_BY_CLUSTER.items()
+            ),
+        ),
+    )
+
+
 def plan_figure14(bench: Workbench, forwarding_latency: int = 2):
     """The runs Figure 14 needs, for parallel prefetch."""
-    jobs = []
-    for spec in bench.benchmarks:
-        jobs.append(bench.job(spec, monolithic_machine(), "l"))
-        for cluster_count, policies in BARS_BY_CLUSTER.items():
-            config = bench.clustered(cluster_count, forwarding_latency)
-            for policy in policies:
-                jobs.append(bench.job(spec, config, policy))
-    return jobs
+    return spec_figure14(forwarding_latency).jobs(bench)
 
 
 def run_figure14(bench: Workbench, forwarding_latency: int = 2) -> FigureData:

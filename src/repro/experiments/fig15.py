@@ -14,23 +14,36 @@ from __future__ import annotations
 from repro.analysis.ilp import merge_profiles
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
+from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
 # Registry name: the key this figure goes by in EXPERIMENTS / PLANS
 # and on the CLI.
 NAME = "figure15"
 
-__all__ = ["NAME", "plan_figure15", "run_figure15"]
+__all__ = ["NAME", "plan_figure15", "run_figure15", "spec_figure15"]
+
+
+def spec_figure15(policy: str = "p", forwarding_latency: int = 2) -> ExperimentSpec:
+    """Figure 15's ILP-profiled runs as a declarative spec."""
+    return ExperimentSpec(
+        name=NAME,
+        figure=NAME,
+        description="Achieved vs available ILP on the 8x1w machine",
+        sweeps=(
+            SweepSpec(
+                machines=(MachineSpec(8, forwarding_latency=forwarding_latency),),
+                policies=(policy,),
+                collect_ilp=True,
+            ),
+        ),
+    )
 
 
 def plan_figure15(
     bench: Workbench, policy: str = "p", forwarding_latency: int = 2
 ):
     """The runs Figure 15 needs, for parallel prefetch."""
-    config = bench.clustered(8, forwarding_latency)
-    return [
-        bench.job(spec, config, policy, collect_ilp=True)
-        for spec in bench.benchmarks
-    ]
+    return spec_figure15(policy, forwarding_latency).jobs(bench)
 
 
 def run_figure15(

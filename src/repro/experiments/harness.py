@@ -35,20 +35,11 @@ Policy names (matching Figure 14's bar labels):
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Sequence
 
 from repro.core.config import MachineConfig, clustered_machine, monolithic_machine
 from repro.core.results import SimulationResult
-from repro.core.scheduling.policies import (
-    CriticalFirstScheduler,
-    LocScheduler,
-    OldestFirstScheduler,
-)
-from repro.core.steering.dependence import (
-    CriticalitySteering,
-    CriticalitySteeringConfig,
-    DependenceSteering,
-)
 from repro.experiments.cache import RunCache
 from repro.experiments.parallel import (
     PreparedWorkload,
@@ -59,6 +50,7 @@ from repro.experiments.parallel import (
     execute_jobs,
     prepare_workload,
 )
+from repro.specs.policy import PolicySpec, canonical_policy, policy_names, resolve_policy
 from repro.workloads.common import KernelSpec
 from repro.workloads.suite import SUITE
 
@@ -71,34 +63,30 @@ __all__ = [
     "build_policy",
 ]
 
-POLICY_NAMES = ("dependence", "focused", "l", "s", "p")
+# Derived from the preset registry (repro.specs.policy.PRESETS); kept as a
+# module constant because it is a long-standing import target.
+POLICY_NAMES = policy_names()
 
 DEFAULT_INSTRUCTIONS = 12_000
 
 
 def build_policy(name: str):
-    """Construct fresh (steering, scheduler, needs_predictors) for ``name``."""
-    if name == "dependence":
-        return DependenceSteering(), OldestFirstScheduler(), False
-    if name == "focused":
-        steering = CriticalitySteering(CriticalitySteeringConfig(preference="binary"))
-        return steering, CriticalFirstScheduler(), True
-    if name == "l":
-        steering = CriticalitySteering(CriticalitySteeringConfig(preference="loc"))
-        return steering, LocScheduler(), True
-    if name == "s":
-        steering = CriticalitySteering(
-            CriticalitySteeringConfig(preference="loc", stall_over_steer=True)
-        )
-        return steering, LocScheduler(), True
-    if name == "p":
-        steering = CriticalitySteering(
-            CriticalitySteeringConfig(
-                preference="loc", stall_over_steer=True, proactive=True
-            )
-        )
-        return steering, LocScheduler(), True
-    raise ValueError(f"unknown policy {name!r}; want one of {POLICY_NAMES}")
+    """Construct fresh (steering, scheduler, needs_predictors) for ``name``.
+
+    .. deprecated::
+        The policy stacks are spec presets now; use
+        ``repro.specs.resolve_policy(name).build()`` (or better, pass the
+        name / a :class:`~repro.specs.PolicySpec` straight to the
+        workbench and job layer).  This shim builds the exact same
+        objects from the preset table.
+    """
+    warnings.warn(
+        "build_policy() is deprecated; use repro.specs.resolve_policy(name)"
+        ".build() or pass the policy name/spec directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resolve_policy(name).build()
 
 
 class Workbench:
@@ -168,18 +156,24 @@ class Workbench:
         self,
         spec: KernelSpec,
         config: MachineConfig,
-        policy: str,
+        policy: str | PolicySpec,
         collect_ilp: bool = False,
         warm: bool = True,
     ) -> RunJob:
-        """The picklable job describing one run of this workbench."""
+        """The picklable job describing one run of this workbench.
+
+        ``policy`` may be a preset name or any :class:`~repro.specs.
+        PolicySpec`; it is canonicalized (a spec that equals a preset
+        collapses to the preset's name) so equal stacks produce equal --
+        and therefore memory-cache-sharing -- jobs.
+        """
         return RunJob(
             kernel=spec.name,
             instructions=self.instructions,
             seed=self.seed,
             loc_mode=self.loc_mode,
             config=config,
-            policy=policy,
+            policy=canonical_policy(policy),
             collect_ilp=collect_ilp,
             warm=warm,
             sim=self.sim,
@@ -208,7 +202,7 @@ class Workbench:
         self,
         spec: KernelSpec,
         config: MachineConfig,
-        policy: str,
+        policy: str | PolicySpec,
         collect_ilp: bool = False,
         warm: bool = True,
     ) -> SimulationResult:
@@ -282,7 +276,9 @@ class Workbench:
         return pairs
 
     # ------------------------------------------------------------------
-    def monolithic_baseline(self, spec: KernelSpec, policy: str = "l") -> SimulationResult:
+    def monolithic_baseline(
+        self, spec: KernelSpec, policy: str | PolicySpec = "l"
+    ) -> SimulationResult:
         """The 1x8w run results are normalized against."""
         return self.run(spec, monolithic_machine(), policy)
 

@@ -21,20 +21,35 @@ from repro.criticality.critical_path import critical_flags
 from repro.experiments.figure import FigureData
 from repro.experiments.harness import Workbench
 from repro.idealized.list_scheduler import list_schedule
+from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
 CLUSTER_COUNTS = (2, 4, 8)
 _BEST_POLICY = {2: "s", 4: "s", 8: "p"}
 
 
+def spec_global_values(forwarding_latency: int = 2) -> ExperimentSpec:
+    """The Section 2.1 sweep as a declarative spec.
+
+    Job order is workload-major like every spec (the pre-spec plan was
+    cluster-major); the job *set* is unchanged, so caches stay warm.
+    """
+    return ExperimentSpec(
+        name="global_values",
+        figure="global_values",
+        description="Global values per instruction, proposed vs focused",
+        sweeps=tuple(
+            SweepSpec(
+                machines=(MachineSpec(count, forwarding_latency=forwarding_latency),),
+                policies=(_BEST_POLICY[count], "focused"),
+            )
+            for count in CLUSTER_COUNTS
+        ),
+    )
+
+
 def plan_global_values(bench: Workbench, forwarding_latency: int = 2):
     """The runs the Section 2.1 claim needs, for parallel prefetch."""
-    jobs = []
-    for count in CLUSTER_COUNTS:
-        config = bench.clustered(count, forwarding_latency)
-        for spec in bench.benchmarks:
-            jobs.append(bench.job(spec, config, _BEST_POLICY[count]))
-            jobs.append(bench.job(spec, config, "focused"))
-    return jobs
+    return spec_global_values(forwarding_latency).jobs(bench)
 
 
 def run_global_values(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
@@ -60,11 +75,21 @@ def run_global_values(bench: Workbench, forwarding_latency: int = 2) -> FigureDa
     return figure
 
 
+def spec_loc_priority_study(forwarding_latency: int = 2) -> ExperimentSpec:
+    """The Section 4 study's simulator probes as a declarative spec."""
+    return ExperimentSpec(
+        name="loc_priority",
+        figure="loc_priority",
+        description="Idealized scheduler priority ablation (latency probes)",
+        sweeps=(
+            SweepSpec(machines=(MachineSpec(1),), policies=("focused",)),
+        ),
+    )
+
+
 def plan_loc_priority_study(bench: Workbench, forwarding_latency: int = 2):
     """The simulator runs the Section 4 study needs (list scheduling is local)."""
-    return [
-        bench.job(spec, monolithic_machine(), "focused") for spec in bench.benchmarks
-    ]
+    return spec_loc_priority_study(forwarding_latency).jobs(bench)
 
 
 def run_loc_priority_study(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
@@ -114,11 +139,21 @@ def run_loc_priority_study(bench: Workbench, forwarding_latency: int = 2) -> Fig
     return figure
 
 
+def spec_consumer_stats() -> ExperimentSpec:
+    """The Section 6 monolithic probe runs as a declarative spec."""
+    return ExperimentSpec(
+        name="consumer_stats",
+        figure="consumer_stats",
+        description="Most-critical-consumer statistics (monolithic probes)",
+        sweeps=(
+            SweepSpec(machines=(MachineSpec(1),), policies=("focused",)),
+        ),
+    )
+
+
 def plan_consumer_stats(bench: Workbench):
     """The runs the Section 6 claim needs, for parallel prefetch."""
-    return [
-        bench.job(spec, monolithic_machine(), "focused") for spec in bench.benchmarks
-    ]
+    return spec_consumer_stats().jobs(bench)
 
 
 def run_consumer_stats(bench: Workbench) -> FigureData:

@@ -30,12 +30,11 @@ from repro.core.config import MachineConfig
 from repro.core.rename import Dependences, extract_dependences
 from repro.core.results import SimulationResult
 from repro.core.simulator import ClusteredSimulator
-from repro.criticality.loc import LocPredictor, PredictorSuite
-from repro.criticality.trainer import ChunkedCriticalityTrainer
 from repro.frontend.branch_predictor import (
     GshareBranchPredictor,
     annotate_mispredictions,
 )
+from repro.specs.policy import PolicySpec, policy_label, resolve_policy
 from repro.vm.trace import DynamicInstruction
 from repro.workloads.suite import get_kernel
 
@@ -71,7 +70,11 @@ class RunJob:
     seed: int
     loc_mode: str
     config: MachineConfig
-    policy: str
+    # A preset name ("dependence", "focused", "l", "s", "p") or a frozen
+    # PolicySpec for any other composition.  Both forms hash into the
+    # cache via the policy's canonical spec payload, so the two spellings
+    # of a preset share one cache entry.
+    policy: "str | PolicySpec"
     collect_ilp: bool = False
     warm: bool = True
     # Which timing loop runs the job: "event" (the optimized simulator) or
@@ -122,13 +125,14 @@ def execute_job(
     on ``result.telemetry``.  With ``tracer`` given, the prep / warm-up /
     measure stages are timed as spans.
     """
-    # Imported here, not at module top: harness imports this module.
-    from repro.experiments.harness import build_policy
+    policy_spec = resolve_policy(job.policy)
 
     def span(name: str, **meta):
         if tracer is None:
             return nullcontext()
-        return tracer.span(name, kernel=job.kernel, policy=job.policy, **meta)
+        return tracer.span(
+            name, kernel=job.kernel, policy=policy_label(job.policy), **meta
+        )
 
     if job.sim == "event":
         sim_cls = ClusteredSimulator
@@ -142,14 +146,11 @@ def execute_job(
         with span("trace-prep"):
             prepared = prepare_workload(job.kernel, job.instructions, job.seed)
     max_cycles = _MAX_CPI_GUARD * len(prepared.trace) + 10_000
-    steering, scheduler, needs_predictors = build_policy(job.policy)
+    steering, scheduler, needs_predictors = policy_spec.build()
     suite = None
     trainer = None
     if needs_predictors:
-        suite = PredictorSuite(
-            loc_predictor=LocPredictor(mode=job.loc_mode, seed=job.seed)
-        )
-        trainer = ChunkedCriticalityTrainer(suite)
+        suite, trainer = policy_spec.build_predictors(job.loc_mode, job.seed)
         if job.warm:
             warm_sim = sim_cls(
                 job.config,
@@ -164,7 +165,7 @@ def execute_job(
                     prepared.trace, prepared.dependences, prepared.mispredicted
                 )
             # Fresh policy state for the measured run; predictors stay warm.
-            steering, scheduler, __ = build_policy(job.policy)
+            steering, scheduler, __ = policy_spec.build()
     recorder = None
     sim_kwargs = {}
     if job.metrics:

@@ -7,8 +7,12 @@ Regenerate any reproduced figure from a shell::
     python -m repro.experiments all --benchmarks vpr gzip
     python -m repro.experiments all --seeds 3 --workers 8
     python -m repro.experiments --list-figures
+    python -m repro.experiments --spec specs/custom_sweep.json
 
-Experiment names are the keys of :data:`repro.experiments.EXPERIMENTS`.
+Experiment names are the keys of :data:`repro.experiments.EXPERIMENTS`;
+``--spec`` runs any :class:`~repro.specs.ExperimentSpec` JSON file
+through the same machinery (the ``repro`` console command adds
+``repro specs list|show|validate`` for working with spec files).
 
 Simulations fan out over ``--workers`` processes and persist in an
 on-disk result cache (``~/.cache/repro`` by default; override with
@@ -42,6 +46,8 @@ from repro.experiments import EXPERIMENTS, PLANS
 from repro.experiments.aggregate import run_seeded
 from repro.experiments.cache import RunCache, default_cache_dir
 from repro.experiments.harness import DEFAULT_INSTRUCTIONS, Workbench
+from repro.experiments.sweep import run_spec
+from repro.specs import ExperimentSpec, SpecError, load_spec
 from repro.workloads.suite import get_kernel, suite_names
 
 
@@ -60,6 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-figures",
         action="store_true",
         help="print the known experiment names and exit",
+    )
+    parser.add_argument(
+        "--spec",
+        action="append",
+        type=pathlib.Path,
+        default=[],
+        metavar="FILE",
+        dest="specs",
+        help="run an ExperimentSpec JSON file (repeatable; see the specs/ "
+        "directory for examples and 'repro specs' for tooling)",
     )
     parser.add_argument(
         "--instructions",
@@ -142,13 +158,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _report_runs(bench: Workbench, name: str):
+def _report_runs(bench: Workbench, name: str, spec: ExperimentSpec | None = None):
     """The (job, result) pairs experiment ``name`` consumed, in plan order."""
-    plan = PLANS.get(name)
-    if plan is None:
-        return bench.cached_results()
+    if spec is not None:
+        jobs = spec.jobs(bench)
+    else:
+        plan = PLANS.get(name)
+        if plan is None:
+            return bench.cached_results()
+        jobs = plan(bench)
     pairs = []
-    for job in plan(bench):
+    for job in jobs:
         result = bench.result_for(job)
         if result is not None:
             pairs.append((job, result))
@@ -161,8 +181,9 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
-    if not args.experiments:
-        print("no experiments given (try --list-figures or 'all')", file=sys.stderr)
+    if not args.experiments and not args.specs:
+        print("no experiments given (try --list-figures, 'all' or --spec FILE)",
+              file=sys.stderr)
         return 2
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -170,6 +191,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}",
               file=sys.stderr)
         return 2
+    # (label, runner, spec) triples: named experiments then spec files.
+    tasks: list[tuple[str, object, ExperimentSpec | None]] = [
+        (name, EXPERIMENTS[name], None) for name in names
+    ]
+    for path in args.specs:
+        try:
+            spec = load_spec(path)
+        except SpecError as exc:
+            print(f"bad spec: {exc}", file=sys.stderr)
+            return 2
+        tasks.append((spec.name, None, spec))
 
     # JSON-stream mode: one combined {name: figure} object on stdout at
     # the end, everything else on stderr as it happens.
@@ -200,14 +232,16 @@ def main(argv: list[str] | None = None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
     report_dir = args.out if args.out else pathlib.Path("results")
 
-    for name in names:
+    for name, experiment, spec in tasks:
         start = time.time()
         hits_before = cache.hits if cache else 0
         stores_before = cache.stores if cache else 0
         simulated_before = bench.simulations_run
+        if spec is not None:
+            experiment = lambda b, _spec=spec: run_spec(b, _spec)  # noqa: E731
         if args.seeds > 1:
             figure = run_seeded(
-                EXPERIMENTS[name],
+                experiment,
                 seeds=range(args.seed, args.seed + args.seeds),
                 instructions=args.instructions,
                 benchmarks=benchmarks,
@@ -218,7 +252,11 @@ def main(argv: list[str] | None = None) -> int:
             # cache every executed simulation is stored exactly once.
             simulated = (cache.stores - stores_before) if cache else -1
         else:
-            figure = EXPERIMENTS[name](bench)
+            try:
+                figure = experiment(bench)
+            except SpecError as exc:
+                print(f"bad spec: {exc}", file=sys.stderr)
+                return 2
             simulated = bench.simulations_run - simulated_before
         elapsed = time.time() - start
         status = f"[{name}: {elapsed:.1f}s"
@@ -251,7 +289,7 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 report = RunReport.from_runs(
                     name,
-                    _report_runs(bench, name),
+                    _report_runs(bench, name, spec),
                     workbench={
                         "instructions": bench.instructions,
                         "seed": bench.seed,

@@ -1,0 +1,85 @@
+"""Run an arbitrary :class:`~repro.specs.ExperimentSpec` end-to-end.
+
+This is what the CLI's ``--spec path.json`` executes: the spec's jobs
+are prefetched through the workbench (parallel workers + persistent
+cache), then either
+
+* the spec links itself to a reproduced figure (``figure`` field): the
+  runner first verifies the spec's job set matches the figure's plan --
+  so a stale or edited spec cannot silently masquerade as the figure --
+  and then renders the figure's own table, byte-identical to running the
+  figure by name; or
+* the spec is a free-form sweep: a generic table with one row per run
+  (benchmark x machine x policy) reporting cycles, CPI and IPC, plus a
+  normalized-CPI column per benchmark when the sweep includes the
+  monolithic machine.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure import FigureData
+from repro.experiments.harness import Workbench
+from repro.specs import ExperimentSpec, SpecError, policy_label
+
+__all__ = ["run_spec"]
+
+
+def _figure_runner(name: str):
+    from repro.experiments import EXPERIMENTS
+
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        raise SpecError(
+            f"spec links to unknown figure {name!r}; known: "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+    return runner
+
+
+def _verify_figure_jobs(spec: ExperimentSpec, bench: Workbench) -> None:
+    from repro.experiments import PLANS
+
+    plan = PLANS.get(spec.figure)
+    if plan is None:
+        return
+    planned = set(plan(bench))
+    declared = set(spec.jobs(bench))
+    if planned != declared:
+        missing = len(planned - declared)
+        extra = len(declared - planned)
+        raise SpecError(
+            f"spec {spec.name!r} claims figure {spec.figure!r} but its job "
+            f"set differs from the figure's plan ({missing} missing, "
+            f"{extra} extra); drop the 'figure' field to run it as a "
+            "free-form sweep"
+        )
+
+
+def run_spec(bench: Workbench, spec: ExperimentSpec) -> FigureData:
+    """Execute ``spec`` on ``bench`` and return its figure table."""
+    if spec.figure is not None:
+        _verify_figure_jobs(spec, bench)
+        return _figure_runner(spec.figure)(bench)
+
+    jobs = spec.jobs(bench)
+    bench.prefetch(jobs)
+    figure = FigureData(
+        figure_id=spec.name,
+        title=spec.description or f"Custom sweep {spec.name!r}",
+        headers=["benchmark", "machine", "policy", "cycles", "cpi", "ipc"],
+    )
+    for job in jobs:
+        result = bench.result_for(job)
+        if result is None:
+            # prefetch materialized exactly these jobs, so this cannot
+            # happen short of a workbench bug; fail loudly over mislabeling.
+            raise RuntimeError(f"prefetched job has no result: {job}")
+        figure.add_row(
+            job.kernel,
+            job.config.name,
+            policy_label(job.policy),
+            result.cycles,
+            result.cpi,
+            result.ipc,
+        )
+    return figure

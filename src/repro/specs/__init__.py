@@ -1,0 +1,76 @@
+"""Declarative spec layer: machines, policies, workloads and experiments as data.
+
+The paper's composition space -- steering x scheduling x predictor x
+cluster geometry -- is described by frozen, serializable spec dataclasses
+instead of hand-written constructor calls:
+
+* :class:`MachineSpec` -- cluster geometry (``clusters``, forwarding
+  latency/bandwidth, optional ROB/dispatch/commit overrides);
+* :class:`PolicySpec` -- a steering + scheduler + predictor stack, with
+  the paper's five stacks as presets (:data:`PRESETS`);
+* :class:`WorkloadSpec` -- one suite kernel with optional overrides;
+* :class:`ExperimentSpec` -- workloads x sweep blocks, loadable from a
+  JSON file (:func:`load_spec`, CLI ``--spec``).
+
+Components are built through typed registries
+(:func:`register_steering`, :func:`register_scheduler`,
+:func:`register_predictor`), so out-of-tree policies plug into specs, the
+CLI, the persistent cache and run reports without touching core.
+
+Canonical payloads (:meth:`~MachineSpec.canonical_payload` etc.) are the
+hash domain for cache keys: semantically equal specs -- preset name vs
+expanded form, defaulted vs explicit parameters, any JSON key order --
+hash identically via :func:`spec_hash`.
+"""
+
+from repro.specs.common import SpecError, canonical_json, spec_hash
+from repro.specs.experiment import ExperimentSpec, SweepSpec, load_spec
+from repro.specs.machine import MachineSpec
+from repro.specs.policy import (
+    PRESETS,
+    PolicySpec,
+    PredictorSpec,
+    SchedulerSpec,
+    SteeringSpec,
+    canonical_policy,
+    policy_label,
+    policy_names,
+    resolve_policy,
+)
+from repro.specs.registry import (
+    PREDICTORS,
+    Registry,
+    SCHEDULERS,
+    STEERING,
+    register_predictor,
+    register_scheduler,
+    register_steering,
+)
+from repro.specs.workload import WorkloadSpec
+
+__all__ = [
+    "PRESETS",
+    "PREDICTORS",
+    "ExperimentSpec",
+    "MachineSpec",
+    "PolicySpec",
+    "PredictorSpec",
+    "Registry",
+    "SCHEDULERS",
+    "STEERING",
+    "SchedulerSpec",
+    "SpecError",
+    "SteeringSpec",
+    "SweepSpec",
+    "WorkloadSpec",
+    "canonical_json",
+    "canonical_policy",
+    "load_spec",
+    "policy_label",
+    "policy_names",
+    "register_predictor",
+    "register_scheduler",
+    "register_steering",
+    "resolve_policy",
+    "spec_hash",
+]

@@ -1,0 +1,143 @@
+"""Serializable machine geometry: :class:`MachineSpec`.
+
+A ``MachineSpec`` is the declarative form of the paper's machine
+configurations -- the cluster count plus the knobs
+:func:`repro.core.config.clustered_machine` accepts -- validated eagerly
+(bad geometries fail at spec-construction time, before any simulation)
+and hashable into cache keys via its canonical payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.config import TOTAL_WIDTH, MachineConfig, clustered_machine
+from repro.specs.common import SpecError, reject_unknown_keys, require_type
+
+__all__ = ["MachineSpec"]
+
+_SCHEMA_KEYS = {
+    "clusters",
+    "forwarding_latency",
+    "forwarding_bandwidth",
+    "rob_size",
+    "dispatch_width",
+    "commit_width",
+}
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Declarative form of a paper machine: N equal clusters of the 8-wide core.
+
+    ``None`` overrides mean "use the :class:`MachineConfig` default"; they
+    are omitted from the canonical payload so a spec that spells no
+    override hashes identically to one that spells ``null``.
+    """
+
+    clusters: int
+    forwarding_latency: int = 2
+    forwarding_bandwidth: int | None = None
+    rob_size: int | None = None
+    dispatch_width: int | None = None
+    commit_width: int | None = None
+
+    def __post_init__(self) -> None:
+        require_type(self.clusters, int, "MachineSpec.clusters")
+        require_type(self.forwarding_latency, int, "MachineSpec.forwarding_latency")
+        for field in ("forwarding_bandwidth", "rob_size", "dispatch_width", "commit_width"):
+            value = getattr(self, field)
+            if value is not None:
+                require_type(value, int, f"MachineSpec.{field}")
+        if self.clusters <= 0 or TOTAL_WIDTH % self.clusters != 0:
+            raise SpecError(
+                f"MachineSpec.clusters must divide the {TOTAL_WIDTH}-wide "
+                f"machine, got {self.clusters}"
+            )
+        if self.forwarding_latency < 0:
+            raise SpecError("MachineSpec.forwarding_latency cannot be negative")
+        if self.forwarding_bandwidth is not None and self.forwarding_bandwidth <= 0:
+            raise SpecError(
+                "MachineSpec.forwarding_bandwidth must be positive or omitted"
+            )
+        # Build once to surface every MachineConfig invariant (e.g. a ROB
+        # smaller than the aggregate window) at spec time.
+        try:
+            self.build()
+        except ValueError as exc:
+            raise SpecError(f"invalid machine geometry: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Paper-style name, e.g. ``4x2w``."""
+        return f"{self.clusters}x{TOTAL_WIDTH // self.clusters}w"
+
+    def overrides(self) -> dict[str, int]:
+        """The non-default MachineConfig overrides this spec carries."""
+        return {
+            field: value
+            for field in ("forwarding_bandwidth", "rob_size", "dispatch_width", "commit_width")
+            if (value := getattr(self, field)) is not None
+        }
+
+    def build(self) -> MachineConfig:
+        """The live :class:`MachineConfig` this spec describes."""
+        return clustered_machine(
+            self.clusters,
+            forwarding_latency=self.forwarding_latency,
+            **self.overrides(),
+        )
+
+    # ------------------------------------------------------------------
+    def canonical_payload(self) -> dict[str, Any]:
+        """Hash-stable dict: defaults materialized, None overrides dropped."""
+        payload = {
+            "clusters": self.clusters,
+            "forwarding_latency": self.forwarding_latency,
+        }
+        payload.update(self.overrides())
+        return payload
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.canonical_payload()
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "MachineSpec":
+        if isinstance(data, cls):
+            return data
+        if isinstance(data, int) and not isinstance(data, bool):
+            # Shorthand: a bare cluster count.
+            return cls(clusters=data)
+        require_type(data, dict, "MachineSpec")
+        reject_unknown_keys(data, _SCHEMA_KEYS, "MachineSpec")
+        if "clusters" not in data:
+            raise SpecError("MachineSpec requires 'clusters'")
+        return cls(**data)
+
+    @classmethod
+    def from_config(cls, config: MachineConfig) -> "MachineSpec":
+        """The spec for a paper-shaped ``MachineConfig``.
+
+        Raises :class:`SpecError` for configs :func:`clustered_machine`
+        cannot produce (hand-built cluster shapes).
+        """
+        defaults = {
+            f.name: f.default for f in dataclasses.fields(MachineConfig)
+        }
+        spec = cls(
+            clusters=config.num_clusters,
+            forwarding_latency=config.forwarding_latency,
+            **{
+                field: getattr(config, field)
+                for field in ("forwarding_bandwidth", "rob_size", "dispatch_width", "commit_width")
+                if getattr(config, field) != defaults[field]
+            },
+        )
+        if spec.build() != config:
+            raise SpecError(
+                f"machine config {config.name} is not expressible as a MachineSpec"
+            )
+        return spec

@@ -1,0 +1,338 @@
+"""Typed component registries: how specs become live policy objects.
+
+A registry maps a *kind* name (``"dependence"``, ``"loc"``, ``"chunked"``)
+to a factory.  Factories are plain callables whose keyword parameters --
+all of which must carry defaults -- define the spec schema for that kind:
+the spec layer inspects the signature to validate parameter names, fill
+defaults into canonical payloads (so a spec that spells a default
+explicitly hashes identically to one that omits it) and coerce obvious
+JSON type drift (``1`` for a float parameter).
+
+Out-of-tree code plugs in without touching core::
+
+    from repro.api import register_steering
+
+    @register_steering("ineffectuality")
+    def build_ineffectuality(window: int = 64):
+        return MyIneffectualitySteering(window)
+
+and ``"ineffectuality"`` immediately works everywhere a steering kind is
+accepted: ``PolicySpec`` files, the CLI's ``--spec``, the run cache, run
+reports.
+
+Three registries are populated here with every in-tree component:
+
+* :data:`STEERING` -- cluster-assignment policies;
+* :data:`SCHEDULERS` -- per-cluster issue-priority policies;
+* :data:`PREDICTORS` -- criticality predictor suites + trainers (these
+  factories additionally receive the runtime ``loc_mode`` and ``seed``
+  arguments, which belong to the :class:`~repro.experiments.parallel.
+  RunJob`, not the spec).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable
+
+from repro.specs.common import SCALAR_TYPES, SpecError
+
+__all__ = [
+    "PREDICTORS",
+    "Registry",
+    "SCHEDULERS",
+    "STEERING",
+    "register_predictor",
+    "register_scheduler",
+    "register_steering",
+]
+
+
+class Registry:
+    """A named table of spec-buildable component factories."""
+
+    def __init__(self, label: str, runtime_params: tuple[str, ...] = ()):
+        self.label = label
+        # Parameters the *caller* supplies at build time (never the spec);
+        # they are invisible to spec validation and canonical payloads.
+        self.runtime_params = runtime_params
+        self._factories: dict[str, Callable] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, factory: Callable | None = None):
+        """Register ``factory`` under ``name`` (usable as a decorator)."""
+
+        def add(fn: Callable):
+            existing = self._factories.get(name)
+            if existing is not None and existing is not fn:
+                raise SpecError(
+                    f"{self.label} kind {name!r} is already registered"
+                )
+            self._spec_params(fn)  # validate the signature eagerly
+            self._factories[name] = fn
+            return fn
+
+        if factory is not None:
+            return add(factory)
+        return add
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (test/plugin teardown helper)."""
+        self._factories.pop(name, None)
+
+    def names(self) -> list[str]:
+        """Registered kind names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def get(self, name: str) -> Callable:
+        """The factory for ``name``; unknown kinds list the valid ones."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise SpecError(
+                f"unknown {self.label} kind {name!r}; "
+                f"registered: {', '.join(self.names())}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def _spec_params(self, factory: Callable) -> dict[str, Any]:
+        """name -> default for every spec-settable factory parameter."""
+        params = {}
+        for param in inspect.signature(factory).parameters.values():
+            if param.name in self.runtime_params:
+                continue
+            if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+                raise SpecError(
+                    f"{self.label} factory {factory!r} may not use "
+                    "*args/**kwargs: spec parameters must be named"
+                )
+            if param.default is param.empty:
+                raise SpecError(
+                    f"{self.label} factory parameter {param.name!r} needs a "
+                    "default: specs omit parameters they do not set"
+                )
+            params[param.name] = param.default
+        return params
+
+    def normalize(self, name: str, params: dict[str, Any]) -> dict[str, Any]:
+        """Validate ``params`` for ``name`` and materialize every default.
+
+        The returned dict always contains *all* spec parameters, so the
+        canonical payload -- and hence the cache key -- is identical
+        whether a spec spelled a default explicitly or omitted it.
+        """
+        accepted = self._spec_params(self.get(name))
+        unknown = sorted(set(params) - set(accepted))
+        if unknown:
+            raise SpecError(
+                f"{self.label} kind {name!r} has no parameters {unknown}; "
+                f"accepted: {sorted(accepted)}"
+            )
+        merged = dict(accepted)
+        for key, value in params.items():
+            default = accepted[key]
+            if not isinstance(value, SCALAR_TYPES):
+                raise SpecError(
+                    f"{self.label} {name!r} parameter {key!r} must be a JSON "
+                    f"scalar, got {value!r}"
+                )
+            # Canonical-form coercion: a literal ``1`` for a float-valued
+            # parameter must hash like ``1.0``.
+            if (
+                isinstance(default, float)
+                and isinstance(value, int)
+                and not isinstance(value, bool)
+            ):
+                value = float(value)
+            merged[key] = value
+        return merged
+
+    def build(self, name: str, params: dict[str, Any], **runtime: Any):
+        """Instantiate ``name`` with spec ``params`` plus runtime arguments."""
+        return self.get(name)(**runtime, **params)
+
+
+STEERING = Registry("steering")
+SCHEDULERS = Registry("scheduler")
+PREDICTORS = Registry("predictor", runtime_params=("loc_mode", "seed"))
+
+# Decorator aliases -- the extension surface re-exported by repro.api.
+register_steering = STEERING.register
+register_scheduler = SCHEDULERS.register
+register_predictor = PREDICTORS.register
+
+
+# ---------------------------------------------------------------------------
+# In-tree steering policies
+# ---------------------------------------------------------------------------
+
+
+@register_steering("dependence")
+def _build_dependence_steering():
+    from repro.core.steering.dependence import DependenceSteering
+
+    return DependenceSteering()
+
+
+def _criticality_config(
+    preference: str,
+    stall_over_steer: bool,
+    stall_loc_threshold: float,
+    proactive: bool,
+    keep_min_loc: float,
+    keep_fraction: float,
+):
+    from repro.core.steering.dependence import CriticalitySteeringConfig
+
+    return CriticalitySteeringConfig(
+        preference=preference,
+        stall_over_steer=stall_over_steer,
+        stall_loc_threshold=stall_loc_threshold,
+        proactive=proactive,
+        keep_min_loc=keep_min_loc,
+        keep_fraction=keep_fraction,
+    )
+
+
+@register_steering("criticality")
+def _build_criticality_steering(
+    preference: str = "binary",
+    stall_over_steer: bool = False,
+    stall_loc_threshold: float = 0.30,
+    proactive: bool = False,
+    keep_min_loc: float = 0.05,
+    keep_fraction: float = 0.5,
+):
+    from repro.core.steering.dependence import CriticalitySteering
+
+    return CriticalitySteering(
+        _criticality_config(
+            preference,
+            stall_over_steer,
+            stall_loc_threshold,
+            proactive,
+            keep_min_loc,
+            keep_fraction,
+        )
+    )
+
+
+@register_steering("readiness")
+def _build_readiness_steering(
+    horizon: int = 2,
+    preference: str = "loc",
+    stall_over_steer: bool = True,
+    stall_loc_threshold: float = 0.30,
+    proactive: bool = True,
+    keep_min_loc: float = 0.05,
+    keep_fraction: float = 0.5,
+):
+    from repro.core.steering.readiness import ReadinessAwareSteering
+
+    return ReadinessAwareSteering(
+        _criticality_config(
+            preference,
+            stall_over_steer,
+            stall_loc_threshold,
+            proactive,
+            keep_min_loc,
+            keep_fraction,
+        ),
+        horizon=horizon,
+    )
+
+
+@register_steering("modulo")
+def _build_modulo_steering():
+    from repro.core.steering.simple import ModuloSteering
+
+    return ModuloSteering()
+
+
+@register_steering("loadbal")
+def _build_loadbal_steering():
+    from repro.core.steering.simple import LoadBalanceSteering
+
+    return LoadBalanceSteering()
+
+
+@register_steering("stall_always")
+def _build_always_stall_steering():
+    from repro.core.steering.stall_baselines import AlwaysStallSteering
+
+    return AlwaysStallSteering()
+
+
+@register_steering("stall_occupancy")
+def _build_occupancy_stall_steering(occupancy_threshold: float = 0.75):
+    from repro.core.steering.stall_baselines import OccupancyStallSteering
+
+    return OccupancyStallSteering(occupancy_threshold=occupancy_threshold)
+
+
+# ---------------------------------------------------------------------------
+# In-tree schedulers
+# ---------------------------------------------------------------------------
+
+
+@register_scheduler("oldest")
+def _build_oldest_scheduler():
+    from repro.core.scheduling.policies import OldestFirstScheduler
+
+    return OldestFirstScheduler()
+
+
+@register_scheduler("critical")
+def _build_critical_scheduler():
+    from repro.core.scheduling.policies import CriticalFirstScheduler
+
+    return CriticalFirstScheduler()
+
+
+@register_scheduler("loc")
+def _build_loc_scheduler():
+    from repro.core.scheduling.policies import LocScheduler
+
+    return LocScheduler()
+
+
+# ---------------------------------------------------------------------------
+# In-tree predictor suites (factory returns (PredictorSuite, trainer))
+# ---------------------------------------------------------------------------
+
+
+def _loc_suite(loc_mode: str, seed: int):
+    from repro.criticality.loc import LocPredictor, PredictorSuite
+
+    return PredictorSuite(loc_predictor=LocPredictor(mode=loc_mode, seed=seed))
+
+
+@register_predictor("chunked")
+def _build_chunked_predictors(loc_mode: str, seed: int, chunk_size: int = 2048):
+    from repro.criticality.trainer import ChunkedCriticalityTrainer
+
+    suite = _loc_suite(loc_mode, seed)
+    return suite, ChunkedCriticalityTrainer(suite, chunk_size=chunk_size)
+
+
+@register_predictor("token")
+def _build_token_predictors(
+    loc_mode: str,
+    seed: int,
+    plant_interval: int = 32,
+    survival_distance: int = 384,
+    num_tokens: int = 8,
+):
+    from repro.criticality.token_detector import TokenPassingTrainer
+
+    suite = _loc_suite(loc_mode, seed)
+    trainer = TokenPassingTrainer(
+        suite,
+        plant_interval=plant_interval,
+        survival_distance=survival_distance,
+        num_tokens=num_tokens,
+    )
+    return suite, trainer

@@ -1,0 +1,69 @@
+"""Serializable workload selection: :class:`WorkloadSpec`.
+
+A workload spec names one suite kernel and may override the experiment's
+instruction budget or data seed for that kernel alone.  In JSON a bare
+string (``"vpr"``) is shorthand for a spec with no overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.specs.common import SpecError, reject_unknown_keys, require_type
+from repro.workloads.common import KernelSpec
+from repro.workloads.suite import get_kernel, suite_names
+
+__all__ = ["WorkloadSpec"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One suite kernel, with optional per-kernel overrides."""
+
+    kernel: str
+    instructions: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        require_type(self.kernel, str, "WorkloadSpec.kernel")
+        if self.kernel not in suite_names():
+            raise SpecError(
+                f"unknown kernel {self.kernel!r}; suite: {', '.join(suite_names())}"
+            )
+        for name in ("instructions", "seed"):
+            value = getattr(self, name)
+            if value is not None:
+                require_type(value, int, f"WorkloadSpec.{name}")
+        if self.instructions is not None and self.instructions <= 0:
+            raise SpecError("WorkloadSpec.instructions must be positive")
+
+    def resolve(self) -> KernelSpec:
+        """The live suite kernel this spec names."""
+        return get_kernel(self.kernel)
+
+    # ------------------------------------------------------------------
+    def canonical_payload(self) -> Any:
+        if self.instructions is None and self.seed is None:
+            return self.kernel
+        payload: dict[str, Any] = {"kernel": self.kernel}
+        if self.instructions is not None:
+            payload["instructions"] = self.instructions
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        return payload
+
+    def to_dict(self) -> Any:
+        return self.canonical_payload()
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "WorkloadSpec":
+        if isinstance(data, cls):
+            return data
+        if isinstance(data, str):
+            return cls(kernel=data)
+        require_type(data, dict, "WorkloadSpec")
+        reject_unknown_keys(data, {"kernel", "instructions", "seed"}, "WorkloadSpec")
+        if "kernel" not in data:
+            raise SpecError("WorkloadSpec requires 'kernel'")
+        return cls(**data)

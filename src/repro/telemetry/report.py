@@ -20,6 +20,7 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.specs.policy import policy_label
 from repro.telemetry.tracing import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -110,7 +111,7 @@ class RunReport:
                 "kernel": job.kernel,
                 "config": result.config.name,
                 "clusters": result.config.num_clusters,
-                "policy": job.policy,
+                "policy": policy_label(job.policy),
                 "sim": job.sim,
                 "warm": job.warm,
                 "cycles": result.cycles,

@@ -34,12 +34,11 @@ from repro.core.serialize import (
     result_to_dict,
     results_identical,
 )
-from repro.core.steering.readiness import ReadinessAwareSteering
-from repro.core.scheduling.policies import LocScheduler
 from repro.criticality.loc import LocPredictor, PredictorSuite
 from repro.criticality.trainer import ChunkedCriticalityTrainer
-from repro.experiments.harness import POLICY_NAMES, build_policy
+from repro.experiments.harness import POLICY_NAMES
 from repro.experiments.parallel import prepare_workload
+from repro.specs.policy import resolve_policy
 
 INSTRUCTIONS = 700
 CLUSTER_COUNTS = (1, 2, 4, 8)
@@ -74,9 +73,7 @@ def workloads():
 
 def _policy_pair(policy: str):
     """Fresh (steering, scheduler, needs_predictors); knows 'readiness'."""
-    if policy == "readiness":
-        return ReadinessAwareSteering(), LocScheduler(), True
-    return build_policy(policy)
+    return resolve_policy(policy).build()
 
 
 def run_both(

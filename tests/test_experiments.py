@@ -10,7 +10,8 @@ import math
 import pytest
 
 from repro.experiments.figure import FigureData
-from repro.experiments.harness import Workbench, build_policy
+from repro.experiments.harness import Workbench
+from repro.specs.policy import resolve_policy
 from repro.experiments.fig02 import run_figure2
 from repro.experiments.fig04 import run_figure4
 from repro.experiments.fig05 import run_figure5
@@ -58,13 +59,13 @@ class TestFigureData:
 class TestBuildPolicy:
     @pytest.mark.parametrize("name", ["dependence", "focused", "l", "s", "p"])
     def test_all_policies_construct(self, name):
-        steering, scheduler, needs = build_policy(name)
+        steering, scheduler, needs = resolve_policy(name).build()
         assert steering is not None and scheduler is not None
         assert needs == (name != "dependence")
 
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
-            build_policy("telepathic")
+            resolve_policy("telepathic")
 
 
 class TestWorkbench:

@@ -16,7 +16,12 @@ from repro.api import (
     build_policy,
     get_kernel,
     monolithic_machine,
+    resolve_policy,
 )
+
+
+def _stack(name):
+    return resolve_policy(name).build()
 
 
 @pytest.fixture(scope="module")
@@ -26,39 +31,48 @@ def bench():
 
 class TestBuildPolicy:
     def test_dependence_stack(self):
-        steering, scheduler, needs = build_policy("dependence")
+        steering, scheduler, needs = _stack("dependence")
         assert isinstance(steering, DependenceSteering)
         assert isinstance(scheduler, OldestFirstScheduler)
         assert not needs
 
     def test_focused_stack(self):
-        steering, scheduler, needs = build_policy("focused")
+        steering, scheduler, needs = _stack("focused")
         assert isinstance(steering, CriticalitySteering)
         assert steering.config.preference == "binary"
         assert isinstance(scheduler, CriticalFirstScheduler)
         assert needs
 
     def test_l_stack_uses_loc(self):
-        steering, scheduler, __ = build_policy("l")
+        steering, scheduler, __ = _stack("l")
         assert steering.config.preference == "loc"
         assert not steering.config.stall_over_steer
         assert isinstance(scheduler, LocScheduler)
 
     def test_s_stack_adds_stalling(self):
-        steering, __, __n = build_policy("s")
+        steering, __, __n = _stack("s")
         assert steering.config.stall_over_steer
         assert not steering.config.proactive
         assert steering.config.stall_loc_threshold == pytest.approx(0.30)
 
     def test_p_stack_adds_proactive(self):
-        steering, __, __n = build_policy("p")
+        steering, __, __n = _stack("p")
         assert steering.config.stall_over_steer
         assert steering.config.proactive
 
     def test_fresh_instances_each_call(self):
-        a, __, __n = build_policy("s")
-        b, __, __n2 = build_policy("s")
+        a, __, __n = _stack("s")
+        b, __, __n2 = _stack("s")
         assert a is not b
+
+    def test_legacy_shim_warns_and_matches(self):
+        with pytest.warns(DeprecationWarning):
+            steering, scheduler, needs = build_policy("s")
+        spec_steering, spec_scheduler, spec_needs = _stack("s")
+        assert type(steering) is type(spec_steering)
+        assert steering.config == spec_steering.config
+        assert type(scheduler) is type(spec_scheduler)
+        assert needs == spec_needs
 
 
 class TestWorkbenchCaching:
