@@ -26,6 +26,11 @@ without a single deep import:
   :func:`execute_job`, :func:`execute_jobs`, :func:`job_key`,
   :func:`prepare_workload`, :func:`build_policy`, :func:`run_seeded`,
   :func:`average_figures`;
+* **fault tolerance & checkpointing** -- :class:`ExecutionPolicy` (retry
+  / timeout / fail-fast knobs), :class:`JobOutcome` and
+  :class:`RunFailure` (failures as values), :func:`execute_outcomes`,
+  :func:`run_job_outcome`, :class:`SweepManifest` (sweep
+  checkpoint/resume) and :class:`SimulationDiverged`;
 * **figures** -- :data:`EXPERIMENTS`, :data:`PLANS`, :func:`figure`,
   :func:`list_figures`, plus every ``run_*`` / ``plan_*`` pair;
 * **machines & policies** -- config constructors, both simulators, all
@@ -93,6 +98,7 @@ from repro.core.steering.simple import LoadBalanceSteering, ModuloSteering
 from repro.criticality.critical_path import analyze_critical_path, critical_flags
 from repro.criticality.loc import LocPredictor, PredictorSuite
 from repro.criticality.slack import compute_global_slack, slack_histogram
+from repro.core.simulator import SimulationDiverged
 from repro.experiments import EXPERIMENTS, PLANS, SPECS, FigureData
 from repro.experiments.aggregate import average_figures, run_seeded
 from repro.experiments.cache import RunCache, default_cache_dir, job_key
@@ -103,12 +109,23 @@ from repro.experiments.harness import (
     Workbench,
     build_policy,
 )
+from repro.experiments.manifest import SweepManifest, default_manifest_dir
+from repro.experiments.outcomes import (
+    ExecutionPolicy,
+    GarbageResult,
+    JobOutcome,
+    OutcomeStats,
+    RunFailure,
+    RunFailureError,
+)
 from repro.experiments.parallel import (
     PreparedWorkload,
     RunJob,
     execute_job,
     execute_jobs,
+    execute_outcomes,
     prepare_workload,
+    run_job_outcome,
 )
 from repro.experiments.sweep import run_spec
 from repro.specs import (
@@ -289,9 +306,21 @@ __all__ = [
     "default_cache_dir",
     "execute_job",
     "execute_jobs",
+    "execute_outcomes",
     "job_key",
     "prepare_workload",
+    "run_job_outcome",
     "run_seeded",
+    # fault tolerance & checkpointing
+    "ExecutionPolicy",
+    "GarbageResult",
+    "JobOutcome",
+    "OutcomeStats",
+    "RunFailure",
+    "RunFailureError",
+    "SimulationDiverged",
+    "SweepManifest",
+    "default_manifest_dir",
     # figures
     "EXPERIMENTS",
     "FigureData",

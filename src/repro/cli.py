@@ -7,6 +7,7 @@ A thin front door over the experiment runner plus spec-file tooling::
     repro specs list                    # registered components + presets
     repro specs show figure14           # an experiment's spec as JSON
     repro specs validate specs/*.json   # schema-check spec files
+    repro specs status specs/*.json     # checkpoint progress per sweep
 
 ``python -m repro`` forwards here, so all three spellings are
 equivalent.  Everything that is not a ``specs`` subcommand is handed to
@@ -85,6 +86,52 @@ def _specs_validate(paths: list[str]) -> int:
     return status
 
 
+def _specs_status(paths: list[str], cache_dir: str | None) -> int:
+    """Report each spec's sweep-manifest progress (checkpoint/resume state)."""
+    import pathlib
+
+    from repro.experiments.cache import default_cache_dir
+    from repro.experiments.manifest import SweepManifest, default_manifest_dir
+
+    directory = default_manifest_dir(
+        pathlib.Path(cache_dir) if cache_dir else default_cache_dir()
+    )
+    status = 0
+    for path in paths:
+        try:
+            spec = load_spec(path)
+        except SpecError as exc:
+            print(f"FAIL {path}: {exc}")
+            status = 1
+            continue
+        digest = spec_hash(spec)
+        manifest_path = directory / f"{digest}.json"
+        if not manifest_path.exists():
+            print(f"--   {path}: {spec.name!r} has no sweep manifest (never run, "
+                  "fully cached on first pass, or run with --no-resume)")
+            continue
+        manifest = SweepManifest.open(directory, digest, spec.name)
+        summary = manifest.summary()
+        line = (
+            f"ok   {path}: {spec.name!r} recorded {summary['jobs']} job(s): "
+            f"{summary['completed']} completed, {summary['failed']} failed"
+        )
+        failures = [
+            (key, entry)
+            for key, entry in manifest.entries.items()
+            if entry.get("status") == "failed"
+        ]
+        print(line)
+        for key, entry in failures:
+            failure = entry.get("failure") or {}
+            print(
+                f"     failed {entry.get('kernel')}/{entry.get('config')}: "
+                f"{failure.get('kind', '?')} after "
+                f"{entry.get('attempts', '?')} attempt(s) [{key[:12]}]"
+            )
+    return status
+
+
 def _specs_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro specs",
@@ -96,11 +143,23 @@ def _specs_main(argv: list[str]) -> int:
     show.add_argument("name")
     validate = sub.add_parser("validate", help="schema-check spec JSON files")
     validate.add_argument("paths", nargs="+", metavar="FILE")
+    status = sub.add_parser(
+        "status",
+        help="show sweep-manifest progress (completed/failed jobs) per spec",
+    )
+    status.add_argument("paths", nargs="+", metavar="FILE")
+    status.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root whose manifests to read (default: the runner's)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _specs_list()
     if args.command == "show":
         return _specs_show(args.name)
+    if args.command == "status":
+        return _specs_status(args.paths, args.cache_dir)
     return _specs_validate(args.paths)
 
 

@@ -16,7 +16,11 @@ from repro.core.instruction import (
 from repro.core.rename import Dependences, build_consumer_lists, extract_dependences
 from repro.core.reference import ReferenceSimulator
 from repro.core.results import IlpProfile, SimulationResult
-from repro.core.simulator import ClusteredSimulator, SimulationDeadlock
+from repro.core.simulator import (
+    ClusteredSimulator,
+    SimulationDeadlock,
+    SimulationDiverged,
+)
 
 __all__ = [
     "ClusterConfig",
@@ -30,6 +34,7 @@ __all__ = [
     "PAPER_CLUSTER_COUNTS",
     "ReferenceSimulator",
     "SimulationDeadlock",
+    "SimulationDiverged",
     "SimulationResult",
     "SteerCause",
     "build_consumer_lists",

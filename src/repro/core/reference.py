@@ -43,7 +43,7 @@ from repro.core.results import IlpProfile, SimulationResult
 from repro.core.scheduling.policies import OldestFirstScheduler, SchedulingPolicy
 from repro.core.simulator import (
     PredictorSuiteLike,
-    SimulationDeadlock,
+    SimulationDiverged,
     TrainerLike,
     _port_class,
 )
@@ -293,10 +293,7 @@ class ReferenceSimulator:
 
             now += 1
             if deadlock_limit is not None and now > deadlock_limit:
-                raise SimulationDeadlock(
-                    f"exceeded {deadlock_limit} cycles with "
-                    f"{commit_ptr}/{total} committed"
-                )
+                raise SimulationDiverged(deadlock_limit, commit_ptr, total)
 
         if self.trainer is not None:
             self.trainer.finish()

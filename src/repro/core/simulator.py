@@ -116,8 +116,27 @@ class TelemetryLike(Protocol):
 _NO_SAMPLE = 1 << 62
 
 
-class SimulationDeadlock(RuntimeError):
-    """Raised when the machine stops making progress (a simulator bug)."""
+class SimulationDiverged(RuntimeError):
+    """Raised when a run exhausts its ``max_cycles`` guard.
+
+    Either the machine stopped making progress (a simulator bug) or a
+    pathological policy/geometry combination genuinely needs more than
+    the CPI guard allows.  Carrying the committed/total counts lets the
+    execution layer turn this into a typed, non-retryable ``diverged``
+    outcome instead of a silent truncation or an opaque crash.
+    """
+
+    def __init__(self, limit: int, committed: int, total: int):
+        super().__init__(
+            f"exceeded {limit} cycles with {committed}/{total} committed"
+        )
+        self.limit = limit
+        self.committed = committed
+        self.total = total
+
+
+# Historical name (pre-dates the typed-outcome layer); same exception.
+SimulationDeadlock = SimulationDiverged
 
 
 def _port_class(opclass: OpClass) -> int:
@@ -612,10 +631,7 @@ class ClusteredSimulator:
                         ilp.record_idle(next_event - now)
                     now = next_event
             if deadlock_limit is not None and now > deadlock_limit:
-                raise SimulationDeadlock(
-                    f"exceeded {deadlock_limit} cycles with "
-                    f"{commit_ptr}/{total} committed"
-                )
+                raise SimulationDiverged(deadlock_limit, commit_ptr, total)
 
         if trainer is not None:
             trainer.finish()

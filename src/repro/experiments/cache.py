@@ -11,14 +11,19 @@ Stale entries from older salts are simply never looked up again.
 
 Entries are gzipped JSON files (one per run) under ``~/.cache/repro`` by
 default, overridable with ``--cache-dir`` / ``REPRO_CACHE_DIR`` /
-``XDG_CACHE_HOME``.  Writes go through a temp file and ``os.replace`` so
-concurrent workers and concurrent experiment invocations can share a
-cache directory safely; a corrupt or truncated entry is treated as a
-miss and overwritten.
+``XDG_CACHE_HOME``.  The cache is crash-safe and self-healing:
 
-The cache counts its ``hits`` / ``misses`` / ``stores`` so callers (the
-CLI prints them) can verify that a warm-cache invocation re-executed
-zero simulations.
+* writes go through a pid-tagged temp file and ``os.replace``, so a
+  worker killed mid-store can never leave a truncated entry under a
+  real key, and concurrent invocations can share a directory safely;
+* a corrupt, truncated or schema-stale entry never propagates an
+  exception out of :meth:`RunCache.load` -- it is **quarantined** to a
+  ``*.corrupt`` sibling (with a single warning per cache instance), the
+  lookup reports a miss, and the fresh recomputation overwrites it.
+
+The cache counts its ``hits`` / ``misses`` / ``stores`` /
+``quarantined`` so callers (the CLI prints them) can verify that a
+warm-cache invocation re-executed zero simulations and spot cache decay.
 """
 
 from __future__ import annotations
@@ -28,8 +33,8 @@ import hashlib
 import json
 import os
 import pathlib
-import tempfile
 import time
+import warnings
 from typing import TYPE_CHECKING
 
 from repro.core.results import SimulationResult
@@ -108,6 +113,8 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
+        self._warned_corrupt = False
 
     def path_for(self, key: str) -> pathlib.Path:
         """Entry location (two-level fan-out keeps directories small)."""
@@ -133,18 +140,48 @@ class RunCache:
         try:
             with gzip.open(path, "rt", encoding="utf-8") as handle:
                 payload = json.load(handle)
+            if payload.get("schema_version") != CACHE_SCHEMA_VERSION:
+                # Stale schema under a current key should be impossible
+                # (the version salts the key) -- treat a mismatch as
+                # corruption rather than deserializing on hope.
+                raise ValueError(
+                    f"schema_version {payload.get('schema_version')!r} != "
+                    f"{CACHE_SCHEMA_VERSION}"
+                )
             result = result_from_dict(payload["result"])
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, EOFError):
-            # Corrupt or truncated entry (e.g. interrupted writer on a
-            # pre-atomic-rename filesystem): treat as a miss, let the
-            # fresh result overwrite it.
+        except (OSError, ValueError, KeyError, EOFError, TypeError) as exc:
+            # Corrupt, truncated or schema-stale entry: quarantine it so
+            # the damage is inspectable, report a miss, and let the fresh
+            # recomputation overwrite it.  Never propagate.
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: pathlib.Path, exc: BaseException) -> None:
+        """Move a bad entry aside (best-effort) and warn once."""
+        quarantine_path = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantine_path)
+        except OSError:  # pragma: no cover - raced or unwritable dir
+            quarantine_path = path
+        self.quarantined += 1
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            warnings.warn(
+                f"quarantined corrupt cache entry {quarantine_path} "
+                f"({type(exc).__name__}: {exc}); it will be recomputed "
+                "(further quarantines in this run stay silent; see "
+                "RunCache.stats()['quarantined'])",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        if self.tracer is not None:
+            self.tracer.event("cache.quarantine", path=str(quarantine_path))
 
     def store(self, job: RunJob, result: SimulationResult) -> None:
         """Persist ``result`` atomically under ``job``'s key."""
@@ -173,13 +210,14 @@ class RunCache:
             },
             "result": result_to_dict(result),
         }
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
+        # Pid-tagged sibling + atomic rename: a worker killed mid-write
+        # leaves at worst an orphaned ``.tmp-<pid>`` file (cleaned up on
+        # the next successful store of the same key by the same pid, and
+        # skipped by lookups), never a truncated entry under a real key.
+        tmp_name = str(path) + f".tmp-{os.getpid()}"
         try:
-            with os.fdopen(fd, "wb") as raw:
-                with gzip.open(raw, "wt", encoding="utf-8") as handle:
-                    json.dump(payload, handle, separators=(",", ":"))
+            with gzip.open(tmp_name, "wt", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -196,4 +234,9 @@ class RunCache:
 
     def stats(self) -> dict[str, int]:
         """Counters snapshot, for CLI reporting and tests."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+        }

@@ -10,7 +10,7 @@ outliers (convergent dataflow, Section 2.2).
 from __future__ import annotations
 
 from repro.core.config import clustered_machine, monolithic_machine
-from repro.experiments.figure import FigureData
+from repro.experiments.figure import FigureData, annotate_failures
 from repro.experiments.harness import Workbench
 from repro.idealized.list_scheduler import list_schedule
 from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
@@ -58,9 +58,19 @@ def run_figure2(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
         ],
     )
     sums = [0.0] * len(CLUSTER_COUNTS)
+    ok_count = 0
+    failed = []
     for spec in bench.benchmarks:
+        out = bench.outcome(spec, monolithic_machine(), "dependence")
+        if not out.ok:
+            # The latency probe feeds the in-process list scheduler, so
+            # its failure fails every cell of this benchmark's row.
+            failed.append(out)
+            label = out.failure.label()
+            figure.add_row(spec.name, *([label] * len(CLUSTER_COUNTS)))
+            continue
         prepared = bench.prepare(spec)
-        mono = bench.run(spec, monolithic_machine(), "dependence")
+        mono = out.result
         latencies = [rec.latency for rec in mono.records]
         base = list_schedule(
             prepared.trace,
@@ -83,6 +93,8 @@ def run_figure2(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
             normalized.append(value)
             sums[i] += value
         figure.add_row(spec.name, *normalized)
-    count = len(bench.benchmarks)
-    figure.add_row("AVE", *[s / count for s in sums])
+        ok_count += 1
+    if ok_count:
+        figure.add_row("AVE", *[s / ok_count for s in sums])
+    annotate_failures(figure, failed)
     return figure

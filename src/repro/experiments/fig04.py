@@ -10,7 +10,7 @@ order of magnitude worse than the idealized potential.
 from __future__ import annotations
 
 from repro.core.config import monolithic_machine
-from repro.experiments.figure import FigureData
+from repro.experiments.figure import FigureData, annotate_failures
 from repro.experiments.harness import Workbench
 from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
@@ -60,16 +60,32 @@ def run_figure4(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
         ],
     )
     sums = [0.0] * len(CLUSTER_COUNTS)
+    ok_counts = [0] * len(CLUSTER_COUNTS)
+    failed = []
     for spec in bench.benchmarks:
-        base = bench.monolithic_baseline(spec, policy="focused").cpi
-        normalized = []
+        base_out = bench.outcome(spec, monolithic_machine(), "focused")
+        if not base_out.ok:
+            # No baseline, no normalization: the whole row fails.
+            failed.append(base_out)
+            label = base_out.failure.label()
+            figure.add_row(spec.name, *([label] * len(CLUSTER_COUNTS)))
+            continue
+        base = base_out.result.cpi
+        cells = []
         for i, count in enumerate(CLUSTER_COUNTS):
             config = bench.clustered(count, forwarding_latency)
-            result = bench.run(spec, config, "focused")
-            value = result.cpi / base
-            normalized.append(value)
+            out = bench.outcome(spec, config, "focused")
+            if not out.ok:
+                failed.append(out)
+                cells.append(out.failure.label())
+                continue
+            value = out.result.cpi / base
+            cells.append(value)
             sums[i] += value
-        figure.add_row(spec.name, *normalized)
-    count = len(bench.benchmarks)
-    figure.add_row("AVE", *[s / count for s in sums])
+            ok_counts[i] += 1
+        figure.add_row(spec.name, *cells)
+    figure.add_row(
+        "AVE", *[s / n if n else float("nan") for s, n in zip(sums, ok_counts)]
+    )
+    annotate_failures(figure, failed)
     return figure

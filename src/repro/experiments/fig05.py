@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.analysis.breakdown import FIGURE5_SEGMENTS, cpi_breakdown
 from repro.core.config import monolithic_machine
-from repro.experiments.figure import FigureData
+from repro.experiments.figure import FigureData, annotate_failures
 from repro.experiments.harness import Workbench
 from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
@@ -66,22 +66,46 @@ def run_figure5(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
     averages = {
         label: [0.0] * (len(FIGURE5_SEGMENTS) + 1) for label in CONFIG_LABELS
     }
+    ok_counts = {label: 0 for label in CONFIG_LABELS}
+    failed = []
+    width = len(FIGURE5_SEGMENTS) + 1
     for spec in bench.benchmarks:
-        base_cpi = bench.run(spec, monolithic_machine(), "focused").cpi
+        base_out = bench.outcome(spec, monolithic_machine(), "focused")
+        if not base_out.ok:
+            # The monolithic run is both the label-1 stack and the
+            # normalization base, so the whole benchmark fails.
+            failed.append(base_out)
+            cell = base_out.failure.label()
+            for label in CONFIG_LABELS:
+                figure.add_row(spec.name, label, *([cell] * width))
+            continue
+        base_cpi = base_out.result.cpi
         for label in CONFIG_LABELS:
             config = (
                 monolithic_machine()
                 if label == 1
                 else bench.clustered(label, forwarding_latency)
             )
-            result = bench.run(spec, config, "focused")
-            segments = cpi_breakdown(result).normalized(base_cpi)
+            out = bench.outcome(spec, config, "focused")
+            if not out.ok:
+                failed.append(out)
+                figure.add_row(
+                    spec.name, label, *([out.failure.label()] * width)
+                )
+                continue
+            segments = cpi_breakdown(out.result).normalized(base_cpi)
             values = [segments[name] for name in FIGURE5_SEGMENTS]
             total = sum(values)
             figure.add_row(spec.name, label, *values, total)
             for i, value in enumerate([*values, total]):
                 averages[label][i] += value
-    count = len(bench.benchmarks)
+            ok_counts[label] += 1
     for label in CONFIG_LABELS:
-        figure.add_row("AVE", label, *[v / count for v in averages[label]])
+        n = ok_counts[label]
+        figure.add_row(
+            "AVE",
+            label,
+            *[v / n if n else float("nan") for v in averages[label]],
+        )
+    annotate_failures(figure, failed)
     return figure

@@ -17,7 +17,7 @@ instructions).
 from __future__ import annotations
 
 from repro.analysis.events import classify_lost_cycle_events
-from repro.experiments.figure import FigureData
+from repro.experiments.figure import FigureData, annotate_failures
 from repro.experiments.harness import Workbench
 from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
@@ -76,9 +76,18 @@ def run_figure6(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
         ],
     )
     totals = {c: [0.0] * 5 for c in CLUSTER_COUNTS}
+    ok_counts = {c: 0 for c in CLUSTER_COUNTS}
+    failed = []
     for spec in bench.benchmarks:
         for count in CLUSTER_COUNTS:
-            result = bench.run(spec, bench.clustered(count, forwarding_latency), "focused")
+            out = bench.outcome(
+                spec, bench.clustered(count, forwarding_latency), "focused"
+            )
+            if not out.ok:
+                failed.append(out)
+                figure.add_row(spec.name, count, *([out.failure.label()] * 5))
+                continue
+            result = out.result
             contention, forwarding = classify_lost_cycle_events(result.records)
             scale = 10_000 / len(result.records)
             values = [
@@ -91,7 +100,11 @@ def run_figure6(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
             figure.add_row(spec.name, count, *values)
             for i, value in enumerate(values):
                 totals[count][i] += value
-    n = len(bench.benchmarks)
+            ok_counts[count] += 1
     for count in CLUSTER_COUNTS:
-        figure.add_row("AVE", count, *[v / n for v in totals[count]])
+        n = ok_counts[count]
+        figure.add_row(
+            "AVE", count, *[v / n if n else float("nan") for v in totals[count]]
+        )
+    annotate_failures(figure, failed)
     return figure

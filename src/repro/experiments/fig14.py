@@ -14,9 +14,11 @@ Headline claim: the policies reduce the clustering penalty by 42%, 57% and
 
 from __future__ import annotations
 
+import math
+
 from repro.analysis.breakdown import cpi_breakdown
 from repro.core.config import monolithic_machine
-from repro.experiments.figure import FigureData
+from repro.experiments.figure import FigureData, annotate_failures
 from repro.experiments.harness import Workbench
 from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
@@ -79,14 +81,34 @@ def run_figure14(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
         ],
     )
     sums: dict[tuple[int, str], float] = {}
-    counts = 0
+    counts: dict[tuple[int, str], int] = {}
+    failed = []
     for spec in bench.benchmarks:
-        base_cpi = bench.run(spec, monolithic_machine(), "l").cpi
-        counts += 1
+        base_out = bench.outcome(spec, monolithic_machine(), "l")
+        if not base_out.ok:
+            # Everything is normalized to this run; fail the benchmark's
+            # whole row block.
+            failed.append(base_out)
+            cell = base_out.failure.label()
+            for cluster_count, policies in BARS_BY_CLUSTER.items():
+                for policy in policies:
+                    figure.add_row(
+                        spec.name, cluster_count, policy, cell, cell, cell
+                    )
+            continue
+        base_cpi = base_out.result.cpi
         for cluster_count, policies in BARS_BY_CLUSTER.items():
             config = bench.clustered(cluster_count, forwarding_latency)
             for policy in policies:
-                result = bench.run(spec, config, policy)
+                out = bench.outcome(spec, config, policy)
+                if not out.ok:
+                    failed.append(out)
+                    cell = out.failure.label()
+                    figure.add_row(
+                        spec.name, cluster_count, policy, cell, cell, cell
+                    )
+                    continue
+                result = out.result
                 segments = cpi_breakdown(result).normalized(base_cpi)
                 norm = result.cpi / base_cpi
                 figure.add_row(
@@ -99,17 +121,21 @@ def run_figure14(bench: Workbench, forwarding_latency: int = 2) -> FigureData:
                 )
                 key = (cluster_count, policy)
                 sums[key] = sums.get(key, 0.0) + norm
+                counts[key] = counts.get(key, 0) + 1
     for cluster_count, policies in BARS_BY_CLUSTER.items():
         for policy in policies:
+            key = (cluster_count, policy)
+            n = counts.get(key, 0)
             figure.add_row(
                 "AVE",
                 cluster_count,
                 policy,
-                sums[(cluster_count, policy)] / counts,
+                sums.get(key, 0.0) / n if n else float("nan"),
                 float("nan"),
                 float("nan"),
             )
     _append_penalty_reductions(figure)
+    annotate_failures(figure, failed)
     return figure
 
 
@@ -119,8 +145,17 @@ def _append_penalty_reductions(figure: FigureData) -> None:
         ave_rows = [
             row for row in figure.rows if row[0] == "AVE" and row[1] == cluster_count
         ]
-        focused = next(r[3] for r in ave_rows if r[2] == "focused")
-        best = next(r[3] for r in ave_rows if r[2] == policies[-1])
+        focused = next((r[3] for r in ave_rows if r[2] == "focused"), None)
+        best = next((r[3] for r in ave_rows if r[2] == policies[-1]), None)
+        if (
+            not isinstance(focused, float)
+            or not isinstance(best, float)
+            or math.isnan(focused)
+            or math.isnan(best)
+        ):
+            # A partial (failure-degraded) table: no average to summarize
+            # for this cluster count.
+            continue
         focused_penalty = focused - 1.0
         best_penalty = best - 1.0
         if focused_penalty > 0:

@@ -12,7 +12,7 @@ availability grows far beyond it.
 from __future__ import annotations
 
 from repro.analysis.ilp import merge_profiles
-from repro.experiments.figure import FigureData
+from repro.experiments.figure import FigureData, annotate_failures
 from repro.experiments.harness import Workbench
 from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
 
@@ -55,11 +55,16 @@ def run_figure15(
     """Reproduce Figure 15 for the 8x1w machine under ``policy``."""
     bench.prefetch(plan_figure15(bench, policy, forwarding_latency))
     profiles = []
+    failed = []
     config = bench.clustered(8, forwarding_latency)
     for spec in bench.benchmarks:
-        result = bench.run(spec, config, policy, collect_ilp=True)
-        profiles.append(result.ilp_profile)
-    merged = merge_profiles(profiles)
+        out = bench.outcome(spec, config, policy, collect_ilp=True)
+        if not out.ok:
+            # The figure is a suite-wide aggregate, so a failed run drops
+            # out of the merge (and is reported in the notes).
+            failed.append(out)
+            continue
+        profiles.append(out.result.ilp_profile)
 
     figure = FigureData(
         figure_id="Figure 15",
@@ -70,6 +75,9 @@ def run_figure15(
             "total issue width (8) and recovers at high availability",
         ],
     )
-    for available, achieved in merged.series(max_available):
-        figure.add_row(available, achieved, merged.cycle_count[available])
+    if profiles:
+        merged = merge_profiles(profiles)
+        for available, achieved in merged.series(max_available):
+            figure.add_row(available, achieved, merged.cycle_count[available])
+    annotate_failures(figure, failed)
     return figure

@@ -54,3 +54,28 @@ class FigureData:
         body = format_table(self.headers, self.rows)
         notes = "\n".join(f"note: {note}" for note in self.notes)
         return "\n".join(part for part in (header, body, notes) if part)
+
+
+def annotate_failures(figure: FigureData, outcomes: Sequence[object]) -> None:
+    """Append one provenance note per failed run (no-op when all settled ok).
+
+    ``outcomes`` is any iterable of :class:`~repro.experiments.outcomes.
+    JobOutcome`; only failed ones (``.failure`` set) produce notes.  Kept
+    here so every figure module annotates partial tables identically.
+    """
+    failed = [o for o in outcomes if getattr(o, "failure", None) is not None]
+    if not failed:
+        return
+    from repro.specs.policy import policy_label
+
+    figure.notes.append(
+        f"{len(failed)} run(s) failed after retries; affected cells show "
+        "FAILED/TIMEOUT and aggregates cover completed runs only"
+    )
+    for out in failed:
+        job, failure = out.job, out.failure
+        figure.notes.append(
+            f"{failure.label()}: {job.kernel}/{job.config.name}/"
+            f"{policy_label(job.policy)} -- {failure.error_type}: "
+            f"{failure.message} (kind={failure.kind}, attempts={out.attempts})"
+        )

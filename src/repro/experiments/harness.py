@@ -41,14 +41,20 @@ from typing import Iterable, Sequence
 from repro.core.config import MachineConfig, clustered_machine, monolithic_machine
 from repro.core.results import SimulationResult
 from repro.experiments.cache import RunCache
+from repro.experiments.outcomes import (
+    ExecutionPolicy,
+    JobOutcome,
+    OutcomeStats,
+    RunFailureError,
+)
 from repro.experiments.parallel import (
     PreparedWorkload,
     RunJob,
     dedupe_jobs,
     default_workers,
-    execute_job,
-    execute_jobs,
+    execute_outcomes,
     prepare_workload,
+    run_job_outcome,
 )
 from repro.specs.policy import PolicySpec, canonical_policy, policy_names, resolve_policy
 from repro.workloads.common import KernelSpec
@@ -116,6 +122,7 @@ class Workbench:
         sim: str = "event",
         metrics: bool = False,
         tracer=None,
+        execution: ExecutionPolicy | None = None,
     ):
         if instructions <= 0:
             raise ValueError("instructions must be positive")
@@ -130,12 +137,15 @@ class Workbench:
         self.sim = sim
         self.metrics = metrics
         self.tracer = tracer
+        self.execution = execution if execution is not None else ExecutionPolicy()
+        self.exec_stats = OutcomeStats()
         if cache is not None and tracer is not None and cache.tracer is None:
             cache.tracer = tracer
         self.simulations_run = 0
         self._prepared: dict[str, PreparedWorkload] = {}
         self._run_cache: dict[tuple, SimulationResult] = {}
         self._job_for_key: dict[tuple, RunJob] = {}
+        self._failures: dict[tuple, JobOutcome] = {}
 
     # ------------------------------------------------------------------
     def prepare(self, spec: KernelSpec) -> PreparedWorkload:
@@ -206,27 +216,74 @@ class Workbench:
         collect_ilp: bool = False,
         warm: bool = True,
     ) -> SimulationResult:
-        """Run ``spec`` on ``config`` under ``policy`` (cached)."""
+        """Run ``spec`` on ``config`` under ``policy`` (cached).
+
+        Raises :class:`~repro.experiments.outcomes.RunFailureError` if the
+        run fails past the workbench's retry budget (or failed earlier in
+        this workbench's lifetime); use :meth:`outcome` to observe
+        failures as values instead.
+        """
+        return self.outcome(spec, config, policy, collect_ilp, warm).unwrap()
+
+    def outcome(
+        self,
+        spec: KernelSpec,
+        config: MachineConfig,
+        policy: str | PolicySpec,
+        collect_ilp: bool = False,
+        warm: bool = True,
+    ) -> JobOutcome:
+        """Like :meth:`run`, but failures settle as values, not exceptions.
+
+        Cache hits come back as ok outcomes tagged ``source="memory"`` /
+        ``"cache"``.  A job that already failed in this workbench's
+        lifetime returns its recorded failure without re-running (one bad
+        run must not stall a whole figure once per cell); a fresh run goes
+        through :func:`~repro.experiments.parallel.run_job_outcome` under
+        the workbench's :class:`~repro.experiments.outcomes.
+        ExecutionPolicy`, so transient faults retry before the failure is
+        accepted.  With ``fail_fast`` the failure raises instead.
+        """
         job = self.job(spec, config, policy, collect_ilp, warm)
         key = self._memory_key(job)
         self._job_for_key.setdefault(key, job)
         cached = self._run_cache.get(key)
         if cached is not None:
-            return cached
+            return JobOutcome(job=job, result=cached, attempts=0, source="memory")
+        failed = self._failures.get(key)
+        if failed is not None:
+            return failed
         if self.cache is not None:
             loaded = self.cache.load(job)
             if loaded is not None:
                 self._run_cache[key] = loaded
-                return loaded
-        result = execute_job(job, self.prepare(spec), tracer=self.tracer)
-        self.simulations_run += 1
-        if self.cache is not None:
-            self.cache.store(job, result)
-        self._run_cache[key] = result
-        return result
+                return JobOutcome(job=job, result=loaded, attempts=0, source="cache")
+        out = run_job_outcome(
+            job,
+            self.prepare(spec),
+            tracer=self.tracer,
+            policy=self.execution,
+            stats=self.exec_stats,
+        )
+        self._settle(out)
+        if not out.ok and self.execution.fail_fast:
+            raise RunFailureError(job, out.failure)
+        return out
+
+    def _settle(self, outcome: JobOutcome) -> None:
+        """Absorb one executed outcome into the caches / failure ledger."""
+        key = self._memory_key(outcome.job)
+        if outcome.ok:
+            self.simulations_run += 1
+            if self.cache is not None:
+                self.cache.store(outcome.job, outcome.result)
+            self._run_cache[key] = outcome.result
+            self._failures.pop(key, None)
+        else:
+            self._failures[key] = outcome
 
     # ------------------------------------------------------------------
-    def prefetch(self, jobs: Iterable[RunJob]) -> int:
+    def prefetch(self, jobs: Iterable[RunJob], on_outcome=None) -> int:
         """Materialize ``jobs`` into the caches, fanning out over workers.
 
         Already-cached jobs (memory or disk) are skipped; the rest run on
@@ -234,6 +291,16 @@ class Workbench:
         the number of simulations actually executed.  After a prefetch,
         the matching :meth:`run` calls are cache hits, so figure code can
         stay serial while the heavy lifting happens in parallel.
+
+        Each job settles **as it completes**: successes go straight to
+        the memory and persistent caches (so a ``KeyboardInterrupt``
+        mid-sweep loses nothing already finished), failures land in the
+        workbench's failure ledger for :meth:`failure_for` /
+        :meth:`failed_outcomes`, and ``on_outcome`` -- when given -- sees
+        every settled :class:`~repro.experiments.outcomes.JobOutcome`
+        (checkpoint manifests hook in here).  Under ``fail_fast`` the
+        first failure raises :class:`~repro.experiments.outcomes.
+        RunFailureError` after in-flight work is torn down.
         """
         pending: list[RunJob] = []
         for job in dedupe_jobs(jobs):
@@ -249,18 +316,35 @@ class Workbench:
             pending.append(job)
         if not pending:
             return 0
-        results = execute_jobs(pending, self.workers, tracer=self.tracer)
-        self.simulations_run += len(pending)
-        for job, result in zip(pending, results):
-            if self.cache is not None:
-                self.cache.store(job, result)
-            self._run_cache[self._memory_key(job)] = result
-        return len(pending)
+        executed_before = self.simulations_run
+
+        def settle(outcome: JobOutcome) -> None:
+            self._settle(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        execute_outcomes(
+            pending,
+            self.workers,
+            tracer=self.tracer,
+            policy=self.execution,
+            on_outcome=settle,
+            stats=self.exec_stats,
+        )
+        return self.simulations_run - executed_before
 
     # ------------------------------------------------------------------
     def result_for(self, job: RunJob) -> SimulationResult | None:
         """The already-materialized result for ``job``, if any (no run)."""
         return self._run_cache.get(self._memory_key(job))
+
+    def failure_for(self, job: RunJob) -> JobOutcome | None:
+        """The recorded failed outcome for ``job``, if any (no run)."""
+        return self._failures.get(self._memory_key(job))
+
+    def failed_outcomes(self) -> list[JobOutcome]:
+        """Every failed outcome this workbench has recorded, in order."""
+        return list(self._failures.values())
 
     def cached_results(self) -> list[tuple[RunJob, SimulationResult]]:
         """Every (job, result) this workbench has materialized, in order.

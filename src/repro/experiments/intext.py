@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.analysis.consumers import consumer_criticality_stats, exact_loc_by_pc
 from repro.core.config import monolithic_machine
 from repro.criticality.critical_path import critical_flags
-from repro.experiments.figure import FigureData
+from repro.experiments.figure import FigureData, annotate_failures
 from repro.experiments.harness import Workbench
 from repro.idealized.list_scheduler import list_schedule
 from repro.specs import ExperimentSpec, MachineSpec, SweepSpec
@@ -61,17 +61,22 @@ def run_global_values(bench: Workbench, forwarding_latency: int = 2) -> FigureDa
         headers=["clusters", "proposed", "focused_baseline"],
         notes=["paper: 0.12 / 0.2 / 0.25, slightly below the baseline policy"],
     )
+    failed = []
     for count in CLUSTER_COUNTS:
         config = bench.clustered(count, forwarding_latency)
-        ours = sum(
-            bench.run(s, config, _BEST_POLICY[count]).global_values_per_instruction
-            for s in bench.benchmarks
-        ) / len(bench.benchmarks)
-        baseline = sum(
-            bench.run(s, config, "focused").global_values_per_instruction
-            for s in bench.benchmarks
-        ) / len(bench.benchmarks)
-        figure.add_row(count, ours, baseline)
+        cells = []
+        for policy in (_BEST_POLICY[count], "focused"):
+            total, n = 0.0, 0
+            for s in bench.benchmarks:
+                out = bench.outcome(s, config, policy)
+                if not out.ok:
+                    failed.append(out)
+                    continue
+                total += out.result.global_values_per_instruction
+                n += 1
+            cells.append(total / n if n else float("nan"))
+        figure.add_row(count, *cells)
+    annotate_failures(figure, failed)
     return figure
 
 
@@ -105,9 +110,17 @@ def run_loc_priority_study(bench: Workbench, forwarding_latency: int = 2) -> Fig
         ],
     )
     sums = {mode: [0.0] * len(CLUSTER_COUNTS) for mode in ("oracle", "loc", "binary")}
+    ok_count = 0
+    failed = []
     for spec in bench.benchmarks:
+        out = bench.outcome(spec, monolithic_machine(), "focused")
+        if not out.ok:
+            # The probe feeds every list-scheduled variant for this
+            # benchmark; drop it from the suite averages.
+            failed.append(out)
+            continue
         prepared = bench.prepare(spec)
-        mono = bench.run(spec, monolithic_machine(), "focused")
+        mono = out.result
         latencies = [rec.latency for rec in mono.records]
         flags = critical_flags(mono.records)
         loc_table = exact_loc_by_pc(mono.records, flags)
@@ -133,9 +146,13 @@ def run_loc_priority_study(bench: Workbench, forwarding_latency: int = 2) -> Fig
                     binary_table=binary_table,
                 )
                 sums[mode][i] += result.cpi / base
-    n = len(bench.benchmarks)
+        ok_count += 1
     for mode in ("oracle", "loc", "binary"):
-        figure.add_row(mode, *[s / n for s in sums[mode]])
+        figure.add_row(
+            mode,
+            *[s / ok_count if ok_count else float("nan") for s in sums[mode]],
+        )
+    annotate_failures(figure, failed)
     return figure
 
 
@@ -174,9 +191,15 @@ def run_consumer_stats(bench: Workbench) -> FigureData:
         ],
     )
     totals = [0.0, 0.0, 0.0]
+    ok_count = 0
+    failed = []
     for spec in bench.benchmarks:
-        result = bench.run(spec, monolithic_machine(), "focused")
-        stats = consumer_criticality_stats(result.records)
+        out = bench.outcome(spec, monolithic_machine(), "focused")
+        if not out.ok:
+            failed.append(out)
+            figure.add_row(spec.name, *([out.failure.label()] * 3))
+            continue
+        stats = consumer_criticality_stats(out.result.records)
         values = (
             stats.statically_unique_fraction,
             stats.bimodal_fraction,
@@ -185,6 +208,8 @@ def run_consumer_stats(bench: Workbench) -> FigureData:
         figure.add_row(spec.name, *values)
         for i, value in enumerate(values):
             totals[i] += value
-    n = len(bench.benchmarks)
-    figure.add_row("AVE", *[t / n for t in totals])
+        ok_count += 1
+    if ok_count:
+        figure.add_row("AVE", *[t / ok_count for t in totals])
+    annotate_failures(figure, failed)
     return figure

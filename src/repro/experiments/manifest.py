@@ -1,0 +1,152 @@
+"""Sweep manifests: durable per-job outcome records for checkpoint/resume.
+
+A :class:`SweepManifest` is a small JSON file keyed by the sweep's
+:func:`~repro.specs.spec_hash` that records, for every job the sweep
+enumerates, its last known :class:`~repro.experiments.outcomes.JobOutcome`
+(status, failure kind, attempts, elapsed).  The spec runner updates it as
+each job settles and saves atomically, so
+
+* an interrupted ``repro --spec`` rerun knows exactly which jobs already
+  finished (their results come back from the persistent
+  :class:`~repro.experiments.cache.RunCache`; the manifest supplies the
+  accounting and the "resumed N of M" status line);
+* jobs that *failed* last time are visible -- and re-attempted -- on the
+  next run instead of silently vanishing from the table;
+* a post-mortem can read what happened per job without replaying logs.
+
+Manifests are advisory: losing one (or the ``--no-resume`` flag) merely
+forfeits the accounting -- correctness always rests on the
+content-addressed cache and the deterministic executor.  A corrupt
+manifest is quarantined to ``*.corrupt`` and treated as absent, mirroring
+the run cache's self-healing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import warnings
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.outcomes import JobOutcome
+
+__all__ = ["MANIFEST_SCHEMA", "SweepManifest", "default_manifest_dir"]
+
+MANIFEST_SCHEMA = "repro.sweep_manifest/1"
+
+
+def default_manifest_dir(cache_root: pathlib.Path) -> pathlib.Path:
+    """Where sweep manifests live relative to the run cache."""
+    return cache_root / "manifests"
+
+
+class SweepManifest:
+    """Per-job outcome journal for one sweep, keyed by its spec hash."""
+
+    def __init__(self, path: pathlib.Path, spec_hash: str, name: str = ""):
+        self.path = pathlib.Path(path)
+        self.spec_hash = spec_hash
+        self.name = name
+        self.entries: dict[str, dict[str, Any]] = {}
+        # Jobs recorded "ok" by a *previous* invocation: the resume set.
+        self.resumed: frozenset[str] = frozenset()
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, directory: pathlib.Path | str, spec_hash: str, name: str = ""
+    ) -> "SweepManifest":
+        """Load the manifest for ``spec_hash`` (fresh if absent/corrupt)."""
+        directory = pathlib.Path(directory)
+        manifest = cls(directory / f"{spec_hash}.json", spec_hash, name)
+        manifest._load()
+        return manifest
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+            if data.get("schema") != MANIFEST_SCHEMA:
+                raise ValueError(f"unknown manifest schema {data.get('schema')!r}")
+            if data.get("spec_hash") != self.spec_hash:
+                raise ValueError("manifest spec_hash mismatch")
+            entries = data.get("jobs", {})
+            if not isinstance(entries, dict):
+                raise ValueError("manifest jobs must be an object")
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError, TypeError) as exc:
+            quarantine = self.path.with_name(self.path.name + ".corrupt")
+            try:
+                os.replace(self.path, quarantine)
+            except OSError:  # pragma: no cover - raced or unwritable dir
+                pass
+            warnings.warn(
+                f"quarantined corrupt sweep manifest {quarantine} "
+                f"({type(exc).__name__}: {exc}); starting the sweep record "
+                "afresh (results still resume from the run cache)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        self.entries = {str(k): dict(v) for k, v in entries.items()}
+        self.resumed = frozenset(
+            key for key, entry in self.entries.items() if entry.get("status") == "ok"
+        )
+
+    # ------------------------------------------------------------------
+    def record(self, key: str, outcome: "JobOutcome") -> None:
+        """Absorb one settled job outcome (call :meth:`save` to persist)."""
+        entry: dict[str, Any] = {
+            "status": "ok" if outcome.ok else "failed",
+            "kernel": outcome.job.kernel,
+            "config": outcome.job.config.name,
+            "attempts": outcome.attempts,
+            "elapsed": round(outcome.elapsed, 6),
+        }
+        if outcome.failure is not None:
+            entry["failure"] = outcome.failure.to_dict()
+        self.entries[key] = entry
+        self._dirty = True
+
+    def completed(self) -> int:
+        return sum(1 for e in self.entries.values() if e.get("status") == "ok")
+
+    def failed(self) -> int:
+        return sum(1 for e in self.entries.values() if e.get("status") == "failed")
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "jobs": len(self.entries),
+            "completed": self.completed(),
+            "failed": self.failed(),
+            "resumed": len(self.resumed),
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "spec_hash": self.spec_hash,
+            "name": self.name,
+            "jobs": self.entries,
+        }
+
+    def save(self, force: bool = False) -> None:
+        """Atomically persist (tmp + rename); no-op when nothing changed."""
+        if not (self._dirty or force):
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + f".tmp-{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        self._dirty = False

@@ -15,21 +15,47 @@ execution, and every stochastic component it touches (workload data, LoC
 predictor) derives its stream from the job's explicit seed.  Serial and
 parallel runs therefore produce bit-identical
 :class:`~repro.core.results.SimulationResult`\\ s -- an invariant enforced
-by ``tests/test_parallel_workbench.py``.
+by ``tests/test_parallel_workbench.py``.  A *retried* job is equally
+bit-identical to a first-try job: the attempt number feeds only the
+fault-injection harness, never the simulation.
+
+Fault tolerance (:func:`execute_outcomes`): instead of a bare
+``pool.map`` that dies with the first worker, jobs run as individual
+futures under an :class:`~repro.experiments.outcomes.ExecutionPolicy` --
+per-attempt wall-time budgets (enforced by recycling the pool around a
+hung worker), bounded retries with exponential backoff for transient
+failure kinds, ``BrokenProcessPool`` recovery (respawn the pool,
+re-enqueue only the jobs that were in flight, degrade to in-process
+serial execution after repeated no-progress pool deaths) and clean
+``KeyboardInterrupt`` shutdown (cancel pending futures, kill the pool's
+children, re-raise).  Every job yields a typed
+:class:`~repro.experiments.outcomes.JobOutcome` so sweeps keep going
+past individual failures.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.core.config import MachineConfig
 from repro.core.rename import Dependences, extract_dependences
 from repro.core.results import SimulationResult
 from repro.core.simulator import ClusteredSimulator
+from repro.experiments.outcomes import (
+    ExecutionPolicy,
+    GarbageResult,
+    JobOutcome,
+    OutcomeStats,
+    RunFailureError,
+    classify_failure,
+)
 from repro.frontend.branch_predictor import (
     GshareBranchPredictor,
     annotate_mispredictions,
@@ -208,29 +234,498 @@ def execute_job_traced(job: RunJob) -> tuple[SimulationResult, list[tuple]]:
     return result, tracer.export()
 
 
+# ---------------------------------------------------------------------------
+# Fault injection plumbing (zero-cost unless activated)
+# ---------------------------------------------------------------------------
+
+# In-process hook installed by repro.testing.chaos.install(); pool workers
+# are reached through the REPRO_CHAOS environment variable instead.
+_chaos_hook: "Callable[[RunJob, int], str | None] | None" = None
+
+
+def _chaos_action(job: RunJob, attempt: int) -> str | None:
+    hook = _chaos_hook
+    if hook is not None:
+        return hook(job, attempt)
+    if os.environ.get("REPRO_CHAOS"):
+        from repro.testing.chaos import env_action
+
+        return env_action(job, attempt)
+    return None
+
+
+def _apply_chaos(job: RunJob, attempt: int) -> bool:
+    """Run any scheduled pre-run fault; True means garble the result."""
+    action = _chaos_action(job, attempt)
+    if action is None:
+        return False
+    if action == "garbage":
+        return True
+    from repro.testing import chaos
+
+    config = _chaos_hook if isinstance(_chaos_hook, chaos.ChaosConfig) else None
+    chaos.perform(action, config)
+    return False
+
+
+def _validate_result(job: RunJob, result: object) -> SimulationResult:
+    """Reject a malformed worker return (``garbage`` failure, retryable)."""
+    if not isinstance(result, SimulationResult):
+        raise GarbageResult(
+            f"worker returned {type(result).__name__} instead of a "
+            f"SimulationResult for {job.kernel}"
+        )
+    if result.cycles <= 0 or result.instructions <= 0:
+        raise GarbageResult(
+            f"worker returned a malformed result for {job.kernel}: "
+            f"cycles={result.cycles}, instructions={result.instructions}"
+        )
+    return result
+
+
+def _run_attempt(
+    job: RunJob,
+    attempt: int,
+    prepared: PreparedWorkload | None = None,
+    tracer: "Tracer | None" = None,
+) -> SimulationResult:
+    """One attempt, with chaos applied around the deterministic run."""
+    garble = _apply_chaos(job, attempt)
+    result = execute_job(job, prepared, tracer=tracer)
+    if garble:
+        result.cycles = -abs(result.cycles)
+    return _validate_result(job, result)
+
+
+def _pool_attempt(payload: tuple) -> tuple[SimulationResult, list[tuple] | None]:
+    """Pool-worker entry: ``(job, attempt, traced)`` -> (result, spans)."""
+    job, attempt, traced = payload
+    if not traced:
+        return _run_attempt(job, attempt), None
+    from repro.telemetry.tracing import Tracer
+
+    tracer = Tracer()
+    result = _run_attempt(job, attempt, tracer=tracer)
+    return result, tracer.export()
+
+
+# ---------------------------------------------------------------------------
+# Resilient execution
+# ---------------------------------------------------------------------------
+
+
+def run_job_outcome(
+    job: RunJob,
+    prepared: PreparedWorkload | None = None,
+    tracer: "Tracer | None" = None,
+    policy: ExecutionPolicy | None = None,
+    stats: OutcomeStats | None = None,
+    start_attempt: int = 0,
+) -> JobOutcome:
+    """Run one job in-process with the policy's retry loop.
+
+    Serial execution cannot interrupt a running simulation, so
+    ``job_timeout`` is not enforced here (the pool path recycles workers
+    instead); everything else -- retry classification, backoff, typed
+    outcomes -- behaves exactly as in the pool.
+    """
+    policy = policy if policy is not None else ExecutionPolicy()
+    start = time.monotonic()
+    attempt = start_attempt
+    while True:
+        attempt += 1
+        try:
+            result = _run_attempt(job, attempt, prepared, tracer)
+        except Exception as exc:
+            elapsed = time.monotonic() - start
+            failure = classify_failure(exc, attempt, elapsed)
+            if failure.retryable and attempt <= policy.max_retries:
+                if stats is not None:
+                    stats.retries += 1
+                if tracer is not None:
+                    tracer.event(
+                        "job.retry",
+                        kernel=job.kernel,
+                        kind=failure.kind,
+                        attempt=attempt,
+                    )
+                delay = policy.backoff(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            if stats is not None:
+                stats.record_failure(failure)
+            return JobOutcome(
+                job=job, failure=failure, attempts=attempt, elapsed=elapsed
+            )
+        if stats is not None:
+            stats.executed += 1
+        return JobOutcome(
+            job=job,
+            result=result,
+            attempts=attempt,
+            elapsed=time.monotonic() - start,
+        )
+
+
+class _JobState:
+    """Mutable per-job bookkeeping inside the pool scheduler."""
+
+    __slots__ = ("job", "index", "attempts", "eligible_at", "first_start")
+
+    def __init__(self, job: RunJob, index: int):
+        self.job = job
+        self.index = index
+        self.attempts = 0
+        self.eligible_at = 0.0
+        self.first_start: float | None = None
+
+
+class _PoolScheduler:
+    """Per-job futures with timeouts, retries and pool recovery.
+
+    The scheduler submits at most ``pool_size`` jobs at a time, so a
+    job's wall-time budget starts ticking when it actually starts
+    running.  A hung or overdue worker cannot be cancelled politely, so
+    a timeout (like a ``BrokenProcessPool``) kills and respawns the
+    pool; in-flight jobs that were *not* at fault are re-enqueued with
+    no attempt charged.  After ``max_pool_respawns`` consecutive pool
+    deaths with zero completed jobs in between, the remaining jobs run
+    serially in-process rather than thrashing a dying pool.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[RunJob],
+        pool_size: int,
+        tracer: "Tracer | None",
+        policy: ExecutionPolicy,
+        on_outcome: "Callable[[JobOutcome], None] | None",
+        stats: OutcomeStats | None,
+    ):
+        self.jobs = list(jobs)
+        self.pool_size = pool_size
+        self.tracer = tracer
+        self.policy = policy
+        self.on_outcome = on_outcome
+        self.stats = stats
+        self.outcomes: list[JobOutcome | None] = [None] * len(self.jobs)
+        self.pending: deque[_JobState] = deque(
+            _JobState(job, i) for i, job in enumerate(self.jobs)
+        )
+        self.running: dict = {}  # future -> (state, deadline | None)
+        self.pool: ProcessPoolExecutor | None = None
+        self.respawns_without_progress = 0
+        self.completed_since_respawn = 0
+        self.degrade_serial = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[JobOutcome]:
+        try:
+            while self.pending or self.running:
+                if self.degrade_serial and not self.running:
+                    self._drain_serial()
+                    break
+                self._ensure_pool()
+                self._submit_eligible()
+                self._wait_and_collect()
+        except BaseException:
+            # KeyboardInterrupt or a fail-fast failure: cancel pending
+            # futures and take the children down with the pool so no
+            # orphans linger.  Completed results were already delivered
+            # through on_outcome.
+            self._kill_pool()
+            raise
+        else:
+            if self.pool is not None:
+                self.pool.shutdown(wait=True)
+                self.pool = None
+        assert all(outcome is not None for outcome in self.outcomes)
+        return self.outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> None:
+        if self.pool is None and not self.degrade_serial:
+            self.pool = ProcessPoolExecutor(max_workers=self.pool_size)
+
+    def _submit_eligible(self) -> None:
+        if self.pool is None:
+            return
+        now = time.monotonic()
+        held: list[_JobState] = []
+        try:
+            while self.pending and len(self.running) < self.pool_size:
+                state = self.pending.popleft()
+                if state.eligible_at > now:
+                    held.append(state)
+                    continue
+                state.attempts += 1
+                if state.first_start is None:
+                    state.first_start = now
+                deadline = (
+                    now + self.policy.job_timeout
+                    if self.policy.job_timeout is not None
+                    else None
+                )
+                payload = (state.job, state.attempts, self.tracer is not None)
+                try:
+                    future = self.pool.submit(_pool_attempt, payload)
+                except BrokenProcessPool:
+                    # The job never reached the pool: uncharge and requeue.
+                    state.attempts -= 1
+                    self.pending.appendleft(state)
+                    self._pool_broken()
+                    break
+                self.running[future] = (state, deadline)
+        finally:
+            self.pending.extendleft(reversed(held))
+
+    def _wait_and_collect(self) -> None:
+        now = time.monotonic()
+        waits: list[float] = []
+        deadlines = [d for (_, d) in self.running.values() if d is not None]
+        if deadlines:
+            waits.append(min(deadlines) - now)
+        if self.pending and len(self.running) < self.pool_size:
+            # Capacity is free but every queued job is in backoff: wake
+            # when the earliest becomes eligible.
+            waits.append(min(s.eligible_at for s in self.pending) - now)
+        timeout = max(0.0, min(waits)) if waits else None
+        if not self.running:
+            if timeout:
+                time.sleep(timeout)
+            return
+        done, _ = wait(set(self.running), timeout=timeout, return_when=FIRST_COMPLETED)
+        # Harvest clean completions before any pool-death sweep: a pool
+        # break re-enqueues every job still tracked as in-flight, and a
+        # result that already arrived should not be thrown away with them.
+        for future in sorted(done, key=lambda f: f.exception() is not None):
+            self._collect(future)
+        self._check_deadlines()
+
+    # ------------------------------------------------------------------
+    def _collect(self, future) -> None:
+        entry = self.running.pop(future, None)
+        if entry is None:  # already handled by a pool-death sweep
+            return
+        state, _deadline = entry
+        try:
+            result, spans = future.result()
+            _validate_result(state.job, result)
+        except BrokenProcessPool:
+            self.running[future] = entry  # count it among the lost
+            self._pool_broken()
+            return
+        except Exception as exc:
+            self._attempt_failed(state, exc)
+            return
+        if spans and self.tracer is not None:
+            self.tracer.merge(spans, worker=True)
+        self._success(state, result)
+
+    def _success(self, state: _JobState, result: SimulationResult) -> None:
+        if self.stats is not None:
+            self.stats.executed += 1
+        self.completed_since_respawn += 1
+        self.respawns_without_progress = 0
+        self._finish(
+            state,
+            JobOutcome(
+                job=state.job,
+                result=result,
+                attempts=state.attempts,
+                elapsed=self._elapsed(state),
+            ),
+        )
+
+    def _attempt_failed(self, state: _JobState, exc: BaseException) -> None:
+        failure = classify_failure(exc, state.attempts, self._elapsed(state))
+        if failure.retryable and state.attempts <= self.policy.max_retries:
+            if self.stats is not None:
+                self.stats.retries += 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    "job.retry",
+                    kernel=state.job.kernel,
+                    kind=failure.kind,
+                    attempt=state.attempts,
+                )
+            state.eligible_at = time.monotonic() + self.policy.backoff(state.attempts)
+            self.pending.append(state)
+            return
+        if self.stats is not None:
+            self.stats.record_failure(failure)
+        self._finish(
+            state,
+            JobOutcome(
+                job=state.job,
+                failure=failure,
+                attempts=state.attempts,
+                elapsed=self._elapsed(state),
+            ),
+        )
+
+    def _finish(self, state: _JobState, outcome: JobOutcome) -> None:
+        self.outcomes[state.index] = outcome
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
+        if not outcome.ok and self.policy.fail_fast:
+            assert outcome.failure is not None
+            raise RunFailureError(state.job, outcome.failure)
+
+    def _elapsed(self, state: _JobState) -> float:
+        if state.first_start is None:
+            return 0.0
+        return time.monotonic() - state.first_start
+
+    # ------------------------------------------------------------------
+    def _pool_broken(self) -> None:
+        """A worker died abruptly: respawn and re-enqueue the lost jobs.
+
+        Which in-flight job killed the worker is unknowable from the
+        parent, so every lost job is charged one ``crash`` attempt --
+        the retry budget bounds a job that reliably kills its worker
+        while letting innocent bystanders re-run.
+        """
+        lost = [state for (state, _d) in self.running.values()]
+        self.running.clear()
+        self._kill_pool()
+        if self.stats is not None:
+            self.stats.pool_respawns += 1
+        if self.tracer is not None:
+            self.tracer.event("pool.respawn", lost=len(lost))
+        if self.completed_since_respawn == 0:
+            self.respawns_without_progress += 1
+        else:
+            self.respawns_without_progress = 0
+        self.completed_since_respawn = 0
+        if self.respawns_without_progress > self.policy.max_pool_respawns:
+            self.degrade_serial = True
+            if self.tracer is not None:
+                self.tracer.event("pool.degrade-serial")
+        for state in lost:
+            self._attempt_failed(state, BrokenProcessPool("worker process died"))
+
+    def _check_deadlines(self) -> None:
+        if self.policy.job_timeout is None or not self.running:
+            return
+        now = time.monotonic()
+        overdue = [
+            (future, state)
+            for future, (state, deadline) in self.running.items()
+            if deadline is not None and deadline <= now and not future.done()
+        ]
+        if not overdue:
+            return
+        # The overdue workers are hung; the only way out is to recycle
+        # the pool.  Innocent in-flight jobs are re-enqueued uncharged.
+        if self.stats is not None:
+            self.stats.timeouts += len(overdue)
+        for future, state in overdue:
+            del self.running[future]
+            self._attempt_failed(
+                state,
+                TimeoutError(
+                    f"job exceeded {self.policy.job_timeout}s wall-time budget"
+                ),
+            )
+        for future, (state, _deadline) in list(self.running.items()):
+            state.attempts -= 1  # not this job's fault: uncharge the attempt
+            self.pending.append(state)
+        self.running.clear()
+        self._kill_pool()
+        if self.tracer is not None:
+            self.tracer.event("pool.recycle", reason="timeout")
+
+    def _kill_pool(self) -> None:
+        pool = self.pool
+        self.pool = None
+        if pool is None:
+            return
+        # Hung children never drain the call queue, so a polite shutdown
+        # would block forever: kill them first (private attr, guarded).
+        processes = getattr(pool, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                try:
+                    process.kill()
+                except Exception:  # pragma: no cover - already-dead race
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def _drain_serial(self) -> None:
+        """Degraded mode: finish the remaining jobs in-process."""
+        while self.pending:
+            state = self.pending.popleft()
+            outcome = run_job_outcome(
+                state.job,
+                tracer=self.tracer,
+                policy=self.policy,
+                stats=self.stats,
+                start_attempt=state.attempts,
+            )
+            self._finish(state, outcome)
+
+
+def execute_outcomes(
+    jobs: Sequence[RunJob],
+    workers: int,
+    tracer: "Tracer | None" = None,
+    policy: ExecutionPolicy | None = None,
+    on_outcome: "Callable[[JobOutcome], None] | None" = None,
+    stats: OutcomeStats | None = None,
+) -> list[JobOutcome]:
+    """Execute ``jobs`` fault-tolerantly; one typed outcome per job, in order.
+
+    The resilient replacement for :func:`execute_jobs`: failures become
+    :class:`~repro.experiments.outcomes.JobOutcome`\\ s instead of
+    killing the sweep (unless ``policy.fail_fast``, which raises
+    :class:`~repro.experiments.outcomes.RunFailureError` on the first
+    final failure).  ``on_outcome`` fires as each job settles -- the
+    workbench uses it to flush finished results to the persistent cache
+    immediately, so an interrupt loses nothing.  On
+    ``KeyboardInterrupt`` the pool's children are killed (no orphans)
+    and the interrupt re-raised.
+
+    Successful results are bit-identical to serial, fault-free execution
+    regardless of retries, worker count or pool respawns.
+    """
+    policy = policy if policy is not None else ExecutionPolicy()
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if workers <= 1 or len(jobs) <= 1:
+        outcomes: list[JobOutcome] = []
+        for job in jobs:
+            outcome = run_job_outcome(job, tracer=tracer, policy=policy, stats=stats)
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            if not outcome.ok and policy.fail_fast:
+                assert outcome.failure is not None
+                raise RunFailureError(job, outcome.failure)
+        return outcomes
+    scheduler = _PoolScheduler(
+        jobs, min(workers, len(jobs)), tracer, policy, on_outcome, stats
+    )
+    return scheduler.run()
+
+
 def execute_jobs(
     jobs: Sequence[RunJob], workers: int, tracer: "Tracer | None" = None
 ) -> list[SimulationResult]:
-    """Execute ``jobs`` and return results in job order.
+    """Execute ``jobs`` and return results in job order (legacy strict form).
 
-    With ``workers <= 1`` (or a single job) everything runs in-process;
-    otherwise jobs fan out over a process pool.  Either way the results
-    are bit-identical -- each worker reconstructs its inputs from the
-    job's explicit seed.  With ``tracer`` given, per-stage spans from
-    every worker are merged into it (tagged ``worker=True``).
+    A thin wrapper over :func:`execute_outcomes` with no retries and
+    fail-fast semantics: the first failure raises
+    :class:`~repro.experiments.outcomes.RunFailureError`.  Kept for
+    callers that predate typed outcomes; new code should consume
+    outcomes directly.
     """
-    jobs = list(jobs)
-    if workers <= 1 or len(jobs) <= 1:
-        return [execute_job(job, tracer=tracer) for job in jobs]
-    pool_size = min(workers, len(jobs))
-    with ProcessPoolExecutor(max_workers=pool_size) as pool:
-        if tracer is None:
-            return list(pool.map(execute_job, jobs))
-        results = []
-        for result, spans in pool.map(execute_job_traced, jobs):
-            tracer.merge(spans, worker=True)
-            results.append(result)
-        return results
+    policy = ExecutionPolicy(max_retries=0, fail_fast=True)
+    outcomes = execute_outcomes(jobs, workers, tracer=tracer, policy=policy)
+    return [outcome.unwrap() for outcome in outcomes]
 
 
 def dedupe_jobs(jobs: Iterable[RunJob]) -> list[RunJob]:

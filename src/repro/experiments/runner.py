@@ -46,8 +46,10 @@ from repro.experiments import EXPERIMENTS, PLANS
 from repro.experiments.aggregate import run_seeded
 from repro.experiments.cache import RunCache, default_cache_dir
 from repro.experiments.harness import DEFAULT_INSTRUCTIONS, Workbench
+from repro.experiments.manifest import SweepManifest, default_manifest_dir
+from repro.experiments.outcomes import ExecutionPolicy, RunFailureError
 from repro.experiments.sweep import run_spec
-from repro.specs import ExperimentSpec, SpecError, load_spec
+from repro.specs import ExperimentSpec, SpecError, load_spec, spec_hash
 from repro.workloads.suite import get_kernel, suite_names
 
 
@@ -115,6 +117,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the persistent result cache",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-run a job up to N times after a transient failure "
+        "(worker crash, timeout, injected fault; default 2). Retried "
+        "runs are bit-identical to first-try runs.",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any single simulation running longer than "
+        "this (default: no limit; needs --workers > 1 -- an in-process "
+        "run cannot be interrupted safely)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first job that fails past its retry budget "
+        "instead of rendering FAILED/TIMEOUT cells in a partial table",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="do not read or write per-spec sweep manifests (an "
+        "interrupted --spec sweep then loses the 'resumed N' accounting; "
+        "finished results still come back from the run cache)",
     )
     parser.add_argument(
         "--reference-sim",
@@ -217,6 +250,15 @@ def main(argv: list[str] | None = None) -> int:
     benchmarks = None
     if args.benchmarks:
         benchmarks = [get_kernel(name) for name in args.benchmarks]
+    try:
+        execution = ExecutionPolicy(
+            max_retries=args.max_retries,
+            job_timeout=args.job_timeout,
+            fail_fast=args.fail_fast,
+        )
+    except ValueError as exc:
+        print(f"bad execution policy: {exc}", file=sys.stderr)
+        return 2
     cache = None if args.no_cache else RunCache(args.cache_dir, tracer=tracer)
     bench = Workbench(
         instructions=args.instructions,
@@ -227,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
         sim="reference" if args.reference_sim else "event",
         metrics=args.metrics,
         tracer=tracer,
+        execution=execution,
     )
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
@@ -236,9 +279,17 @@ def main(argv: list[str] | None = None) -> int:
         start = time.time()
         hits_before = cache.hits if cache else 0
         stores_before = cache.stores if cache else 0
+        quarantined_before = cache.quarantined if cache else 0
         simulated_before = bench.simulations_run
+        failed_before = len(bench.failed_outcomes())
         if spec is not None:
-            experiment = lambda b, _spec=spec: run_spec(b, _spec)  # noqa: E731
+            manifest = None
+            if cache is not None and not args.no_resume:
+                manifest = SweepManifest.open(
+                    default_manifest_dir(cache.root), spec_hash(spec), spec.name
+                )
+            def experiment(b, _spec=spec, _m=manifest):
+                return run_spec(b, _spec, manifest=_m)
         if args.seeds > 1:
             figure = run_seeded(
                 experiment,
@@ -247,6 +298,7 @@ def main(argv: list[str] | None = None) -> int:
                 benchmarks=benchmarks,
                 workers=args.workers,
                 cache=cache,
+                execution=execution,
             )
             # The per-seed workbenches are internal to run_seeded; with a
             # cache every executed simulation is stored exactly once.
@@ -257,13 +309,30 @@ def main(argv: list[str] | None = None) -> int:
             except SpecError as exc:
                 print(f"bad spec: {exc}", file=sys.stderr)
                 return 2
+            except RunFailureError as exc:
+                print(f"fail-fast: {exc}", file=sys.stderr)
+                return 1
+            except KeyboardInterrupt:
+                # Settled results were flushed to the persistent cache (and
+                # the sweep manifest) as they completed; nothing is lost.
+                print(
+                    "\ninterrupted -- completed results are persisted; "
+                    "re-run the same command to resume",
+                    file=sys.stderr,
+                )
+                return 130
             simulated = bench.simulations_run - simulated_before
         elapsed = time.time() - start
+        failed = len(bench.failed_outcomes()) - failed_before
         status = f"[{name}: {elapsed:.1f}s"
         if cache is not None:
             status += f"; cache hits={cache.hits - hits_before}"
         if simulated >= 0:
             status += f"; simulated={simulated}"
+        if failed > 0:
+            status += f"; failed={failed}"
+        if cache is not None and cache.quarantined > quarantined_before:
+            status += f"; quarantined={cache.quarantined - quarantined_before}"
         status += "]"
         if json_stream:
             streamed[name] = figure.to_dict()
@@ -287,9 +356,21 @@ def main(argv: list[str] | None = None) -> int:
                     file=status_stream,
                 )
             else:
+                from repro.specs import policy_label
+
+                failure_rows = [
+                    {
+                        "kernel": o.job.kernel,
+                        "config": o.job.config.name,
+                        "policy": policy_label(o.job.policy),
+                        **o.failure.to_dict(),
+                    }
+                    for o in bench.failed_outcomes()
+                ]
                 report = RunReport.from_runs(
                     name,
                     _report_runs(bench, name, spec),
+                    failures=failure_rows,
                     workbench={
                         "instructions": bench.instructions,
                         "seed": bench.seed,

@@ -131,6 +131,9 @@ class ExperimentSpec:
     loc_mode: str | None = None
     figure: str | None = None
     description: str = ""
+    execution: dict[str, Any] | None = None
+
+    _EXECUTION_KEYS = ("max_retries", "job_timeout", "fail_fast")
 
     def __post_init__(self) -> None:
         require_type(self.name, str, "ExperimentSpec.name")
@@ -165,6 +168,36 @@ class ExperimentSpec:
         if self.figure is not None:
             require_type(self.figure, str, "ExperimentSpec.figure")
         require_type(self.description, str, "ExperimentSpec.description")
+        if self.execution is not None:
+            require_type(self.execution, dict, "ExperimentSpec.execution")
+            reject_unknown_keys(
+                self.execution, set(self._EXECUTION_KEYS), "ExperimentSpec.execution"
+            )
+            if "max_retries" in self.execution:
+                require_type(
+                    self.execution["max_retries"],
+                    int,
+                    "ExperimentSpec.execution.max_retries",
+                )
+                if self.execution["max_retries"] < 0:
+                    raise SpecError("ExperimentSpec.execution.max_retries must be >= 0")
+            if "job_timeout" in self.execution:
+                timeout = self.execution["job_timeout"]
+                if timeout is not None:
+                    require_type(
+                        timeout, (int, float), "ExperimentSpec.execution.job_timeout"
+                    )
+                    if isinstance(timeout, bool) or timeout <= 0:
+                        raise SpecError(
+                            "ExperimentSpec.execution.job_timeout must be positive"
+                        )
+            if "fail_fast" in self.execution:
+                require_type(
+                    self.execution["fail_fast"],
+                    bool,
+                    "ExperimentSpec.execution.fail_fast",
+                )
+            object.__setattr__(self, "execution", dict(self.execution))
 
     @staticmethod
     def _sweep_loader(data: Any) -> SweepSpec:
@@ -222,8 +255,26 @@ class ExperimentSpec:
                         )
         return jobs
 
+    def execution_policy(self, base):
+        """The spec's ``execution`` overrides applied over ``base``.
+
+        ``base`` is an :class:`~repro.experiments.outcomes.ExecutionPolicy`
+        (typically the workbench's, i.e. the CLI flags); keys the spec
+        does not set keep the base values.  Returns ``base`` unchanged
+        when the spec declares no overrides.
+        """
+        if not self.execution:
+            return base
+        from dataclasses import replace
+
+        return replace(base, **self.execution)
+
     # ------------------------------------------------------------------
     def canonical_payload(self) -> dict[str, Any]:
+        # ``execution`` is deliberately absent: how a sweep is babysat
+        # (retries, timeouts) never changes what it computes, so it must
+        # not perturb spec_hash -- cached results and resume manifests
+        # stay valid when someone tunes the fault-tolerance knobs.
         payload: dict[str, Any] = {
             "sweeps": [s.canonical_payload() for s in self.sweeps],
         }
@@ -245,6 +296,8 @@ class ExperimentSpec:
             value = getattr(self, key)
             if value is not None:
                 data[key] = value
+        if self.execution is not None:
+            data["execution"] = dict(self.execution)
         if self.workloads is not None:
             data["workloads"] = [w.to_dict() for w in self.workloads]
         data["sweeps"] = [s.to_dict() for s in self.sweeps]
@@ -265,6 +318,7 @@ class ExperimentSpec:
                 "loc_mode",
                 "workloads",
                 "sweeps",
+                "execution",
             },
             "ExperimentSpec",
         )
@@ -288,6 +342,7 @@ class ExperimentSpec:
             loc_mode=data.get("loc_mode"),
             figure=data.get("figure"),
             description=data.get("description", ""),
+            execution=data.get("execution"),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -75,6 +75,7 @@ class RunReport:
     cache: dict[str, int] | None = None
     figure: dict[str, Any] | None = None
     elapsed_seconds: float | None = None
+    failures: list[dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -87,8 +88,16 @@ class RunReport:
         tracer: Tracer | None = None,
         cache_stats: dict[str, int] | None = None,
         elapsed_seconds: float | None = None,
+        failures: Sequence[dict[str, Any]] | None = None,
     ) -> "RunReport":
-        """Build a report from executed (job, result) pairs."""
+        """Build a report from executed (job, result) pairs.
+
+        ``failures`` carries one record per job that failed past its
+        retry budget (kernel/config/policy plus the
+        :class:`~repro.experiments.outcomes.RunFailure` payload), so a
+        report of a degraded sweep states what is *missing* from its
+        totals, not just what ran.
+        """
         report = cls(
             name=name,
             workbench=dict(workbench or {}),
@@ -96,6 +105,7 @@ class RunReport:
             cache=dict(cache_stats) if cache_stats is not None else None,
             figure=figure,
             elapsed_seconds=elapsed_seconds,
+            failures=[dict(f) for f in failures] if failures else [],
         )
         totals = {
             "runs": 0,
@@ -137,13 +147,15 @@ class RunReport:
             totals["cycles"] += result.cycles
             totals["instructions"] += result.instructions
             report.runs.append(row)
+        if report.failures:
+            totals["failed"] = len(report.failures)
         report.totals = totals
         return report
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """Versioned JSON form (the artifact the CLI writes)."""
-        return {
+        data = {
             "schema": REPORT_SCHEMA,
             "name": self.name,
             "workbench": self.workbench,
@@ -154,6 +166,11 @@ class RunReport:
             "figure": self.figure,
             "elapsed_seconds": self.elapsed_seconds,
         }
+        if self.failures:
+            # Only present when something failed: fault-free reports are
+            # byte-identical to pre-fault-tolerance ones.
+            data["failures"] = self.failures
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         data = self.to_dict()
@@ -195,6 +212,15 @@ class RunReport:
             f"stalls steer={totals.get('stall_steer', 0)} "
             f"window={totals.get('stall_window', 0)}"
         )
+        if self.failures:
+            parts.append(f"failed runs: {len(self.failures)}")
+            for failure in self.failures:
+                parts.append(
+                    f"  {failure.get('kernel')}/{failure.get('config')}/"
+                    f"{failure.get('policy')}: {failure.get('kind')} "
+                    f"({failure.get('error_type')}) after "
+                    f"{failure.get('attempts')} attempt(s)"
+                )
         if self.cache is not None:
             parts.append(
                 f"cache: hits={self.cache.get('hits', 0)} "
@@ -249,6 +275,20 @@ def validate_report(data: dict[str, Any]) -> None:
             ok = isinstance(value, kind)
         if not ok:
             raise ValueError(f"totals[{key!r}] must be {kind.__name__}")
+    if "failed" in totals:
+        value = totals["failed"]
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError("totals['failed'] must be int")
+    failures = data.get("failures")
+    if failures is not None:
+        if not isinstance(failures, list):
+            raise ValueError("report['failures'] must be a list")
+        for index, failure in enumerate(failures):
+            if not isinstance(failure, dict):
+                raise ValueError(f"failures[{index}] must be an object")
+            for key in ("kind", "error_type", "attempts"):
+                if key not in failure:
+                    raise ValueError(f"failures[{index}] missing {key!r}")
     for optional in ("spans", "cache", "figure"):
         value = data.get(optional)
         if value is not None and not isinstance(value, dict):

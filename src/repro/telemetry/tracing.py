@@ -63,6 +63,15 @@ class Tracer:
         """Record an externally timed span."""
         self.spans.append(Span(name, seconds, meta))
 
+    def event(self, name: str, **meta: Any) -> None:
+        """Record a durationless occurrence (a retry, a pool respawn).
+
+        Events share the span log and summary, so ``--profile`` and run
+        reports show their *counts* alongside the timed phases; their
+        zero duration keeps the wall-time attribution honest.
+        """
+        self.spans.append(Span(name, 0.0, meta))
+
     # ------------------------------------------------------------------
     def export(self) -> list[tuple[str, float, dict[str, Any]]]:
         """All spans as picklable tuples (worker -> parent transport)."""

@@ -1,0 +1,27 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.chaos` is the fault-injection harness the chaos test
+suite (and any user who wants to rehearse failure recovery) drives.  It
+lives in the package rather than in ``tests/`` because worker processes
+must be able to import it.
+"""
+
+from repro.testing.chaos import (
+    ChaosConfig,
+    ChaosError,
+    FaultRule,
+    GarbageResult,
+    corrupt_file,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosError",
+    "FaultRule",
+    "GarbageResult",
+    "corrupt_file",
+    "install",
+    "uninstall",
+]

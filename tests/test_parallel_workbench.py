@@ -126,7 +126,8 @@ class TestRunCacheRoundTrip:
         path = cache.path_for(job_key(job))
         path.parent.mkdir(parents=True)
         path.write_bytes(b"not gzip at all")
-        assert cache.load(job) is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.load(job) is None
         assert cache.misses == 1
 
 
