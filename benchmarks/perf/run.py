@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Simulator throughput benchmark: event-driven vs reference cycle loop.
+"""Simulator throughput benchmark: event vs reference vs batched backends.
 
 Times the Figure 14 sweep (every suite kernel x cluster-count x policy,
 exactly the bars ``repro.experiments.fig14`` draws) through both
@@ -7,6 +7,19 @@ exactly the bars ``repro.experiments.fig14`` draws) through both
 event-driven loop) and :class:`repro.core.reference.ReferenceSimulator`
 (the pre-optimization per-cycle loop), and records simulated cycles per
 wall-clock second for every entry in ``BENCH_PR2.json``.
+
+``--batched`` instead benchmarks the *sweep pipeline*: the per-job event
+path (each grid point re-prepares the trace and re-warms its predictors,
+exactly what one :func:`repro.experiments.parallel.execute_job` worker
+does) against :func:`repro.experiments.batch.run_batched_group` (one
+trace decode, one dependence/port precompute, one canonical predictor
+training pass shared by the whole grid).  The two sides alternate in
+interleaved rounds and the best round of each is kept, so machine-load
+noise hits both equally.  Every batched result's cycle count is then
+asserted against an untimed event-simulator twin run from the same
+canonically-warmed frozen predictor state -- each benchmark run doubles
+as a differential test of the batched backend.  Results land in
+``BENCH_PR6.json``.
 
 The in-tree reference shares the optimized steering/predictor modules, so
 it understates the full optimization win.  ``--baseline-src`` additionally
@@ -43,6 +56,12 @@ non-zero exit on a >20% cycles/sec regression)::
 
     PYTHONPATH=src python benchmarks/perf/run.py --smoke \
         --check BENCH_PR2.json --output BENCH_PR2.json
+
+Batched-backend full sweep and CI gate::
+
+    PYTHONPATH=src python benchmarks/perf/run.py --batched
+    PYTHONPATH=src python benchmarks/perf/run.py --batched --smoke \
+        --check BENCH_PR6.json --output BENCH_PR6.json --tolerance 0.35
 """
 
 from __future__ import annotations
@@ -175,6 +194,123 @@ def bench_kernel(kernel, instructions, repeats, entries, verbose=True):
     return rows
 
 
+def bench_batched_kernel(kernel, instructions, repeats, entries, verbose=True):
+    """Time the per-job event pipeline vs one batched group for ``kernel``.
+
+    Interleaved rounds: each repeat times the full event sweep (every
+    grid point re-preparing and re-warming, the parallel-worker shape)
+    then the full batched group, so slow-machine phases penalize both
+    sides alike.  Returns ``(rows, event_best, batched_best)`` with the
+    best round per side.  Cycle counts of the batched results are
+    asserted against untimed event twins run from the same canonical
+    frozen predictor state.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.batch import run_batched_group
+    from repro.experiments.parallel import RunJob, execute_job
+
+    jobs = [
+        RunJob(
+            kernel=kernel,
+            instructions=instructions,
+            seed=0,
+            loc_mode="probabilistic",
+            config=machine_for(clusters),
+            policy=policy,
+            sim="batched",
+        )
+        for clusters, policy in entries
+    ]
+    event_jobs = [dc_replace(job, sim="event") for job in jobs]
+
+    event_best = batched_best = None
+    batched_results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for job in event_jobs:
+            execute_job(job)  # prepared=None: each entry re-preps, as a worker does
+        elapsed = time.perf_counter() - start
+        if event_best is None or elapsed < event_best:
+            event_best = elapsed
+        start = time.perf_counter()
+        results = run_batched_group(jobs)
+        elapsed = time.perf_counter() - start
+        if batched_best is None or elapsed < batched_best:
+            batched_best = elapsed
+        batched_results = results
+
+    # Differential check (untimed): an event-simulator twin, its
+    # predictors warmed by the event engine on the *same* canonical
+    # stack the batched backend trains on (the monolithic machine under
+    # "l") and then frozen, must land on the same cycle count as every
+    # batched result.  Cold runs are bit-identical across the engines,
+    # so the matched warm-ups train to identical predictor state.
+    prepared = prepare_workload(kernel, instructions, 0)
+    max_cycles = MAX_CPI_GUARD * len(prepared.trace) + 10_000
+    suite = warm_predictors(prepared, monolithic_machine(), "l", max_cycles)
+    rows = []
+    for job, result in zip(jobs, batched_results):
+        steering, scheduler, needs_predictors = resolve_policy(job.policy).build()
+        sim = ClusteredSimulator(
+            job.config,
+            steering=steering,
+            scheduler=scheduler,
+            predictors=suite if needs_predictors else None,
+            trainer=None,
+            max_cycles=max_cycles,
+        )
+        twin = sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+        if twin.cycles != result.cycles:
+            raise AssertionError(
+                f"batched/event cycle mismatch on {kernel} "
+                f"{job.config.name} {job.policy}: "
+                f"batched={result.cycles} event-twin={twin.cycles}"
+            )
+        rows.append(
+            {
+                "kernel": kernel,
+                "clusters": job.config.num_clusters,
+                "policy": job.policy,
+                "cycles": result.cycles,
+            }
+        )
+    if verbose:
+        print(
+            f"{kernel:8s} {len(jobs)} entries "
+            f"event={event_best:7.2f}s batched={batched_best:7.2f}s "
+            f"speedup={event_best / batched_best:.2f}x",
+            flush=True,
+        )
+    return rows, event_best, batched_best
+
+
+def run_batched_sweep(kernels, instructions, repeats):
+    """The batched-vs-event pipeline benchmark over ``kernels``."""
+    rows = []
+    event_total = batched_total = 0.0
+    for kernel in kernels:
+        kernel_rows, event_s, batched_s = bench_batched_kernel(
+            kernel, instructions, repeats, sweep_entries()
+        )
+        rows.extend(kernel_rows)
+        event_total += event_s
+        batched_total += batched_s
+    summary = {
+        "event_seconds": round(event_total, 3),
+        "batched_seconds": round(batched_total, 3),
+        "speedup": round(event_total / batched_total, 3),
+        "entries": len(rows),
+    }
+    return {
+        "kernels": list(kernels),
+        "instructions": instructions,
+        "repeats": repeats,
+        "entries": rows,
+        "summary": summary,
+    }
+
+
 def run_baseline_probe(baseline_src, kernels, instructions, repeats, entries):
     """Time the pre-optimization checkout in a subprocess; return its rows."""
     probe = Path(__file__).resolve().parent / "baseline_probe.py"
@@ -245,7 +381,11 @@ def summarize(rows):
 
 
 def run_check(report, committed_path, tolerance=CHECK_TOLERANCE):
-    """Fail (return 1) on a >tolerance cycles/sec regression vs committed."""
+    """Fail (return 1) on a >tolerance regression vs the committed report.
+
+    Event/reference sections gate on ``event_cycles_per_sec``; batched
+    sections gate on the batched-over-event pipeline ``speedup``.
+    """
     committed = json.loads(Path(committed_path).read_text())
     failures = []
     for section in ("smoke", "sweep"):
@@ -262,6 +402,21 @@ def run_check(report, committed_path, tolerance=CHECK_TOLERANCE):
             f"{old_cps:,.0f} (floor {floor:,.0f}): {status}"
         )
         if new_cps < floor:
+            failures.append(section)
+    for section in ("batched_smoke", "batched_sweep"):
+        new = report.get(section)
+        old = committed.get(section)
+        if new is None or old is None:
+            continue
+        new_speedup = new["summary"]["speedup"]
+        old_speedup = old["summary"]["speedup"]
+        floor = old_speedup * (1.0 - tolerance)
+        status = "ok" if new_speedup >= floor else "REGRESSION"
+        print(
+            f"check {section}: batched speedup {new_speedup:.2f}x vs committed "
+            f"{old_speedup:.2f}x (floor {floor:.2f}x): {status}"
+        )
+        if new_speedup < floor:
             failures.append(section)
     if failures:
         print(f"perf check FAILED: {', '.join(failures)} regressed >"
@@ -290,8 +445,14 @@ def main(argv=None):
              f"{SMOKE_INSTRUCTIONS} instructions)",
     )
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR2.json"),
-        help="where to write the JSON report (default: repo-root BENCH_PR2.json)",
+        "--batched", action="store_true",
+        help="benchmark the batched sweep backend against the per-job "
+             "event pipeline (writes BENCH_PR6.json by default)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="where to write the JSON report (default: repo-root "
+             "BENCH_PR2.json, or BENCH_PR6.json with --batched)",
     )
     parser.add_argument(
         "--check", metavar="COMMITTED_JSON", default=None,
@@ -310,9 +471,33 @@ def main(argv=None):
              "and records the speedup over it",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        default_name = "BENCH_PR6.json" if args.batched else "BENCH_PR2.json"
+        args.output = str(REPO_ROOT / default_name)
 
     report = {"schema": 1}
-    if args.smoke:
+    if args.batched:
+        if args.smoke:
+            section = run_batched_sweep(
+                [SMOKE_KERNEL], SMOKE_INSTRUCTIONS, SMOKE_REPEATS
+            )
+            report["batched_smoke"] = section
+        else:
+            kernels = (
+                [k.strip() for k in args.kernels.split(",")]
+                if args.kernels
+                else [spec.name for spec in SUITE]
+            )
+            section = run_batched_sweep(kernels, args.instructions, args.repeats)
+            report["batched_sweep"] = section
+        summary = section["summary"]
+        print(
+            f"\nevent pipeline:   {summary['event_seconds']:8.2f}s\n"
+            f"batched pipeline: {summary['batched_seconds']:8.2f}s\n"
+            f"speedup:          {summary['speedup']:.2f}x over "
+            f"{summary['entries']} entries"
+        )
+    elif args.smoke:
         rows = bench_kernel(
             SMOKE_KERNEL,
             SMOKE_INSTRUCTIONS,
@@ -359,19 +544,20 @@ def main(argv=None):
         }
         summary = report["sweep"]["summary"]
 
-    print(
-        f"\nevent:     {summary['event_cycles_per_sec']:>14,.0f} cycles/s\n"
-        f"reference: {summary['reference_cycles_per_sec']:>14,.0f} cycles/s\n"
-        f"speedup:   {summary['speedup']:.2f}x aggregate "
-        f"({summary['geomean_speedup']:.2f}x geomean over "
-        f"{summary['entries']} entries)"
-    )
-    if "speedup_vs_baseline" in summary:
+    if not args.batched:
         print(
-            f"baseline:  {summary['baseline_cycles_per_sec']:>14,.0f} cycles/s "
-            f"(pre-optimization checkout); "
-            f"speedup vs baseline: {summary['speedup_vs_baseline']:.2f}x"
+            f"\nevent:     {summary['event_cycles_per_sec']:>14,.0f} cycles/s\n"
+            f"reference: {summary['reference_cycles_per_sec']:>14,.0f} cycles/s\n"
+            f"speedup:   {summary['speedup']:.2f}x aggregate "
+            f"({summary['geomean_speedup']:.2f}x geomean over "
+            f"{summary['entries']} entries)"
         )
+        if "speedup_vs_baseline" in summary:
+            print(
+                f"baseline:  {summary['baseline_cycles_per_sec']:>14,.0f} cycles/s "
+                f"(pre-optimization checkout); "
+                f"speedup vs baseline: {summary['speedup_vs_baseline']:.2f}x"
+            )
 
     out_path = Path(args.output)
     if out_path.exists():
@@ -381,7 +567,7 @@ def main(argv=None):
             existing = {}
         # A smoke run refreshes only its own section (and vice versa), so
         # the committed full-sweep numbers survive CI smoke reruns.
-        for key in ("smoke", "sweep"):
+        for key in ("smoke", "sweep", "batched_smoke", "batched_sweep"):
             if key in existing and key not in report:
                 report[key] = existing[key]
     out_path.write_text(json.dumps(report, indent=2) + "\n")

@@ -1,0 +1,389 @@
+"""Batched sweep backend: one decode/precompute/training pass per trace.
+
+A Figure 14 sweep runs the *same* kernel trace through ~11 policy x
+cluster-count grid points.  The per-job event path repeats the
+configuration-independent work -- trace generation, dependence/port
+precompute, criticality-predictor training -- once per grid point.  This
+module wires :func:`repro.core.batched.simulate_batched` (the
+structure-of-arrays fast engine) into the job layer so that work happens
+once per trace:
+
+* :func:`fast_policy` lowers a :class:`~repro.specs.PolicySpec` to the
+  flags the inlined engine branches on, or ``None`` when the stack is
+  outside the fast path (readiness steering, token predictors,
+  parameterized schedulers);
+* :func:`execute_batched_job` runs one ``sim="batched"`` job -- the
+  entry point :func:`repro.experiments.parallel.execute_job` dispatches
+  to, so retries, chaos injection, serial/parallel execution and the
+  run cache all compose unchanged;
+* :func:`run_batched_group` executes a same-trace group of jobs sharing
+  one :class:`~repro.core.batched.TracePrecompute`, one canonical
+  predictor-training pass and one frozen-priority table cache (the
+  :meth:`Workbench.prefetch <repro.experiments.harness.Workbench
+  .prefetch>` fast path).
+
+Methodology: ``warm=True`` batched runs measure with predictors
+**frozen** after a single canonical training pass (the monolithic
+machine under the ``l`` stack -- the same run every figure normalizes
+against).  The trained state is therefore a function of
+``(kernel, instructions, seed, loc_mode)`` only, which is what makes a
+grid point's result independent of how a sweep is grouped or ordered:
+running a job alone, in any batch, or in any permutation yields
+bit-identical results and identical cache keys.  This deliberately
+differs from the event backend's per-entry warm-up (each grid point
+trains on its own machine/policy); the shift moves warm-run cycle
+counts by well under 0.1% and is salted into the cache by the
+``sim="batched"`` key field plus the ``CACHE_SCHEMA_VERSION`` bump that
+landed with this backend.  ``warm=False`` runs train live from cold and
+are bit-identical to the event backend's cold runs.
+
+The engine itself is bit-identical to the event backend under *matched*
+predictor state -- enforced per grid point by ``tests/test_differential
+.py`` -- so the only observable difference is the warm-up methodology
+above.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.batched import (
+    ArrayPredictorState,
+    BatchedPolicy,
+    TracePrecompute,
+    simulate_batched,
+)
+from repro.core.config import monolithic_machine
+from repro.core.results import SimulationResult
+from repro.experiments.parallel import (
+    _MAX_CPI_GUARD,
+    PreparedWorkload,
+    RunJob,
+    prepare_workload,
+)
+from repro.specs.policy import PolicySpec, policy_label, resolve_policy
+
+if TYPE_CHECKING:  # pragma: no cover - avoid an import cycle at runtime
+    from repro.telemetry.tracing import Tracer
+
+__all__ = [
+    "batch_key",
+    "execute_batched_job",
+    "fast_policy",
+    "plan_groups",
+    "run_batched_group",
+    "supports_job",
+    "warm_suite",
+]
+
+# Component kinds the inlined engine implements.  Anything else (readiness
+# steering, token predictors, out-of-tree registrations) falls back to the
+# event backend -- fast_policy returns None, the harness never promotes.
+_FAST_STEERING = frozenset(("dependence", "criticality"))
+_FAST_SCHEDULERS = frozenset(("oldest", "critical", "loc"))
+
+# The canonical warm-up stack: the monolithic baseline under "l", i.e.
+# exactly the run every figure normalizes against.  Training here makes
+# the warmed predictor state a pure function of the trace + seed.
+_WARM_POLICY = BatchedPolicy(
+    steering_kind="criticality",
+    preference="loc",
+    scheduler="loc",
+    needs_predictors=True,
+)
+
+_MISS = object()
+_fast_cache: dict = {}
+
+
+def fast_policy(policy: "str | PolicySpec") -> BatchedPolicy | None:
+    """Lower ``policy`` to the batched engine's flags, or ``None``.
+
+    ``None`` means the stack is outside the fast path and must run on the
+    event backend.  The result is memoized per policy object (preset
+    names and frozen ``PolicySpec``\\ s are both hashable).
+    """
+    try:
+        cached = _fast_cache.get(policy, _MISS)
+    except TypeError:  # unhashable spelling (a raw dict): no memo
+        return _lower(policy)
+    if cached is not _MISS:
+        return cached
+    lowered = _lower(policy)
+    _fast_cache[policy] = lowered
+    return lowered
+
+
+def _lower(policy: "str | PolicySpec") -> BatchedPolicy | None:
+    spec = resolve_policy(policy)
+    scheduler = spec.scheduler
+    if scheduler.kind not in _FAST_SCHEDULERS or dict(scheduler.params):
+        return None
+    predictor = spec.predictor
+    chunk_size = 2048
+    if predictor is not None:
+        if predictor.kind != "chunked":
+            return None
+        chunk_size = dict(predictor.params)["chunk_size"]
+    elif scheduler.kind != "oldest":
+        # critical/loc scheduling reads predictor state; without a suite
+        # the engine's columns would silently stay at their defaults.
+        return None
+    steering = spec.steering
+    if steering.kind not in _FAST_STEERING:
+        return None
+    if steering.kind == "dependence":
+        return BatchedPolicy(
+            steering_kind="dependence",
+            scheduler=scheduler.kind,
+            needs_predictors=predictor is not None,
+            chunk_size=chunk_size,
+        )
+    if predictor is None:
+        return None  # criticality steering is meaningless untrained
+    params = dict(steering.params)
+    return BatchedPolicy(
+        steering_kind="criticality",
+        preference=params["preference"],
+        stall_over_steer=params["stall_over_steer"],
+        stall_loc_threshold=params["stall_loc_threshold"],
+        proactive=params["proactive"],
+        keep_min_loc=params["keep_min_loc"],
+        keep_fraction=params["keep_fraction"],
+        scheduler=scheduler.kind,
+        needs_predictors=True,
+        chunk_size=chunk_size,
+    )
+
+
+def supports_job(job: RunJob) -> bool:
+    """Whether ``job`` can run on the batched backend at all."""
+    return not job.metrics and fast_policy(job.policy) is not None
+
+
+def batch_key(job: RunJob) -> tuple:
+    """The trace identity: jobs sharing it can share one precompute pass."""
+    return (job.kernel, job.instructions, job.seed, job.loc_mode)
+
+
+def _max_cycles(pre: TracePrecompute) -> int:
+    return _MAX_CPI_GUARD * pre.total + 10_000
+
+
+def warm_suite(
+    pre: TracePrecompute, loc_mode: str, seed: int
+) -> ArrayPredictorState:
+    """The canonical warmed predictor state for one trace.
+
+    One live-training pass of the monolithic baseline under the ``l``
+    stack; deterministic in ``(trace, loc_mode, seed)`` and shared by
+    every ``warm=True`` grid point of a batch.
+    """
+    suite = ArrayPredictorState(pre, loc_mode, seed)
+    simulate_batched(
+        pre,
+        monolithic_machine(),
+        _WARM_POLICY,
+        predictors=suite,
+        live_training=True,
+        max_cycles=_max_cycles(pre),
+        materialize=False,
+    )
+    return suite
+
+
+def execute_batched_job(
+    job: RunJob,
+    prepared: PreparedWorkload | None = None,
+    tracer: "Tracer | None" = None,
+    pre: TracePrecompute | None = None,
+    suite: ArrayPredictorState | None = None,
+    frozen_cache: dict | None = None,
+) -> SimulationResult:
+    """Run one ``sim="batched"`` job.
+
+    ``pre``/``suite``/``frozen_cache`` let :func:`run_batched_group`
+    amortize the trace precompute, the canonical warm-up and the
+    frozen-priority tables across a group; results are bit-identical
+    with or without them.  ``suite`` must be the canonical
+    :func:`warm_suite` state for this trace and ``frozen_cache`` must
+    not be shared across different suites (the engine documents the
+    contract on :func:`~repro.core.batched.simulate_batched`).
+
+    Raises :class:`ValueError` for jobs the backend cannot run
+    (``metrics=True``, or a policy outside the fast path).
+    """
+    pol = fast_policy(job.policy)
+    if pol is None:
+        raise ValueError(
+            f"policy {policy_label(job.policy)!r} is outside the batched "
+            "fast path; run it with sim='event' (or let the workbench "
+            "choose -- it only promotes supported stacks)"
+        )
+    if job.metrics:
+        raise ValueError(
+            "the batched backend does not attach telemetry; run metrics "
+            "jobs with sim='event'"
+        )
+
+    def span(name: str, **meta):
+        if tracer is None:
+            return nullcontext()
+        return tracer.span(
+            name, kernel=job.kernel, policy=policy_label(job.policy), **meta
+        )
+
+    if pre is None:
+        if prepared is None:
+            with span("trace-prep"):
+                prepared = prepare_workload(job.kernel, job.instructions, job.seed)
+        with span("trace-precompute"):
+            pre = TracePrecompute.from_prepared(prepared)
+    max_cycles = _max_cycles(pre)
+    if not pol.needs_predictors:
+        with span("measure", sim="batched"):
+            return simulate_batched(
+                pre,
+                job.config,
+                pol,
+                collect_ilp=job.collect_ilp,
+                max_cycles=max_cycles,
+            )
+    if not job.warm:
+        # Cold run: live training from scratch, exactly the event
+        # backend's warm=False semantics (bit-identical).
+        fresh = ArrayPredictorState(pre, job.loc_mode, job.seed)
+        with span("measure", sim="batched"):
+            return simulate_batched(
+                pre,
+                job.config,
+                pol,
+                predictors=fresh,
+                live_training=True,
+                collect_ilp=job.collect_ilp,
+                max_cycles=max_cycles,
+            )
+    if suite is None:
+        with span("warmup", sim="batched"):
+            suite = warm_suite(pre, job.loc_mode, job.seed)
+    with span("measure", sim="batched"):
+        return simulate_batched(
+            pre,
+            job.config,
+            pol,
+            predictors=suite,
+            live_training=False,
+            collect_ilp=job.collect_ilp,
+            max_cycles=max_cycles,
+            frozen_cache=frozen_cache,
+        )
+
+
+def run_batched_group(
+    jobs: Sequence[RunJob],
+    prepared: PreparedWorkload | None = None,
+    tracer: "Tracer | None" = None,
+) -> list[SimulationResult]:
+    """Execute a same-trace group of batched jobs in one pass.
+
+    All jobs must share :func:`batch_key`.  The trace is prepared and
+    precomputed once, the canonical warm-up runs once (lazily, on the
+    first ``warm=True`` predictor-consuming job), and frozen-priority
+    tables are shared through one ``frozen_cache``.  The allocator's
+    cyclic GC is paused for the duration (the engine allocates no
+    cycles; scanning its flat columns is pure overhead).
+
+    Returns results in job order, each bit-identical to what
+    :func:`execute_batched_job` produces for the job alone.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    keys = {batch_key(job) for job in jobs}
+    if len(keys) != 1:
+        raise ValueError(f"group spans multiple traces: {sorted(keys)}")
+    first = jobs[0]
+    if prepared is None:
+        if tracer is not None:
+            with tracer.span("trace-prep", kernel=first.kernel):
+                prepared = prepare_workload(
+                    first.kernel, first.instructions, first.seed
+                )
+        else:
+            prepared = prepare_workload(first.kernel, first.instructions, first.seed)
+    pre = TracePrecompute.from_prepared(prepared)
+    suite: ArrayPredictorState | None = None
+    frozen_cache: dict = {}
+    results: list[SimulationResult] = []
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for job in jobs:
+            pol = fast_policy(job.policy)
+            shared = pol is not None and pol.needs_predictors and job.warm
+            if shared and suite is None:
+                suite = warm_suite(pre, first.loc_mode, first.seed)
+            results.append(
+                execute_batched_job(
+                    job,
+                    prepared,
+                    tracer=tracer,
+                    pre=pre,
+                    suite=suite if shared else None,
+                    frozen_cache=frozen_cache if shared else None,
+                )
+            )
+    finally:
+        if was_enabled:
+            gc.enable()
+    return results
+
+
+def group_worker(jobs: Sequence[RunJob]) -> list[SimulationResult]:
+    """Pool-worker entry point for one group (picklable, no tracer)."""
+    return run_batched_group(jobs)
+
+
+def plan_groups(
+    jobs: Iterable[RunJob], min_size: int = 2
+) -> tuple[list[list[RunJob]], list[RunJob]]:
+    """Partition ``jobs`` into same-trace batched groups and leftovers.
+
+    A job joins a group when it is marked ``sim="batched"`` and the
+    backend supports it; groups smaller than ``min_size`` fall back to
+    the per-job path (no shared work to amortize).  Within a group, jobs
+    keep their given order; leftovers keep their relative order too.
+    """
+    buckets: dict[tuple, list[RunJob]] = {}
+    rest: list[RunJob] = []
+    for job in jobs:
+        if job.sim == "batched" and supports_job(job):
+            buckets.setdefault(batch_key(job), []).append(job)
+        else:
+            rest.append(job)
+    groups: list[list[RunJob]] = []
+    for bucket in buckets.values():
+        if len(bucket) >= min_size:
+            groups.append(bucket)
+        else:
+            rest.extend(bucket)
+    return groups, rest
+
+
+def grouping_blocked() -> str | None:
+    """Why grouped prefetch must be bypassed right now, or ``None``.
+
+    Fault injection targets individual job attempts, so grouped
+    execution would tunnel under the chaos harness; the per-job path
+    keeps every attempt observable.
+    """
+    from repro.experiments import parallel
+
+    if parallel._chaos_hook is not None:
+        return "in-process chaos hook installed"
+    if os.environ.get("REPRO_CHAOS"):
+        return "REPRO_CHAOS active"
+    return None

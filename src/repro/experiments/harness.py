@@ -40,6 +40,7 @@ from typing import Iterable, Sequence
 
 from repro.core.config import MachineConfig, clustered_machine, monolithic_machine
 from repro.core.results import SimulationResult
+from repro.experiments.batch import fast_policy, grouping_blocked, plan_groups
 from repro.experiments.cache import RunCache
 from repro.experiments.outcomes import (
     ExecutionPolicy,
@@ -109,6 +110,14 @@ class Workbench:
     attaches a :class:`~repro.telemetry.recorder.TelemetryData` payload to
     every result this workbench runs; ``tracer`` collects wall-time spans
     around trace prep, warm-up, measurement and cache traffic.
+
+    Backend selection: ``sim`` picks the timing loop ("event",
+    "reference", or "batched"); with the default ``batch="auto"``,
+    event-mode jobs whose policy the batched backend supports are
+    promoted to ``sim="batched"`` at :meth:`job` construction, and
+    :meth:`prefetch` runs same-trace groups of them through one shared
+    decode/precompute/warm-up pass (:mod:`repro.experiments.batch`).
+    ``batch="off"`` restores the pure per-job event path.
     """
 
     def __init__(
@@ -120,14 +129,19 @@ class Workbench:
         workers: int = 0,
         cache: RunCache | None = None,
         sim: str = "event",
+        batch: str = "auto",
         metrics: bool = False,
         tracer=None,
         execution: ExecutionPolicy | None = None,
     ):
         if instructions <= 0:
             raise ValueError("instructions must be positive")
-        if sim not in ("event", "reference"):
-            raise ValueError(f"unknown simulator {sim!r}; want 'event' or 'reference'")
+        if sim not in ("event", "reference", "batched"):
+            raise ValueError(
+                f"unknown simulator {sim!r}; want 'event', 'reference' or 'batched'"
+            )
+        if batch not in ("auto", "off"):
+            raise ValueError(f"unknown batch mode {batch!r}; want 'auto' or 'off'")
         self.instructions = instructions
         self.seed = seed
         self.benchmarks = tuple(benchmarks if benchmarks is not None else SUITE)
@@ -135,6 +149,7 @@ class Workbench:
         self.workers = workers
         self.cache = cache
         self.sim = sim
+        self.batch = batch
         self.metrics = metrics
         self.tracer = tracer
         self.execution = execution if execution is not None else ExecutionPolicy()
@@ -176,19 +191,48 @@ class Workbench:
         PolicySpec`; it is canonicalized (a spec that equals a preset
         collapses to the preset's name) so equal stacks produce equal --
         and therefore memory-cache-sharing -- jobs.
+
+        With ``batch="auto"`` (the default), an ``"event"`` job whose
+        policy the batched backend supports is promoted to
+        ``sim="batched"`` here, at construction -- so a figure's plan,
+        its serial :meth:`run` calls and its parallel :meth:`prefetch`
+        all agree on one job identity (and one cache key) regardless of
+        how the job eventually executes.  ``batch="off"`` (the CLI's
+        ``--no-batch``), ``metrics=True`` and unsupported policies keep
+        the event path.
         """
+        policy = canonical_policy(policy)
         return RunJob(
             kernel=spec.name,
             instructions=self.instructions,
             seed=self.seed,
             loc_mode=self.loc_mode,
             config=config,
-            policy=canonical_policy(policy),
+            policy=policy,
             collect_ilp=collect_ilp,
             warm=warm,
-            sim=self.sim,
+            sim=self.sim_for(policy),
             metrics=self.metrics,
         )
+
+    def sim_for(self, policy: str | PolicySpec) -> str:
+        """The backend a job running ``policy`` on this workbench uses.
+
+        This is the single place the ``batch="auto"`` promotion decision
+        lives: :meth:`job` and spec-built plans
+        (:meth:`repro.specs.ExperimentSpec.jobs`) both route through it,
+        so every way of constructing "the same run" lands on one job
+        identity -- and therefore one cache key.  Pass a *canonical*
+        policy (:func:`repro.specs.canonical_policy`) for best memoization.
+        """
+        if (
+            self.sim == "event"
+            and self.batch == "auto"
+            and not self.metrics
+            and fast_policy(policy) is not None
+        ):
+            return "batched"
+        return self.sim
 
     @staticmethod
     def _memory_key(job: RunJob) -> tuple:
@@ -323,15 +367,106 @@ class Workbench:
             if on_outcome is not None:
                 on_outcome(outcome)
 
-        execute_outcomes(
-            pending,
-            self.workers,
-            tracer=self.tracer,
-            policy=self.execution,
-            on_outcome=settle,
-            stats=self.exec_stats,
-        )
+        pending = self._prefetch_batched_groups(pending, settle)
+        if pending:
+            execute_outcomes(
+                pending,
+                self.workers,
+                tracer=self.tracer,
+                policy=self.execution,
+                on_outcome=settle,
+                stats=self.exec_stats,
+            )
         return self.simulations_run - executed_before
+
+    def _prefetch_batched_groups(self, pending, settle) -> list[RunJob]:
+        """Run same-trace ``sim="batched"`` groups through the shared-
+        precompute runner; returns the jobs still owed to the per-job
+        executor.
+
+        Grouped execution shares one trace decode, dependence precompute
+        and canonical predictor warm-up per kernel -- the batched
+        backend's whole point -- while each job's *result* stays
+        bit-identical to individual execution (the canonical warm-up
+        makes grid points independent of grouping).  The group path
+        deliberately steps aside whenever per-job observability matters:
+        under fault injection (the chaos harness targets individual
+        attempts) and under a per-job wall-time budget (groups cannot be
+        recycled mid-flight).  A group that fails for any reason falls
+        back, whole, to the fault-tolerant per-job path, which then
+        retries/classifies each job on its own.
+        """
+        if grouping_blocked() is not None or self.execution.job_timeout is not None:
+            return pending
+        groups, rest = plan_groups(pending)
+        if not groups:
+            return pending
+        from repro.experiments.batch import run_batched_group
+
+        fallback: list[RunJob] = []
+
+        def settle_group(group, results) -> None:
+            for job, result in zip(group, results):
+                settle(JobOutcome(job=job, result=result, attempts=1))
+
+        if self.workers > 1 and len(groups) > 1:
+            fallback.extend(self._run_groups_pooled(groups, settle_group))
+        else:
+            for group in groups:
+                try:
+                    if self.tracer is not None:
+                        with self.tracer.span(
+                            "batched-group",
+                            kernel=group[0].kernel,
+                            jobs=len(group),
+                        ):
+                            results = run_batched_group(group, tracer=self.tracer)
+                    else:
+                        results = run_batched_group(group)
+                except Exception:
+                    fallback.extend(group)
+                else:
+                    settle_group(group, results)
+        return rest + fallback
+
+    def _run_groups_pooled(self, groups, settle_group) -> list[RunJob]:
+        """Fan whole groups out over a process pool (one future each).
+
+        Worker tracer spans are not collected here (unlike the per-job
+        pool); the parent records one ``batched-group`` span per group.
+        Any per-group failure -- including a broken pool -- returns the
+        group's jobs for the resilient per-job executor to retry.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.experiments.batch import group_worker
+
+        failed: list[RunJob] = []
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(groups)))
+        try:
+            futures = {pool.submit(group_worker, group): group for group in groups}
+            for future, group in futures.items():
+                try:
+                    if self.tracer is not None:
+                        with self.tracer.span(
+                            "batched-group",
+                            kernel=group[0].kernel,
+                            jobs=len(group),
+                            pooled=True,
+                        ):
+                            results = future.result()
+                    else:
+                        results = future.result()
+                except Exception:
+                    failed.extend(group)
+                else:
+                    settle_group(group, results)
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
+        return failed
 
     # ------------------------------------------------------------------
     def result_for(self, job: RunJob) -> SimulationResult | None:

@@ -103,10 +103,14 @@ class RunJob:
     policy: "str | PolicySpec"
     collect_ilp: bool = False
     warm: bool = True
-    # Which timing loop runs the job: "event" (the optimized simulator) or
-    # "reference" (the pre-optimization loop kept as a differential oracle).
-    # The two are bit-identical, but they are distinct code paths, so the
-    # cache keys over this field like any other.
+    # Which timing loop runs the job: "event" (the optimized simulator),
+    # "reference" (the pre-optimization loop kept as a differential
+    # oracle) or "batched" (the structure-of-arrays sweep engine, which
+    # shares per-trace precompute across a grid and warms predictors with
+    # one canonical training pass -- see repro.experiments.batch).
+    # "event" and "reference" are bit-identical; "batched" differs only
+    # in its warm-up methodology.  All three are distinct code paths, so
+    # the cache keys over this field like any other.
     sim: str = "event"
     # Attach a telemetry payload to the result.  Metrics are observational
     # -- a metrics run's timing is bit-identical to a plain run -- but the
@@ -166,8 +170,19 @@ def execute_job(
         from repro.core.reference import ReferenceSimulator
 
         sim_cls = ReferenceSimulator
+    elif job.sim == "batched":
+        # The batched backend has its own warm-up and measurement shape;
+        # it handles tracing spans itself and rejects metrics jobs.
+        from repro.experiments.batch import execute_batched_job
+
+        if prepared is None:
+            with span("trace-prep"):
+                prepared = prepare_workload(job.kernel, job.instructions, job.seed)
+        return execute_batched_job(job, prepared, tracer=tracer)
     else:
-        raise ValueError(f"unknown simulator {job.sim!r}; want 'event' or 'reference'")
+        raise ValueError(
+            f"unknown simulator {job.sim!r}; want 'event', 'reference' or 'batched'"
+        )
     if prepared is None:
         with span("trace-prep"):
             prepared = prepare_workload(job.kernel, job.instructions, job.seed)

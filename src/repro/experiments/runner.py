@@ -158,6 +158,14 @@ def build_parser() -> argparse.ArgumentParser:
         "cross-checking the optimized hot path",
     )
     parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable the batched sweep backend: run every simulation "
+        "through the per-job event path instead of sharing one trace "
+        "decode + predictor-training pass per kernel (the batched "
+        "backend is the default for supported policy stacks)",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="collect per-run pipeline telemetry and write a validated "
@@ -260,6 +268,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bad execution policy: {exc}", file=sys.stderr)
         return 2
     cache = None if args.no_cache else RunCache(args.cache_dir, tracer=tracer)
+    batch_mode = "off" if args.no_batch else "auto"
     bench = Workbench(
         instructions=args.instructions,
         seed=args.seed,
@@ -267,6 +276,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache=cache,
         sim="reference" if args.reference_sim else "event",
+        batch=batch_mode,
         metrics=args.metrics,
         tracer=tracer,
         execution=execution,
@@ -298,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
                 benchmarks=benchmarks,
                 workers=args.workers,
                 cache=cache,
+                batch=batch_mode,
                 execution=execution,
             )
             # The per-seed workbenches are internal to run_seeded; with a

@@ -215,8 +215,16 @@ class ExperimentSpec:
         ]
 
     def jobs(self, bench: "Workbench") -> "list[RunJob]":
-        """Every run this experiment needs, in execution (plan) order."""
+        """Every run this experiment needs, in execution (plan) order.
+
+        Policies are canonicalized and the simulator backend is chosen by
+        :meth:`Workbench.sim_for`, exactly as :meth:`Workbench.job` does
+        -- a spec-built plan and a hand-built job for the same run must
+        agree on one job identity (and one cache key), including the
+        ``batch="auto"`` promotion to the batched backend.
+        """
         from repro.experiments.parallel import RunJob
+        from repro.specs.policy import canonical_policy
 
         jobs: list[RunJob] = []
         for kernel, instr_override, seed_override in self.benchmarks(bench):
@@ -239,6 +247,7 @@ class ExperimentSpec:
                 for machine in sweep.machines:
                     config = machine.build()
                     for policy in sweep.policies:
+                        policy = canonical_policy(policy)
                         jobs.append(
                             RunJob(
                                 kernel=kernel.name,
@@ -249,7 +258,7 @@ class ExperimentSpec:
                                 policy=policy,
                                 collect_ilp=sweep.collect_ilp,
                                 warm=sweep.warm,
-                                sim=bench.sim,
+                                sim=bench.sim_for(policy),
                                 metrics=bench.metrics,
                             )
                         )

@@ -1,16 +1,26 @@
-"""Differential oracle: optimized simulator vs the frozen reference loop.
+"""Differential oracle: every simulation backend against every other.
 
 The event-driven :class:`~repro.core.simulator.ClusteredSimulator` must be
 *bit-identical* to :class:`~repro.core.reference.ReferenceSimulator` -- not
 approximately equal: every per-instruction timestamp, provenance enum,
 waiter edge, counter and the ILP profile must match, which is exactly what
 :func:`repro.core.serialize.results_identical` (canonical-JSON compare)
-checks.  The matrix covers:
+checks.  The same contract binds the batched sweep engine
+(:func:`repro.core.batched.simulate_batched`) under a *matched* warm-up
+protocol: when both engines warm their predictors on the same
+config/policy and then measure, their results must be bit-identical too
+(the production ``sim="batched"`` path differs from the event path only
+in *which* run does the warming -- one canonical pass per trace -- never
+in engine timing).  The matrix covers:
 
 * every policy stack of Figure 14 plus readiness-aware steering, on
   1/2/4/8 clusters, with warm predictors and a live trainer;
+* the same Figure 14 stacks through the batched engine, plus a custom
+  (non-preset) stack the fast path must lower correctly;
 * stress configurations (tiny windows, long forwarding latency) that
   maximize stalls, port conflicts and idle-skip opportunities;
+* frozen-predictor runs (the benchmark and batched-measurement
+  methodology);
 * hypothesis-driven (kernel, seed, length, policy, clusters) combinations,
   so every run of the suite explores traces the fixed matrix does not.
 
@@ -26,6 +36,11 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core.batched import (
+    ArrayPredictorState,
+    TracePrecompute,
+    simulate_batched,
+)
 from repro.core.config import clustered_machine, monolithic_machine
 from repro.core.reference import ReferenceSimulator
 from repro.core.simulator import ClusteredSimulator
@@ -36,9 +51,16 @@ from repro.core.serialize import (
 )
 from repro.criticality.loc import LocPredictor, PredictorSuite
 from repro.criticality.trainer import ChunkedCriticalityTrainer
+from repro.experiments.batch import fast_policy
 from repro.experiments.harness import POLICY_NAMES
 from repro.experiments.parallel import prepare_workload
-from repro.specs.policy import resolve_policy
+from repro.specs.policy import (
+    PolicySpec,
+    PredictorSpec,
+    SchedulerSpec,
+    SteeringSpec,
+    resolve_policy,
+)
 
 INSTRUCTIONS = 700
 CLUSTER_COUNTS = (1, 2, 4, 8)
@@ -76,6 +98,45 @@ def _policy_pair(policy: str):
     return resolve_policy(policy).build()
 
 
+def run_one(
+    sim_cls,
+    prepared,
+    config,
+    policy,
+    collect_ilp: bool = True,
+    live_trainer: bool = True,
+):
+    """One warm-then-measure run of ``sim_cls`` (the harness methodology)."""
+    max_cycles = 64 * len(prepared.trace) + 10_000
+    steering, scheduler, needs_predictors = _policy_pair(policy)
+    suite = trainer = None
+    if needs_predictors:
+        suite = PredictorSuite(
+            loc_predictor=LocPredictor(mode="probabilistic", seed=0)
+        )
+        trainer = ChunkedCriticalityTrainer(suite)
+        warm = sim_cls(
+            config,
+            steering=steering,
+            scheduler=scheduler,
+            predictors=suite,
+            trainer=trainer,
+            max_cycles=max_cycles,
+        )
+        warm.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+        steering, scheduler, __ = _policy_pair(policy)
+    sim = sim_cls(
+        config,
+        steering=steering,
+        scheduler=scheduler,
+        predictors=suite,
+        trainer=trainer if live_trainer else None,
+        collect_ilp=collect_ilp,
+        max_cycles=max_cycles,
+    )
+    return sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
+
+
 def run_both(
     prepared, config, policy: str, collect_ilp: bool = True, live_trainer: bool = True
 ):
@@ -85,39 +146,47 @@ def run_both(
     measured runs (the benchmark-harness methodology), which exercises the
     optimized simulator's frozen-priority precompute path.
     """
+    return [
+        run_one(sim_cls, prepared, config, policy, collect_ilp, live_trainer)
+        for sim_cls in (ClusteredSimulator, ReferenceSimulator)
+    ]
+
+
+def run_batched_matched(
+    prepared, config, policy, collect_ilp: bool = True, live_trainer: bool = True
+):
+    """The batched engine under :func:`run_one`'s exact warm-up protocol.
+
+    Warm on the *same* config/policy (not the production canonical pass),
+    then measure -- with live training or frozen, mirroring
+    ``live_trainer``.  Under this matched protocol the batched engine
+    must be bit-identical to the event simulator.
+    """
+    fast = fast_policy(policy)
+    assert fast is not None, f"policy {policy!r} should lower to the fast path"
     max_cycles = 64 * len(prepared.trace) + 10_000
-    results = []
-    for sim_cls in (ClusteredSimulator, ReferenceSimulator):
-        steering, scheduler, needs_predictors = _policy_pair(policy)
-        suite = trainer = None
-        if needs_predictors:
-            suite = PredictorSuite(
-                loc_predictor=LocPredictor(mode="probabilistic", seed=0)
-            )
-            trainer = ChunkedCriticalityTrainer(suite)
-            warm = sim_cls(
-                config,
-                steering=steering,
-                scheduler=scheduler,
-                predictors=suite,
-                trainer=trainer,
-                max_cycles=max_cycles,
-            )
-            warm.run(prepared.trace, prepared.dependences, prepared.mispredicted)
-            steering, scheduler, __ = _policy_pair(policy)
-        sim = sim_cls(
+    pre = TracePrecompute.from_prepared(prepared)
+    suite = None
+    if fast.needs_predictors:
+        suite = ArrayPredictorState(pre, "probabilistic", 0)
+        simulate_batched(
+            pre,
             config,
-            steering=steering,
-            scheduler=scheduler,
+            fast,
             predictors=suite,
-            trainer=trainer if live_trainer else None,
-            collect_ilp=collect_ilp,
+            live_training=True,
             max_cycles=max_cycles,
+            materialize=False,
         )
-        results.append(
-            sim.run(prepared.trace, prepared.dependences, prepared.mispredicted)
-        )
-    return results
+    return simulate_batched(
+        pre,
+        config,
+        fast,
+        predictors=suite,
+        live_training=live_trainer,
+        collect_ilp=collect_ilp,
+        max_cycles=max_cycles,
+    )
 
 
 def assert_bit_identical(event, reference, context: str):
@@ -169,6 +238,70 @@ def test_frozen_predictors_bit_identical(workloads, policy, clusters):
         prepared, _machine(clusters), policy, live_trainer=False
     )
     assert_bit_identical(event, reference, f"gzip {policy} {clusters}cl frozen")
+
+
+# ---------------------------------------------------------------------------
+# The batched sweep engine under the matched warm-up protocol
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("clusters", CLUSTER_COUNTS)
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_batched_policy_matrix_bit_identical(workloads, policy, clusters):
+    """Every Figure 14 stack, every cluster count: batched == event."""
+    prepared = workloads("gcc")
+    event = run_one(ClusteredSimulator, prepared, _machine(clusters), policy)
+    batched = run_batched_matched(prepared, _machine(clusters), policy)
+    assert_bit_identical(batched, event, f"gcc {policy} {clusters}cl batched")
+
+
+@pytest.mark.parametrize("clusters", (2, 8))
+@pytest.mark.parametrize("policy", ("dependence", "s", "p"))
+def test_batched_stress_configs_bit_identical(workloads, policy, clusters):
+    """Tiny windows and slow forwarding through the batched engine."""
+    prepared = workloads("mcf")
+    event = run_one(ClusteredSimulator, prepared, _stress(clusters), policy)
+    batched = run_batched_matched(prepared, _stress(clusters), policy)
+    assert_bit_identical(
+        batched, event, f"mcf {policy} {clusters}cl stress batched"
+    )
+
+
+@pytest.mark.parametrize("clusters", (2, 8))
+@pytest.mark.parametrize("policy", ("focused", "l", "s", "p"))
+def test_batched_frozen_predictors_bit_identical(workloads, policy, clusters):
+    """Warm suite, frozen measurement: the production batched methodology's
+    measurement shape (and the frozen-priority tabulation path)."""
+    prepared = workloads("gzip")
+    event = run_one(
+        ClusteredSimulator, prepared, _machine(clusters), policy, live_trainer=False
+    )
+    batched = run_batched_matched(
+        prepared, _machine(clusters), policy, live_trainer=False
+    )
+    assert_bit_identical(
+        batched, event, f"gzip {policy} {clusters}cl frozen batched"
+    )
+
+
+def test_batched_custom_stack_bit_identical(workloads):
+    """A non-preset stack (dependence steering + LoC scheduling + chunked
+    predictor) must lower to the fast path and stay bit-identical."""
+    spec = PolicySpec(
+        steering=SteeringSpec("dependence"),
+        scheduler=SchedulerSpec("loc"),
+        predictor=PredictorSpec("chunked"),
+    )
+    prepared = workloads("vpr")
+    event = run_one(ClusteredSimulator, prepared, _machine(4), spec)
+    batched = run_batched_matched(prepared, _machine(4), spec)
+    assert_bit_identical(batched, event, "vpr dependence+loc 4cl batched")
+
+
+def test_fast_policy_rejects_unbatchable_stacks():
+    """Readiness steering has no fast-path lowering; the promotion logic
+    must leave such jobs on the event backend."""
+    assert fast_policy("readiness") is None
 
 
 def test_serialize_round_trip_preserves_identity(workloads):
@@ -247,9 +380,11 @@ def test_hypothesis_traces_bit_identical(
             base, cluster=dataclasses.replace(base.cluster, window_size=window)
         )
     event, reference = run_both(prepared, config, policy)
-    assert_bit_identical(
-        event,
-        reference,
+    context = (
         f"{kernel} seed={seed} n={instructions} {policy} {clusters}cl "
-        f"fwd={forwarding_latency} win={window}",
+        f"fwd={forwarding_latency} win={window}"
     )
+    assert_bit_identical(event, reference, context)
+    if fast_policy(policy) is not None:
+        batched = run_batched_matched(prepared, config, policy)
+        assert_bit_identical(batched, event, f"{context} batched")
