@@ -42,7 +42,11 @@ without a single deep import:
   to leave :func:`run` for the single-simulation helper);
 * **telemetry** -- :class:`Recorder`, :class:`Tracer`,
   :class:`RunReport` and the payload/serialization types
-  (:mod:`repro.telemetry`).
+  (:mod:`repro.telemetry`);
+* **service** -- the ``repro serve`` job API: :func:`serve`,
+  :class:`ReproServer`, :class:`BackgroundServer`, the HTTP
+  :class:`Client` and the typed :class:`ServiceError`
+  (:mod:`repro.service`).
 
 Convenience entry points defined here (not re-exports): :func:`run` (one
 simulation from names), :func:`sweep` (the cartesian product of kernels,
@@ -111,6 +115,7 @@ from repro.experiments.harness import (
 )
 from repro.experiments.manifest import SweepManifest, default_manifest_dir
 from repro.experiments.outcomes import (
+    ExecutionInterrupted,
     ExecutionPolicy,
     GarbageResult,
     JobOutcome,
@@ -128,6 +133,16 @@ from repro.experiments.parallel import (
     run_job_outcome,
 )
 from repro.experiments.sweep import run_spec
+from repro.service import (
+    BackgroundServer,
+    Client,
+    QuotaManager,
+    ReproServer,
+    SERVICE_ERROR_SCHEMA,
+    ServiceError,
+    TokenBucket,
+    serve,
+)
 from repro.specs import (
     PRESETS,
     ExperimentSpec,
@@ -312,6 +327,7 @@ __all__ = [
     "run_job_outcome",
     "run_seeded",
     # fault tolerance & checkpointing
+    "ExecutionInterrupted",
     "ExecutionPolicy",
     "GarbageResult",
     "JobOutcome",
@@ -321,6 +337,15 @@ __all__ = [
     "SimulationDiverged",
     "SweepManifest",
     "default_manifest_dir",
+    # service (repro serve)
+    "BackgroundServer",
+    "Client",
+    "QuotaManager",
+    "ReproServer",
+    "SERVICE_ERROR_SCHEMA",
+    "ServiceError",
+    "TokenBucket",
+    "serve",
     # figures
     "EXPERIMENTS",
     "FigureData",

@@ -8,10 +8,11 @@ A thin front door over the experiment runner plus spec-file tooling::
     repro specs show figure14           # an experiment's spec as JSON
     repro specs validate specs/*.json   # schema-check spec files
     repro specs status specs/*.json     # checkpoint progress per sweep
+    repro serve --port 8035 --workers 4 # the async job API (repro.service)
 
 ``python -m repro`` forwards here, so all three spellings are
-equivalent.  Everything that is not a ``specs`` subcommand is handed to
-:func:`repro.experiments.runner.main` unchanged.
+equivalent.  Everything that is not a ``specs`` or ``serve`` subcommand
+is handed to :func:`repro.experiments.runner.main` unchanged.
 """
 
 from __future__ import annotations
@@ -163,10 +164,79 @@ def _specs_main(argv: list[str]) -> int:
     return _specs_validate(args.paths)
 
 
+def _serve_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the simulation job service: POST experiment specs to "
+            "/v1/experiments, stream progress over SSE, fetch run reports. "
+            "See docs/API.md ('repro.service')."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8035, help="TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="simulation worker processes (0/1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent run-cache root (default: the runner's cache dir)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent cache (dedupe still works in-memory)",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="default per-run instruction count for specs that do not set one",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="default workload seed")
+    parser.add_argument(
+        "--quota",
+        type=float,
+        default=None,
+        help="per-client token-bucket capacity, in jobs (default: unmetered)",
+    )
+    parser.add_argument(
+        "--quota-refill",
+        type=float,
+        default=0.0,
+        help="tokens refilled per second per client (needs --quota)",
+    )
+    args = parser.parse_args(argv)
+    from repro.experiments.harness import DEFAULT_INSTRUCTIONS
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        instructions=(
+            args.instructions if args.instructions is not None else DEFAULT_INSTRUCTIONS
+        ),
+        seed=args.seed,
+        quota=args.quota,
+        quota_refill=args.quota_refill,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "specs":
         return _specs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     from repro.experiments.runner import main as runner_main
 
     return runner_main(argv)

@@ -235,22 +235,17 @@ class Workbench:
         return self.sim
 
     @staticmethod
-    def _memory_key(job: RunJob) -> tuple:
-        # MachineConfig is a frozen dataclass tree, so the full config can
-        # key the cache -- two configs differing only in, say, forwarding
-        # bandwidth or memory hierarchy must not collide.  ``warm`` is part
-        # of the key: a cold run must never be satisfied by a warm result.
-        # ``metrics`` too: a metrics result carries a telemetry payload a
-        # plain lookup must not observe (and vice versa).
-        return (
-            job.kernel,
-            job.config,
-            job.policy,
-            job.collect_ilp,
-            job.warm,
-            job.sim,
-            job.metrics,
-        )
+    def _memory_key(job: RunJob) -> RunJob:
+        # The full job is the key: RunJob is a frozen dataclass whose
+        # fields are exactly the inputs that determine a run's output, so
+        # memory-cache identity coincides with the on-disk cache's hash
+        # domain.  Keying on a field subset (as this once did, omitting
+        # instructions/seed/loc_mode) is a collision bug for any workbench
+        # that outlives one configuration -- the job service's long-lived
+        # shared bench serves specs with per-spec instruction counts and
+        # seeds, and must never satisfy one spec's lookup with another's
+        # result.
+        return job
 
     def run(
         self,
@@ -327,7 +322,7 @@ class Workbench:
             self._failures[key] = outcome
 
     # ------------------------------------------------------------------
-    def prefetch(self, jobs: Iterable[RunJob], on_outcome=None) -> int:
+    def prefetch(self, jobs: Iterable[RunJob], on_outcome=None, should_stop=None) -> int:
         """Materialize ``jobs`` into the caches, fanning out over workers.
 
         Already-cached jobs (memory or disk) are skipped; the rest run on
@@ -345,6 +340,11 @@ class Workbench:
         (checkpoint manifests hook in here).  Under ``fail_fast`` the
         first failure raises :class:`~repro.experiments.outcomes.
         RunFailureError` after in-flight work is torn down.
+
+        ``should_stop`` is polled between jobs (and between batched
+        groups); when it turns true the prefetch raises
+        :class:`~repro.experiments.outcomes.ExecutionInterrupted` --
+        already-settled jobs stay cached and journaled.
         """
         pending: list[RunJob] = []
         for job in dedupe_jobs(jobs):
@@ -367,7 +367,7 @@ class Workbench:
             if on_outcome is not None:
                 on_outcome(outcome)
 
-        pending = self._prefetch_batched_groups(pending, settle)
+        pending = self._prefetch_batched_groups(pending, settle, should_stop)
         if pending:
             execute_outcomes(
                 pending,
@@ -376,10 +376,11 @@ class Workbench:
                 policy=self.execution,
                 on_outcome=settle,
                 stats=self.exec_stats,
+                should_stop=should_stop,
             )
         return self.simulations_run - executed_before
 
-    def _prefetch_batched_groups(self, pending, settle) -> list[RunJob]:
+    def _prefetch_batched_groups(self, pending, settle, should_stop=None) -> list[RunJob]:
         """Run same-trace ``sim="batched"`` groups through the shared-
         precompute runner; returns the jobs still owed to the per-job
         executor.
@@ -407,12 +408,23 @@ class Workbench:
 
         def settle_group(group, results) -> None:
             for job, result in zip(group, results):
+                # Group members executed for real, so they count toward
+                # exec_stats just like per-job successes -- without this
+                # the executed counter drifts below simulations_run
+                # whenever the batched path runs.
+                self.exec_stats.executed += 1
                 settle(JobOutcome(job=job, result=result, attempts=1))
 
         if self.workers > 1 and len(groups) > 1:
             fallback.extend(self._run_groups_pooled(groups, settle_group))
         else:
             for group in groups:
+                if should_stop is not None and should_stop():
+                    from repro.experiments.outcomes import ExecutionInterrupted
+
+                    raise ExecutionInterrupted(
+                        "execution stopped between batched groups"
+                    )
                 try:
                     if self.tracer is not None:
                         with self.tracer.span(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import threading
 import warnings
 from typing import TYPE_CHECKING, Any
 
@@ -53,6 +54,12 @@ class SweepManifest:
         # Jobs recorded "ok" by a *previous* invocation: the resume set.
         self.resumed: frozenset[str] = frozenset()
         self._dirty = False
+        # record()/save() may be driven from multiple threads of one
+        # process (the job service journals from executor callback
+        # threads); the lock makes record-then-save atomic per caller and
+        # the thread-tagged temp name below keeps concurrent saves from
+        # clobbering each other's temp file mid-rename.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -108,8 +115,9 @@ class SweepManifest:
         }
         if outcome.failure is not None:
             entry["failure"] = outcome.failure.to_dict()
-        self.entries[key] = entry
-        self._dirty = True
+        with self._lock:
+            self.entries[key] = entry
+            self._dirty = True
 
     def completed(self) -> int:
         return sum(1 for e in self.entries.values() if e.get("status") == "ok")
@@ -135,18 +143,29 @@ class SweepManifest:
         }
 
     def save(self, force: bool = False) -> None:
-        """Atomically persist (tmp + rename); no-op when nothing changed."""
-        if not (self._dirty or force):
-            return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + f".tmp-{os.getpid()}")
-        try:
-            tmp.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
-            os.replace(tmp, self.path)
-        except BaseException:
+        """Atomically persist (tmp + rename); no-op when nothing changed.
+
+        Safe against concurrent savers in the same process (the lock
+        serializes them) *and* across processes (the temp name is tagged
+        with pid and thread id, so two writers can never truncate each
+        other's in-progress file; last rename wins, and every rename
+        publishes a complete, parseable document).
+        """
+        with self._lock:
+            if not (self._dirty or force):
+                return
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_name(
+                self.path.name
+                + f".tmp-{os.getpid()}-{threading.get_ident()}"
+            )
             try:
-                os.unlink(tmp)
-            except FileNotFoundError:
-                pass
-            raise
-        self._dirty = False
+                tmp.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except FileNotFoundError:
+                    pass
+                raise
+            self._dirty = False

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.parallel import RunJob
 
 __all__ = [
+    "ExecutionInterrupted",
     "ExecutionPolicy",
     "GarbageResult",
     "JobOutcome",
@@ -151,6 +152,17 @@ class RunFailure:
             elapsed=float(data.get("elapsed", 0.0)),
             traceback_digest=str(data.get("traceback_digest", "")),
         )
+
+
+class ExecutionInterrupted(RuntimeError):
+    """Execution was stopped cooperatively at a settle boundary.
+
+    Raised by :func:`repro.experiments.parallel.execute_outcomes` when
+    its ``should_stop`` callback turns true (the job service uses this
+    for graceful shutdown).  Jobs that already settled were delivered
+    through ``on_outcome`` and stay cached; the interrupt only forfeits
+    work not yet started.
+    """
 
 
 class GarbageResult(RuntimeError):

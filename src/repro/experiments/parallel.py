@@ -49,6 +49,7 @@ from repro.core.rename import Dependences, extract_dependences
 from repro.core.results import SimulationResult
 from repro.core.simulator import ClusteredSimulator
 from repro.experiments.outcomes import (
+    ExecutionInterrupted,
     ExecutionPolicy,
     GarbageResult,
     JobOutcome,
@@ -417,6 +418,7 @@ class _PoolScheduler:
         policy: ExecutionPolicy,
         on_outcome: "Callable[[JobOutcome], None] | None",
         stats: OutcomeStats | None,
+        should_stop: "Callable[[], bool] | None" = None,
     ):
         self.jobs = list(jobs)
         self.pool_size = pool_size
@@ -424,6 +426,7 @@ class _PoolScheduler:
         self.policy = policy
         self.on_outcome = on_outcome
         self.stats = stats
+        self.should_stop = should_stop
         self.outcomes: list[JobOutcome | None] = [None] * len(self.jobs)
         self.pending: deque[_JobState] = deque(
             _JobState(job, i) for i, job in enumerate(self.jobs)
@@ -438,6 +441,7 @@ class _PoolScheduler:
     def run(self) -> list[JobOutcome]:
         try:
             while self.pending or self.running:
+                self._check_stop()
                 if self.degrade_serial and not self.running:
                     self._drain_serial()
                     break
@@ -457,6 +461,13 @@ class _PoolScheduler:
                 self.pool = None
         assert all(outcome is not None for outcome in self.outcomes)
         return self.outcomes  # type: ignore[return-value]
+
+    def _check_stop(self) -> None:
+        if self.should_stop is not None and self.should_stop():
+            raise ExecutionInterrupted(
+                f"execution stopped with {len(self.pending)} pending and "
+                f"{len(self.running)} running job(s)"
+            )
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> None:
@@ -672,6 +683,7 @@ class _PoolScheduler:
     def _drain_serial(self) -> None:
         """Degraded mode: finish the remaining jobs in-process."""
         while self.pending:
+            self._check_stop()
             state = self.pending.popleft()
             outcome = run_job_outcome(
                 state.job,
@@ -690,6 +702,7 @@ def execute_outcomes(
     policy: ExecutionPolicy | None = None,
     on_outcome: "Callable[[JobOutcome], None] | None" = None,
     stats: OutcomeStats | None = None,
+    should_stop: "Callable[[], bool] | None" = None,
 ) -> list[JobOutcome]:
     """Execute ``jobs`` fault-tolerantly; one typed outcome per job, in order.
 
@@ -703,6 +716,13 @@ def execute_outcomes(
     ``KeyboardInterrupt`` the pool's children are killed (no orphans)
     and the interrupt re-raised.
 
+    ``should_stop`` is polled between jobs (and between scheduler
+    rounds in pool mode); when it turns true the executor raises
+    :class:`~repro.experiments.outcomes.ExecutionInterrupted` after
+    tearing the pool down -- already-settled outcomes were delivered
+    through ``on_outcome`` and are not lost.  The job service's
+    graceful shutdown rides on this.
+
     Successful results are bit-identical to serial, fault-free execution
     regardless of retries, worker count or pool respawns.
     """
@@ -713,6 +733,11 @@ def execute_outcomes(
     if workers <= 1 or len(jobs) <= 1:
         outcomes: list[JobOutcome] = []
         for job in jobs:
+            if should_stop is not None and should_stop():
+                raise ExecutionInterrupted(
+                    f"execution stopped with {len(jobs) - len(outcomes)} "
+                    "job(s) not yet run"
+                )
             outcome = run_job_outcome(job, tracer=tracer, policy=policy, stats=stats)
             outcomes.append(outcome)
             if on_outcome is not None:
@@ -722,7 +747,8 @@ def execute_outcomes(
                 raise RunFailureError(job, outcome.failure)
         return outcomes
     scheduler = _PoolScheduler(
-        jobs, min(workers, len(jobs)), tracer, policy, on_outcome, stats
+        jobs, min(workers, len(jobs)), tracer, policy, on_outcome, stats,
+        should_stop=should_stop,
     )
     return scheduler.run()
 

@@ -1,0 +1,62 @@
+"""Simulation-as-a-service: the asyncio job API behind ``repro serve``.
+
+The package turns the existing stack into a long-running multi-tenant
+service with zero new dependencies:
+
+* :mod:`repro.service.server` -- the asyncio HTTP server
+  (:class:`ReproServer`, the blocking :func:`serve` entry point, and
+  :class:`BackgroundServer` for tests);
+* :mod:`repro.service.client` -- the stdlib :class:`Client` (submit /
+  status / SSE events / result / stats);
+* :mod:`repro.service.scheduler` -- request coalescing and priority
+  ordering;
+* :mod:`repro.service.quota` -- per-client token-bucket quotas;
+* :mod:`repro.service.errors` -- the ``repro.service_error/1`` typed
+  error payloads;
+* :mod:`repro.service.state` -- per-experiment records and the SSE
+  event journal.
+
+See README.md ("Running as a service") and docs/API.md for the wire
+protocol.
+"""
+
+from repro.service.client import Client
+from repro.service.errors import (
+    ERROR_CODES,
+    SERVICE_ERROR_SCHEMA,
+    ServiceError,
+    error_payload,
+    validate_error,
+)
+from repro.service.quota import QuotaManager, TokenBucket
+from repro.service.scheduler import (
+    Claim,
+    CoalescingRegistry,
+    Flight,
+    plan_claims,
+    queue_key,
+)
+from repro.service.server import STATS_SCHEMA, BackgroundServer, ReproServer, serve
+from repro.service.state import ExperimentRecord, JobCell
+
+__all__ = [
+    "BackgroundServer",
+    "Claim",
+    "Client",
+    "CoalescingRegistry",
+    "ERROR_CODES",
+    "ExperimentRecord",
+    "Flight",
+    "JobCell",
+    "QuotaManager",
+    "ReproServer",
+    "SERVICE_ERROR_SCHEMA",
+    "STATS_SCHEMA",
+    "ServiceError",
+    "TokenBucket",
+    "error_payload",
+    "plan_claims",
+    "queue_key",
+    "serve",
+    "validate_error",
+]

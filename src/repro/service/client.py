@@ -1,0 +1,186 @@
+"""Stdlib HTTP client for the repro job service.
+
+:class:`Client` is the supported way to talk to ``repro serve`` from
+Python (tests use it exclusively): submit a spec, poll status, stream
+server-sent events, fetch the RunReport.  It is deliberately boring --
+``http.client`` underneath, one connection per call (the server closes
+connections after each response anyway), and every non-2xx response is
+raised as a typed :class:`~repro.service.errors.ServiceError` built from
+the ``repro.service_error/1`` payload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+from urllib.parse import urlsplit
+
+from repro.service.errors import ServiceError
+from repro.specs import ExperimentSpec
+
+__all__ = ["Client"]
+
+
+class Client:
+    """Talks to one repro service instance at ``base_url``."""
+
+    def __init__(self, base_url: str, client_id: str = "anonymous", timeout: float = 60.0):
+        split = urlsplit(base_url)
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {split.scheme!r} (http only)")
+        netloc = split.netloc or split.path  # tolerate "host:port" sans scheme
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port) if port else 80
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def _connect(self, timeout: float | None = None) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout if timeout is None else timeout
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> dict[str, Any]:
+        conn = self._connect()
+        try:
+            payload = None
+            send_headers = {"X-Repro-Client": self.client_id}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                send_headers["Content-Type"] = "application/json"
+            if headers:
+                send_headers.update(headers)
+            conn.request(method, path, body=payload, headers=send_headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                "internal",
+                f"non-JSON response (HTTP {response.status}): {raw[:200]!r}",
+                status=response.status,
+            ) from exc
+        if response.status >= 400:
+            try:
+                raise ServiceError.from_payload(data)
+            except ValueError as exc:
+                raise ServiceError(
+                    "internal",
+                    f"untyped error response (HTTP {response.status}): {data!r}",
+                    status=response.status,
+                ) from exc
+        return data
+
+    # -- API ------------------------------------------------------------
+    def submit(self, spec: "ExperimentSpec | dict[str, Any]") -> dict[str, Any]:
+        """POST a spec; returns the initial status payload (with ``id``)."""
+        body = spec.to_dict() if isinstance(spec, ExperimentSpec) else spec
+        return self._request("POST", "/v1/experiments", body=body)
+
+    def status(self, exp_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/experiments/{exp_id}")
+
+    def result(self, exp_id: str) -> dict[str, Any]:
+        """The schema-validated RunReport for a finished experiment."""
+        return self._request("GET", f"/v1/experiments/{exp_id}/result")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def wait(self, exp_id: str, timeout: float = 120.0, poll: float = 0.05) -> dict[str, Any]:
+        """Poll status until the experiment is terminal; returns final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(exp_id)
+            if status["status"] in ("done", "error"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"experiment {exp_id} still {status['status']!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def events(
+        self,
+        exp_id: str,
+        after: int = 0,
+        timeout: float = 120.0,
+    ) -> Iterator[dict[str, Any]]:
+        """Stream SSE events as dicts ``{"id", "event", "data"}``.
+
+        ``after`` resumes past an already-seen event id (sent as
+        ``Last-Event-ID``, exercising the server's replay path).  The
+        stream ends when the server closes it (experiment terminal).
+        """
+        conn = self._connect(timeout=timeout)
+        try:
+            conn.request(
+                "GET",
+                f"/v1/experiments/{exp_id}/events",
+                headers={
+                    "X-Repro-Client": self.client_id,
+                    "Last-Event-ID": str(after),
+                    "Accept": "text/event-stream",
+                },
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    raise ServiceError.from_payload(json.loads(raw.decode("utf-8")))
+                except (ValueError, json.JSONDecodeError) as exc:
+                    raise ServiceError(
+                        "internal",
+                        f"untyped error response (HTTP {response.status})",
+                        status=response.status,
+                    ) from exc
+            event: dict[str, Any] = {}
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if not line:
+                    if "data" in event:
+                        yield event
+                    event = {}
+                    continue
+                if line.startswith(":"):
+                    continue  # keep-alive comment
+                name, _, value = line.partition(":")
+                value = value.removeprefix(" ")
+                if name == "id":
+                    event["id"] = int(value)
+                elif name == "event":
+                    event["event"] = value
+                elif name == "data":
+                    event["data"] = json.loads(value)
+            if "data" in event:
+                yield event
+        finally:
+            conn.close()
+
+    def run(
+        self, spec: "ExperimentSpec | dict[str, Any]", timeout: float = 120.0
+    ) -> dict[str, Any]:
+        """Submit, wait for completion, and return the RunReport."""
+        submitted = self.submit(spec)
+        status = self.wait(submitted["id"], timeout=timeout)
+        if status["status"] == "error":
+            raise ServiceError(
+                "internal",
+                f"experiment {submitted['id']} failed server-side",
+                detail={"status": status},
+            )
+        return self.result(submitted["id"])

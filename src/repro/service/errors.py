@@ -1,0 +1,127 @@
+"""Typed error payloads for the job service (schema ``repro.service_error/1``).
+
+Every non-2xx response the server emits is a JSON document of this one
+schema, so clients never have to scrape prose out of an HTML error page:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.service_error/1",
+      "error": "quota_exhausted",
+      "status": 429,
+      "message": "client 'alice' is out of quota tokens",
+      "detail": {"cost": 12, "available": 3, "retry_after": 4.5}
+    }
+
+``error`` is a stable machine-readable code (:data:`ERROR_CODES`);
+``status`` mirrors the HTTP status the payload rode in on; ``detail`` is
+code-specific structured context (never required for dispatch).  The
+:class:`~repro.service.client.Client` raises these as
+:class:`ServiceError`, carrying the full payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "ERROR_CODES",
+    "SERVICE_ERROR_SCHEMA",
+    "ServiceError",
+    "error_payload",
+    "validate_error",
+]
+
+SERVICE_ERROR_SCHEMA = "repro.service_error/1"
+
+# Stable code -> default HTTP status.  Codes are part of the API surface:
+# clients dispatch on them, so renaming one is a breaking change.
+ERROR_CODES = {
+    "invalid_json": 400,       # body is not parseable JSON
+    "invalid_spec": 400,       # JSON parsed but ExperimentSpec rejected it
+    "bad_request": 400,        # malformed path/query/header
+    "not_found": 404,          # unknown experiment id or route
+    "method_not_allowed": 405,
+    "conflict": 409,           # e.g. result requested before completion
+    "quota_exhausted": 429,
+    "payload_too_large": 413,
+    "internal": 500,
+    "shutting_down": 503,
+}
+
+
+class ServiceError(Exception):
+    """A typed service failure; serializes to/from the error payload.
+
+    Raised server-side to unwind a request handler into a typed response,
+    and client-side by :class:`~repro.service.client.Client` whenever a
+    response carries an error payload.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        status: int | None = None,
+        detail: dict[str, Any] | None = None,
+    ):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown service error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.status = status if status is not None else ERROR_CODES[code]
+        self.detail = dict(detail) if detail else {}
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "schema": SERVICE_ERROR_SCHEMA,
+            "error": self.code,
+            "status": self.status,
+            "message": self.message,
+        }
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ServiceError":
+        validate_error(payload)
+        return cls(
+            code=payload["error"],
+            message=payload["message"],
+            status=payload["status"],
+            detail=payload.get("detail"),
+        )
+
+
+def error_payload(
+    code: str,
+    message: str,
+    status: int | None = None,
+    detail: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Shorthand: the JSON payload for one error, without raising."""
+    return ServiceError(code, message, status=status, detail=detail).to_payload()
+
+
+def validate_error(payload: Any) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed error document."""
+    if not isinstance(payload, dict):
+        raise ValueError("service error payload must be a JSON object")
+    if payload.get("schema") != SERVICE_ERROR_SCHEMA:
+        raise ValueError(
+            f"unknown service error schema {payload.get('schema')!r}; "
+            f"want {SERVICE_ERROR_SCHEMA!r}"
+        )
+    code = payload.get("error")
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown service error code {code!r}")
+    status = payload.get("status")
+    if not isinstance(status, int) or isinstance(status, bool):
+        raise ValueError("service error 'status' must be an integer")
+    if not isinstance(payload.get("message"), str):
+        raise ValueError("service error 'message' must be a string")
+    detail = payload.get("detail")
+    if detail is not None and not isinstance(detail, dict):
+        raise ValueError("service error 'detail' must be an object")

@@ -1,0 +1,151 @@
+"""Per-client token-bucket quotas for the job service.
+
+A submission costs one token per enumerated job (work requested, not
+work executed: a fully cached resubmission still spends tokens --
+otherwise a hostile client could grind the dedupe path for free).  Each
+client gets an independent bucket of ``capacity`` tokens refilling at
+``refill_rate`` tokens/second; an empty bucket turns submissions into
+``quota_exhausted`` (429) typed errors carrying the cost, the available
+balance and a ``retry_after`` hint.
+
+The bucket is the classic lazy-refill formulation: no background timer,
+tokens materialize arithmetically on each :meth:`TokenBucket.consume`
+from the elapsed monotonic time.  ``capacity=None`` disables metering
+entirely (the default -- quotas are opt-in via ``repro serve --quota``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.service.errors import ServiceError
+
+__all__ = ["QuotaManager", "TokenBucket"]
+
+
+class TokenBucket:
+    """One client's refilling token balance."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_rate: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if refill_rate < 0:
+            raise ValueError("refill_rate must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        if self.refill_rate > 0 and now > self._updated:
+            self._tokens = min(
+                self.capacity,
+                self._tokens + (now - self._updated) * self.refill_rate,
+            )
+        self._updated = now
+
+    def available(self) -> float:
+        """Current balance (after lazy refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_consume(self, cost: float) -> bool:
+        """Spend ``cost`` tokens if the balance covers them."""
+        if cost < 0:
+            raise ValueError("cost must be >= 0")
+        self._refill()
+        if cost > self._tokens:
+            return False
+        self._tokens -= cost
+        return True
+
+    def retry_after(self, cost: float) -> float | None:
+        """Seconds until ``cost`` tokens could be available, or ``None``.
+
+        ``None`` means never: the cost exceeds the bucket's capacity or
+        the bucket does not refill.
+        """
+        self._refill()
+        if cost <= self._tokens:
+            return 0.0
+        if cost > self.capacity or self.refill_rate <= 0:
+            return None
+        return (cost - self._tokens) / self.refill_rate
+
+
+class QuotaManager:
+    """Buckets by client id; thread-safe (HTTP handlers and tests share it)."""
+
+    def __init__(
+        self,
+        capacity: float | None = None,
+        refill_rate: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None to disable)")
+        self.capacity = capacity
+        self.refill_rate = refill_rate
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity is not None
+
+    def _bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            assert self.capacity is not None
+            bucket = TokenBucket(self.capacity, self.refill_rate, self._clock)
+            self._buckets[client] = bucket
+        return bucket
+
+    def charge(self, client: str, cost: float) -> None:
+        """Spend ``cost`` tokens for ``client`` or raise the 429 typed error."""
+        if self.capacity is None or cost <= 0:
+            return
+        with self._lock:
+            bucket = self._bucket(client)
+            if bucket.try_consume(cost):
+                return
+            available = bucket.available()
+            retry_after = bucket.retry_after(cost)
+        detail: dict[str, Any] = {
+            "client": client,
+            "cost": cost,
+            "available": round(available, 3),
+            "capacity": self.capacity,
+        }
+        if retry_after is not None:
+            detail["retry_after"] = round(retry_after, 3)
+        raise ServiceError(
+            "quota_exhausted",
+            f"client {client!r} is out of quota tokens "
+            f"(cost {cost}, available {available:.1f} of {self.capacity})",
+            detail=detail,
+        )
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-client balances for the stats endpoint."""
+        if self.capacity is None:
+            return {}
+        with self._lock:
+            return {
+                client: {
+                    "available": round(bucket.available(), 3),
+                    "capacity": bucket.capacity,
+                    "refill_rate": bucket.refill_rate,
+                }
+                for client, bucket in sorted(self._buckets.items())
+            }

@@ -1,0 +1,164 @@
+"""Multi-tenant job scheduling: coalescing registry and priority ordering.
+
+The service's scheduling problem is the classic shared-cluster one: many
+clients submit overlapping sweep workloads against one simulation
+backend.  Two mechanisms keep the backend doing minimal work:
+
+* **Coalescing** (:class:`CoalescingRegistry`): every
+  :class:`~repro.experiments.parallel.RunJob` is content-addressed by
+  :func:`~repro.experiments.cache.job_key`.  When a submission's job set
+  intersects the keys already in flight for earlier submissions, the
+  shared keys are *not* claimed again -- the new submission subscribes to
+  the in-flight computation and the settled outcome fans out to every
+  subscriber.  The invariant (locked in by a hypothesis property in
+  ``tests/test_service.py``) is exactly-once execution: however
+  submissions partition and in whatever order they arrive, each distinct
+  key is claimed by exactly one submission and every other overlapping
+  submission coalesces onto that claim.
+
+* **Priority** (:func:`queue_key`): submissions carry an integer
+  priority (``execution.priority`` in the spec, default 0); the worker
+  drains a priority queue ordered by (-priority, arrival), so a batch of
+  co-submitted sweeps runs urgent work first while FIFO-tiebreaking
+  equal priorities to keep the queue starvation-free.
+
+The registry is deliberately independent of asyncio and of the HTTP
+layer: it is called from the event loop only (single-threaded), and the
+server fans its decisions out to worker threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+__all__ = ["Claim", "CoalescingRegistry", "Flight", "plan_claims", "queue_key"]
+
+
+def queue_key(priority: int, sequence: int) -> tuple[int, int]:
+    """Priority-queue ordering: higher priority first, then arrival order."""
+    return (-int(priority), int(sequence))
+
+
+@dataclass
+class Flight:
+    """One in-flight job key: who claimed it, who is waiting on it."""
+
+    key: str
+    owner: Any
+    subscribers: list[Any] = field(default_factory=list)
+
+    def parties(self) -> list[Any]:
+        return [self.owner, *self.subscribers]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """How one submission's keys partitioned against the registry."""
+
+    execute: tuple[str, ...]    # keys this submission must run itself
+    coalesced: tuple[str, ...]  # keys already in flight for someone else
+    cached: tuple[str, ...]     # keys already satisfied by the result cache
+
+
+class CoalescingRegistry:
+    """Tracks unsettled job keys and fans settlements out to subscribers.
+
+    Keys live in the registry only while unsettled: a settled key leaves
+    the registry (its result now lives in the run cache / workbench
+    memory), so a later submission of the same key is a *cache* hit, not
+    a coalesce.  A key whose execution failed is likewise released --
+    the next submission re-claims it and retries, mirroring how the
+    resilient executor treats failures as per-attempt, not permanent.
+    """
+
+    def __init__(self):
+        self._flights: dict[str, Flight] = {}
+        self.claimed_total = 0
+        self.coalesced_total = 0
+
+    # ------------------------------------------------------------------
+    def claim(
+        self,
+        party: Any,
+        keys: Sequence[str],
+        is_cached: Callable[[str], bool] | None = None,
+    ) -> Claim:
+        """Partition ``keys`` for ``party``: execute vs coalesce vs cached.
+
+        Duplicate keys within one submission collapse to a single claim
+        (first occurrence wins), matching
+        :func:`~repro.experiments.parallel.dedupe_jobs`.
+        """
+        execute: list[str] = []
+        coalesced: list[str] = []
+        cached: list[str] = []
+        seen: set[str] = set()
+        for key in keys:
+            if key in seen:
+                continue
+            seen.add(key)
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.subscribers.append(party)
+                coalesced.append(key)
+                self.coalesced_total += 1
+                continue
+            if is_cached is not None and is_cached(key):
+                cached.append(key)
+                continue
+            self._flights[key] = Flight(key=key, owner=party)
+            execute.append(key)
+            self.claimed_total += 1
+        return Claim(tuple(execute), tuple(coalesced), tuple(cached))
+
+    def settle(self, key: str) -> list[Any]:
+        """Retire ``key``; returns every party awaiting it (owner first)."""
+        flight = self._flights.pop(key, None)
+        if flight is None:
+            return []
+        return flight.parties()
+
+    def release(self, party: Any) -> list[str]:
+        """Drop every flight owned by ``party`` that has no subscribers.
+
+        Used when a submission is abandoned before executing (internal
+        error paths); flights with subscribers are re-owned by their
+        first subscriber instead of being lost.
+        """
+        dropped: list[str] = []
+        for key, flight in list(self._flights.items()):
+            if flight.owner is not party:
+                continue
+            if flight.subscribers:
+                flight.owner = flight.subscribers.pop(0)
+            else:
+                del self._flights[key]
+                dropped.append(key)
+        return dropped
+
+    def in_flight(self) -> int:
+        return len(self._flights)
+
+    def is_in_flight(self, key: str) -> bool:
+        return key in self._flights
+
+
+def plan_claims(
+    submissions: Iterable[Sequence[str]],
+    cached: Iterable[Hashable] = (),
+) -> list[Claim]:
+    """Pure form of the registry's partitioning, for tests and reasoning.
+
+    Feeds ``submissions`` (ordered lists of job keys) through a fresh
+    registry with ``cached`` pre-satisfied, *never settling anything* --
+    the worst case for overlap, where every earlier claim is still in
+    flight when the next submission arrives.  Returns one
+    :class:`Claim` per submission.
+    """
+    registry = CoalescingRegistry()
+    cached_set = set(cached)
+    return [
+        registry.claim(index, keys, is_cached=cached_set.__contains__)
+        for index, keys in enumerate(submissions)
+    ]

@@ -1,0 +1,776 @@
+"""The asyncio job server behind ``repro serve``.
+
+Simulation-as-a-service over the existing stack, stdlib-only: the spec
+layer is the wire format (``repro.experiment_spec/1`` JSON bodies), the
+content-addressed :class:`~repro.experiments.cache.RunCache` is the
+dedupe substrate, the resilient executor
+(:meth:`~repro.experiments.harness.Workbench.prefetch` →
+:func:`~repro.experiments.parallel.execute_outcomes`) does the work, and
+:class:`~repro.experiments.manifest.SweepManifest` journals per-job
+progress that the status and SSE endpoints replay.
+
+Endpoints (all JSON; errors are ``repro.service_error/1`` payloads):
+
+* ``POST /v1/experiments`` -- submit an ExperimentSpec body.  The spec
+  is schema-validated, charged against the client's token bucket
+  (``X-Repro-Client`` header names the tenant), its jobs are
+  content-addressed and partitioned by the
+  :class:`~repro.service.scheduler.CoalescingRegistry` into
+  execute / coalesced / cached, and the residual jobs are queued by
+  priority (``execution.priority`` in the spec).
+* ``GET /v1/experiments/{id}`` -- status: job counters plus the sweep
+  manifest summary.
+* ``GET /v1/experiments/{id}/events`` -- server-sent events; every event
+  carries an ``id``, and ``Last-Event-ID`` (or ``?after=N``) replays the
+  journal suffix after a reconnect.
+* ``GET /v1/experiments/{id}/result`` -- the schema-validated
+  :class:`~repro.telemetry.report.RunReport` (with the rendered figure
+  table embedded), bit-identical to running the same spec through
+  :func:`~repro.experiments.sweep.run_spec` serially.
+* ``GET /v1/stats`` -- service counters, executor
+  :class:`~repro.experiments.outcomes.OutcomeStats`, cache counters and
+  quota balances.
+* ``GET /v1/healthz`` -- liveness probe.
+
+Threading model: the event loop owns all experiment state (records,
+registry, manifests map); exactly one worker task drains the priority
+queue and runs each submission's residual jobs in a thread via
+``asyncio.to_thread``, which fans per-job settlements back onto the loop
+with ``call_soon_threadsafe``.  The single worker serializes access to
+the shared :class:`~repro.experiments.harness.Workbench` (whose process
+pool provides the actual parallelism), which is what makes coalescing
+airtight: claims happen on the loop, execution happens one submission at
+a time, and a settled key's result is in the run cache before its flight
+leaves the registry -- so at every instant an overlapping key is either
+in flight (coalesce) or cached (hit), never re-executed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Awaitable, Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.experiments.cache import RunCache, job_key
+from repro.experiments.harness import DEFAULT_INSTRUCTIONS, Workbench
+from repro.experiments.manifest import SweepManifest, default_manifest_dir
+from repro.experiments.outcomes import ExecutionInterrupted, ExecutionPolicy, JobOutcome
+from repro.service.errors import ServiceError
+from repro.service.quota import QuotaManager
+from repro.service.scheduler import CoalescingRegistry, queue_key
+from repro.service.state import ExperimentRecord, JobCell
+from repro.specs import ExperimentSpec, SpecError, spec_hash
+
+__all__ = ["BackgroundServer", "ReproServer", "serve"]
+
+STATS_SCHEMA = "repro.service_stats/1"
+
+_MAX_BODY = 8 << 20  # 8 MiB: a spec file is kilobytes; anything bigger is abuse
+_SSE_KEEPALIVE = 15.0  # seconds between ``:`` comments on an idle stream
+
+
+class _Request:
+    """One parsed HTTP/1.1 request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, target: str, headers: dict[str, str], body: bytes):
+        self.method = method
+        split = urlsplit(target)
+        self.path = split.path
+        self.query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        self.headers = headers
+        self.body = body
+
+
+async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ServiceError("bad_request", f"malformed request line {line!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length:
+        try:
+            size = int(length)
+        except ValueError:
+            raise ServiceError("bad_request", f"bad Content-Length {length!r}") from None
+        if size > _MAX_BODY:
+            raise ServiceError(
+                "payload_too_large",
+                f"body of {size} bytes exceeds the {_MAX_BODY}-byte limit",
+            )
+        body = await reader.readexactly(size)
+    return _Request(method, target, headers, body)
+
+
+def _http_payload(status: int, payload: Any, content_type: str = "application/json") -> bytes:
+    body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+    reason = {
+        200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+        405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+        429: "Too Many Requests", 500: "Internal Server Error",
+        503: "Service Unavailable",
+    }.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def _sse_event(entry: dict[str, Any]) -> bytes:
+    data = json.dumps(entry["data"], separators=(",", ":"))
+    return (
+        f"id: {entry['id']}\nevent: {entry['event']}\ndata: {data}\n\n"
+    ).encode("utf-8")
+
+
+class ReproServer:
+    """One service instance: shared workbench, registry, quotas, HTTP."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 0,
+        cache_dir: str | None = None,
+        no_cache: bool = False,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        seed: int = 0,
+        loc_mode: str = "probabilistic",
+        batch: str = "auto",
+        quota: float | None = None,
+        quota_refill: float = 0.0,
+        execution: ExecutionPolicy | None = None,
+        tracer=None,
+        max_history: int = 256,
+    ):
+        self.host = host
+        self.port = port
+        self.tracer = tracer
+        self.cache = None if no_cache else RunCache(cache_dir, tracer=tracer)
+        self.bench = Workbench(
+            instructions=instructions,
+            seed=seed,
+            loc_mode=loc_mode,
+            workers=workers,
+            cache=self.cache,
+            batch=batch,
+            tracer=tracer,
+            execution=execution if execution is not None else ExecutionPolicy(),
+        )
+        self.quota = QuotaManager(quota, quota_refill)
+        self.registry = CoalescingRegistry()
+        self.max_history = max_history
+        self.started = time.time()
+
+        self._records: dict[str, ExperimentRecord] = {}
+        self._manifests: dict[str, SweepManifest] = {}
+        self._result_cache: dict[str, dict[str, Any]] = {}
+        self._history: list[str] = []  # finished record ids, oldest first
+        self._seq = 0
+        self._bench_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._closing = False
+        self.submitted = 0
+        self.completed = 0
+        self.errors = 0
+        self.evicted = 0
+        self.jobs_cached = 0
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.PriorityQueue | None = None
+        self._worker: asyncio.Task | None = None
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> "ReproServer":
+        """Bind the socket and start the worker; resolves the real port."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.PriorityQueue()
+        self._worker = asyncio.create_task(self._worker_loop())
+        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, interrupt in-flight sweeps, drain the worker."""
+        self._closing = True
+        self._stop_event.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+                pass
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- submission (event loop) ---------------------------------------
+    def _submit(self, request: _Request) -> dict[str, Any]:
+        if self._closing:
+            raise ServiceError("shutting_down", "server is shutting down")
+        client = request.headers.get("x-repro-client", "anonymous")
+        try:
+            data = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                "invalid_json", f"body is not valid JSON: {exc}"
+            ) from exc
+        try:
+            spec = ExperimentSpec.from_dict(data)
+            jobs = spec.jobs(self.bench)
+        except SpecError as exc:
+            raise ServiceError(
+                "invalid_spec", str(exc), detail={"schema": "repro.experiment_spec/1"}
+            ) from exc
+
+        first_job: dict[str, Any] = {}
+        keys: list[str] = []
+        for job in jobs:
+            key = job_key(job)
+            keys.append(key)
+            first_job.setdefault(key, job)
+        self.quota.charge(client, len(first_job))
+
+        priority = 0
+        if spec.execution is not None:
+            priority = int(spec.execution.get("priority", 0))
+        self._seq += 1
+        record = ExperimentRecord(
+            id=f"exp-{self._seq:06d}",
+            spec=spec,
+            spec_hash=spec_hash(spec),
+            client=client,
+            priority=priority,
+            jobs=list(jobs),
+        )
+        claim = self.registry.claim(
+            record,
+            keys,
+            is_cached=lambda k: self._is_cached(first_job[k]),
+        )
+        execute, coalesced = set(claim.execute), set(claim.coalesced)
+        run_jobs = []
+        for key, job in first_job.items():
+            if key in execute:
+                kind = "execute"
+                run_jobs.append(job)
+            elif key in coalesced:
+                kind = "coalesced"
+            else:
+                kind = "cached"
+                run_jobs.append(job)  # prefetch pulls it into memory, 0 executed
+            record.cells[key] = JobCell(job=job, key=key, kind=kind)
+        self.jobs_cached += len(claim.cached)
+        self._records[record.id] = record
+        self.submitted += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "service.submit",
+                id=record.id,
+                client=client,
+                jobs=len(first_job),
+                execute=len(claim.execute),
+                coalesced=len(claim.coalesced),
+                cached=len(claim.cached),
+            )
+            if claim.coalesced:
+                self.tracer.event(
+                    "service.coalesce", id=record.id, keys=len(claim.coalesced)
+                )
+        record.publish("status", {"status": "queued", "jobs": record.job_counts()})
+        for key in claim.cached:
+            record.note_settled(key, True, "cache")
+        if run_jobs:
+            assert self._queue is not None
+            self._queue.put_nowait((queue_key(priority, self._seq), record, run_jobs))
+        else:
+            # Everything rides on other submissions' flights (or the spec
+            # was empty of work): completion comes from fan-out alone.
+            self._maybe_finalize(record)
+        return record.status_payload(self._manifest_summary(record))
+
+    def _is_cached(self, job) -> bool:
+        if self.bench.result_for(job) is not None:
+            return True
+        return self.cache is not None and self.cache.contains(job)
+
+    # -- execution (worker task + thread) ------------------------------
+    async def _worker_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            _key, record, run_jobs = await self._queue.get()
+            if record.terminal:
+                continue
+            record.status = "running"
+            record.publish("status", {"status": "running"})
+            try:
+                await asyncio.to_thread(self._execute_jobs, record, run_jobs)
+            except ExecutionInterrupted:
+                self._fail_record(record, "server shutting down mid-sweep")
+                continue
+            except Exception as exc:  # noqa: BLE001 - typed into the record
+                self._fail_record(record, f"{type(exc).__name__}: {exc}")
+                continue
+            # to_thread resumes via a loop callback enqueued *after* every
+            # per-job call_soon_threadsafe fan-out, so all settlements from
+            # this sweep have already been applied when the sweep runs.
+            self._sweep_record(record)
+
+    def _execute_jobs(self, record: ExperimentRecord, run_jobs: list) -> None:
+        """Worker thread: run one submission's residual jobs."""
+        manifest = self._manifest_for(record)
+
+        def on_outcome(outcome: JobOutcome) -> None:
+            key = job_key(outcome.job)
+            if manifest is not None:
+                manifest.record(key, outcome)
+                manifest.save()
+            info = {
+                "ok": outcome.ok,
+                "source": outcome.source,
+                "failure": outcome.failure.to_dict() if outcome.failure else None,
+            }
+            assert self._loop is not None
+            self._loop.call_soon_threadsafe(self._fan_out, record, key, info)
+
+        with self._bench_lock:
+            saved = self.bench.execution
+            self.bench.execution = record.spec.execution_policy(saved)
+            try:
+                self.bench.prefetch(
+                    run_jobs,
+                    on_outcome=on_outcome,
+                    should_stop=self._stop_event.is_set,
+                )
+            finally:
+                self.bench.execution = saved
+                if manifest is not None:
+                    manifest.save(force=True)
+
+    def _manifest_for(self, record: ExperimentRecord) -> SweepManifest | None:
+        if self.cache is None:
+            return None
+        manifest = self._manifests.get(record.spec_hash)
+        if manifest is None:
+            manifest = SweepManifest.open(
+                default_manifest_dir(self.cache.root),
+                record.spec_hash,
+                record.spec.name,
+            )
+            self._manifests[record.spec_hash] = manifest
+        return manifest
+
+    def _manifest_summary(self, record: ExperimentRecord) -> dict[str, int] | None:
+        manifest = self._manifests.get(record.spec_hash)
+        return manifest.summary() if manifest is not None else None
+
+    # -- settlement fan-out (event loop) --------------------------------
+    def _fan_out(self, record: ExperimentRecord, key: str, info: dict[str, Any]) -> None:
+        parties = self.registry.settle(key) or [record]
+        if len(parties) > 1 and self.tracer is not None:
+            self.tracer.event("service.fanout", key=key, parties=len(parties))
+        for index, party in enumerate(parties):
+            source = info["source"] if party is record else "coalesced"
+            party.note_settled(key, info["ok"], source, info["failure"])
+            self._maybe_finalize(party)
+
+    def _sweep_record(self, record: ExperimentRecord) -> None:
+        """Settle leftovers after a sweep: cache-satisfied or lost jobs."""
+        for cell in list(record.pending_cells()):
+            if cell.kind == "coalesced" and self.registry.is_in_flight(cell.key):
+                continue  # another submission's flight will fan out
+            if self.bench.result_for(cell.job) is not None:
+                self._fan_out(record, cell.key, {"ok": True, "source": "cache", "failure": None})
+                continue
+            failed = self.bench.failure_for(cell.job)
+            if failed is not None and failed.failure is not None:
+                self._fan_out(
+                    record,
+                    cell.key,
+                    {"ok": False, "source": "run", "failure": failed.failure.to_dict()},
+                )
+                continue
+            self._fan_out(
+                record,
+                cell.key,
+                {
+                    "ok": False,
+                    "source": "run",
+                    "failure": {
+                        "kind": "error",
+                        "error_type": "LostJob",
+                        "message": "job produced neither result nor failure",
+                        "attempts": 0,
+                        "elapsed": 0.0,
+                        "traceback_digest": "",
+                    },
+                },
+            )
+        self._maybe_finalize(record)
+
+    def _maybe_finalize(self, record: ExperimentRecord) -> None:
+        if record.terminal or not record.all_settled():
+            return
+        record.status = "done"
+        record.finished = time.time()
+        self.completed += 1
+        record.publish("done", record.status_payload(self._manifest_summary(record)))
+        self._retire(record)
+
+    def _fail_record(self, record: ExperimentRecord, message: str) -> None:
+        for key in self.registry.release(record):
+            record.note_settled(
+                key,
+                False,
+                "run",
+                {
+                    "kind": "error",
+                    "error_type": "ServiceError",
+                    "message": message,
+                    "attempts": 0,
+                    "elapsed": 0.0,
+                    "traceback_digest": "",
+                },
+                publish=False,
+            )
+        record.status = "error"
+        record.finished = time.time()
+        self.errors += 1
+        record.publish("error", {"message": message, **record.status_payload()})
+        self._retire(record)
+
+    def _retire(self, record: ExperimentRecord) -> None:
+        self._history.append(record.id)
+        while len(self._history) > self.max_history:
+            victim = self._history.pop(0)
+            self._records.pop(victim, None)
+            self._result_cache.pop(victim, None)
+            self.evicted += 1
+            if self.tracer is not None:
+                self.tracer.event("service.evict", id=victim)
+
+    # -- results --------------------------------------------------------
+    def _build_result(self, record: ExperimentRecord) -> dict[str, Any]:
+        """Worker thread: assemble the RunReport (+figure) for one record."""
+        from repro.experiments.sweep import run_spec
+        from repro.specs import policy_label
+        from repro.telemetry import RunReport
+
+        with self._bench_lock:
+            runs = []
+            for job in record.jobs:
+                result = self.bench.result_for(job)
+                if result is not None:
+                    runs.append((job, result))
+            failures = [
+                {
+                    "kernel": cell.job.kernel,
+                    "config": cell.job.config.name,
+                    "policy": policy_label(cell.job.policy),
+                    **(cell.failure or {}),
+                }
+                for cell in record.cells.values()
+                if cell.status == "failed"
+            ]
+            try:
+                figure = run_spec(self.bench, record.spec).to_dict()
+            except Exception:  # noqa: BLE001 - figure is best-effort garnish
+                figure = None
+            report = RunReport.from_runs(
+                record.spec.name,
+                runs,
+                failures=failures,
+                workbench={
+                    "instructions": self.bench.instructions,
+                    "seed": self.bench.seed,
+                    "loc_mode": self.bench.loc_mode,
+                    "workers": self.bench.workers,
+                    "sim": self.bench.sim,
+                    "benchmarks": [spec.name for spec in self.bench.benchmarks],
+                },
+                figure=figure,
+            )
+        # to_json() schema-validates; the endpoint never serves a report
+        # that would not round-trip through validate_report().
+        return json.loads(report.to_json())
+
+    # -- HTTP dispatch --------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+            except ServiceError as exc:
+                writer.write(_http_payload(exc.status, exc.to_payload()))
+                await writer.drain()
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            if request is None:
+                return
+            try:
+                await self._route(request, reader, writer)
+            except ServiceError as exc:
+                writer.write(_http_payload(exc.status, exc.to_payload()))
+                await writer.drain()
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:  # noqa: BLE001 - typed 500, never a hang
+                payload = ServiceError(
+                    "internal", f"{type(exc).__name__}: {exc}"
+                ).to_payload()
+                writer.write(_http_payload(500, payload))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _record_or_404(self, exp_id: str) -> ExperimentRecord:
+        record = self._records.get(exp_id)
+        if record is None:
+            raise ServiceError(
+                "not_found", f"unknown experiment {exp_id!r}",
+                detail={"id": exp_id},
+            )
+        return record
+
+    async def _route(
+        self,
+        request: _Request,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        path, method = request.path, request.method
+        send: Callable[[int, Any], Awaitable[None]]
+
+        async def send(status: int, payload: Any) -> None:
+            writer.write(_http_payload(status, payload))
+            await writer.drain()
+
+        if path == "/v1/experiments":
+            if method != "POST":
+                raise ServiceError("method_not_allowed", f"{method} {path}")
+            await send(201, self._submit(request))
+            return
+        if path == "/v1/stats":
+            if method != "GET":
+                raise ServiceError("method_not_allowed", f"{method} {path}")
+            await send(200, self.stats())
+            return
+        if path == "/v1/healthz":
+            await send(200, {"status": "ok", "uptime_seconds": round(time.time() - self.started, 3)})
+            return
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 3 and parts[0] == "v1" and parts[1] == "experiments":
+            exp_id = parts[2]
+            tail = parts[3] if len(parts) > 3 else None
+            if method != "GET" or len(parts) > 4:
+                raise ServiceError("method_not_allowed", f"{method} {path}")
+            record = self._record_or_404(exp_id)
+            if tail is None:
+                await send(200, record.status_payload(self._manifest_summary(record)))
+                return
+            if tail == "result":
+                if record.status == "error":
+                    raise ServiceError(
+                        "conflict",
+                        f"experiment {exp_id} failed; no result",
+                        detail={"status": record.status},
+                    )
+                if record.status != "done":
+                    raise ServiceError(
+                        "conflict",
+                        f"experiment {exp_id} is {record.status}, not done",
+                        detail={"status": record.status},
+                    )
+                payload = self._result_cache.get(exp_id)
+                if payload is None:
+                    payload = await asyncio.to_thread(self._build_result, record)
+                    self._result_cache[exp_id] = payload
+                await send(200, payload)
+                return
+            if tail == "events":
+                await self._stream_events(record, request, writer)
+                return
+        raise ServiceError("not_found", f"no route for {method} {path}")
+
+    async def _stream_events(
+        self,
+        record: ExperimentRecord,
+        request: _Request,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        after = request.headers.get("last-event-id", request.query.get("after", "0"))
+        try:
+            index = max(0, int(after))
+        except ValueError:
+            raise ServiceError("bad_request", f"bad event id {after!r}") from None
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        while True:
+            while index < len(record.events):
+                writer.write(_sse_event(record.events[index]))
+                index += 1
+            await writer.drain()
+            if record.terminal and index >= len(record.events):
+                return
+            known = index
+            await record.wait_for_events(known, _SSE_KEEPALIVE)
+            if len(record.events) <= known:
+                writer.write(b": keep-alive\n\n")  # idle heartbeat
+
+    # -- stats ----------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        active = sum(1 for r in self._records.values() if not r.terminal)
+        payload: dict[str, Any] = {
+            "schema": STATS_SCHEMA,
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "experiments": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "errors": self.errors,
+                "active": active,
+                "evicted": self.evicted,
+            },
+            "jobs": {
+                "claimed": self.registry.claimed_total,
+                "coalesced": self.registry.coalesced_total,
+                "cached": self.jobs_cached,
+                "in_flight": self.registry.in_flight(),
+                "executed": self.bench.exec_stats.executed,
+            },
+            "executor": self.bench.exec_stats.to_dict(),
+            "simulations_run": self.bench.simulations_run,
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "quota": self.quota.snapshot(),
+        }
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+async def _serve_async(server: ReproServer, announce: bool) -> None:
+    await server.start()
+    if announce:
+        print(f"repro service listening on {server.url} "
+              f"(workers={server.bench.workers}, "
+              f"cache={'off' if server.cache is None else server.cache.root})")
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+
+
+def serve(announce: bool = True, **kwargs: Any) -> int:
+    """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
+    server = ReproServer(**kwargs)
+    try:
+        asyncio.run(_serve_async(server, announce))
+    except KeyboardInterrupt:
+        if announce:
+            print("\nrepro service stopped")
+        return 130
+    return 0
+
+
+class BackgroundServer:
+    """Run a :class:`ReproServer` on a daemon thread (tests, notebooks).
+
+    ::
+
+        with BackgroundServer(workers=0, cache_dir=tmp) as server:
+            client = Client(server.url)
+            ...
+
+    ``__enter__`` blocks until the socket is bound (so ``server.port`` is
+    the real ephemeral port); ``__exit__`` interrupts in-flight sweeps at
+    the next settle boundary and joins the thread.
+    """
+
+    def __init__(self, **kwargs: Any):
+        self._kwargs = kwargs
+        self.server: ReproServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+
+    def __enter__(self) -> ReproServer:
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("background repro server failed to start in 30s")
+        if self._error is not None:
+            raise RuntimeError("background repro server failed") from self._error
+        assert self.server is not None
+        return self.server
+
+    async def _main(self) -> None:
+        try:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.server = ReproServer(**self._kwargs)
+            await self.server.start()
+        except BaseException as exc:  # noqa: BLE001 - surfaced in __enter__
+            self._error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop.wait()
+        await self.server.aclose()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # loop already gone
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30)

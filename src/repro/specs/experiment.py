@@ -133,7 +133,12 @@ class ExperimentSpec:
     description: str = ""
     execution: dict[str, Any] | None = None
 
-    _EXECUTION_KEYS = ("max_retries", "job_timeout", "fail_fast")
+    # Keys that override the executor's ExecutionPolicy...
+    _POLICY_KEYS = ("max_retries", "job_timeout", "fail_fast")
+    # ...plus service-only knobs (scheduling priority for `repro serve`),
+    # which execution_policy() must filter out: ExecutionPolicy has no
+    # such field, and replace() would raise on it.
+    _EXECUTION_KEYS = _POLICY_KEYS + ("priority",)
 
     def __post_init__(self) -> None:
         require_type(self.name, str, "ExperimentSpec.name")
@@ -150,9 +155,9 @@ class ExperimentSpec:
             )
             kernels = [w.kernel for w in workloads]
             if len(set(kernels)) != len(kernels):
-                # A kernel may appear once: repeats with different
-                # per-workload overrides would collide in the workbench's
-                # in-memory cache, which does not key on instructions/seed.
+                # A kernel may appear once: repeated entries would be
+                # ambiguous about which overrides win, and the generic
+                # sweep table keys rows by kernel name.
                 raise SpecError(
                     "ExperimentSpec.workloads lists a kernel more than once"
                 )
@@ -196,6 +201,12 @@ class ExperimentSpec:
                     self.execution["fail_fast"],
                     bool,
                     "ExperimentSpec.execution.fail_fast",
+                )
+            if "priority" in self.execution:
+                require_type(
+                    self.execution["priority"],
+                    int,
+                    "ExperimentSpec.execution.priority",
                 )
             object.__setattr__(self, "execution", dict(self.execution))
 
@@ -270,13 +281,19 @@ class ExperimentSpec:
         ``base`` is an :class:`~repro.experiments.outcomes.ExecutionPolicy`
         (typically the workbench's, i.e. the CLI flags); keys the spec
         does not set keep the base values.  Returns ``base`` unchanged
-        when the spec declares no overrides.
+        when the spec declares no overrides.  Service-only execution
+        keys (``priority``) are not policy fields and are ignored here.
         """
-        if not self.execution:
+        overrides = {
+            key: value
+            for key, value in (self.execution or {}).items()
+            if key in self._POLICY_KEYS
+        }
+        if not overrides:
             return base
         from dataclasses import replace
 
-        return replace(base, **self.execution)
+        return replace(base, **overrides)
 
     # ------------------------------------------------------------------
     def canonical_payload(self) -> dict[str, Any]:

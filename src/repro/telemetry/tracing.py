@@ -11,6 +11,15 @@ worker records into its own and ships the spans back as plain tuples
 (:meth:`Tracer.export`), which the parent merges (:meth:`Tracer.merge`)
 tagged ``worker=True``.  Tracing is strictly opt-in: every call site
 takes ``tracer=None`` and skips the bookkeeping entirely when absent.
+
+The job service (:mod:`repro.service`) reuses the event side of the
+tracer for its scheduling decisions: ``service.submit`` (one per
+accepted experiment, tagged with the execute/coalesced/cached split),
+``service.coalesce`` (a submission subscribed to in-flight work),
+``service.fanout`` (one settlement delivered to multiple experiments)
+and ``service.evict`` (a finished record aged out of history).  Pass
+``tracer=`` to :class:`~repro.service.server.ReproServer` to collect
+them alongside the executor's spans.
 """
 
 from __future__ import annotations

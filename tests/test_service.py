@@ -1,0 +1,597 @@
+"""Service-grade battery for the ``repro serve`` job API.
+
+Everything here drives a *real* server on an ephemeral port through
+:class:`repro.api.Client` -- no handler mocking -- and pins the
+service's core guarantees:
+
+* an HTTP-submitted sweep is bit-identical to ``run_spec`` on a plain
+  serial workbench;
+* a duplicate submission is a pure cache hit (zero new simulations);
+* overlapping submissions coalesce: each shared job key simulates
+  exactly once (also locked order-invariantly by a hypothesis property
+  over :func:`repro.service.plan_claims`);
+* quota exhaustion surfaces as a 429 ``repro.service_error/1`` payload;
+* the SSE journal replays after reconnect (``Last-Event-ID``);
+* chaos-injected submissions converge bit-identical to fault-free runs;
+* the stats endpoint reconciles with the shared workbench's
+  ``exec_stats`` / ``simulations_run`` / cache counters;
+* concurrent writers cannot corrupt a :class:`SweepManifest` journal.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cache import job_key
+from repro.experiments.harness import Workbench
+from repro.experiments.manifest import SweepManifest
+from repro.experiments.sweep import run_spec
+from repro.service import (
+    BackgroundServer,
+    Client,
+    SERVICE_ERROR_SCHEMA,
+    ServiceError,
+    TokenBucket,
+    plan_claims,
+    queue_key,
+    validate_error,
+)
+from repro.service.scheduler import CoalescingRegistry
+from repro.specs import ExperimentSpec, SpecError, spec_hash
+from repro.testing import chaos
+from repro.workloads.suite import get_kernel
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+
+
+def make_spec(
+    name="svc-sweep",
+    kernels=("gzip",),
+    clusters=(1,),
+    policies=("l",),
+    instructions=2000,
+    execution=None,
+):
+    return ExperimentSpec.from_dict(
+        {
+            "name": name,
+            "instructions": instructions,
+            "workloads": [{"kernel": k} for k in kernels],
+            "sweeps": [
+                {
+                    "machines": [{"clusters": c} for c in clusters],
+                    "policies": list(policies),
+                }
+            ],
+            **({"execution": execution} if execution else {}),
+        }
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    with BackgroundServer(workers=0, cache_dir=tmp_path / "cache") as srv:
+        yield srv
+
+
+# ---------------------------------------------------------------------------
+# End-to-end round trip
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    def test_http_sweep_bit_identical_to_serial_run_spec(self, server, tmp_path):
+        spec = make_spec(kernels=("gzip", "mcf"), clusters=(1, 2), policies=("l", "s"))
+        client = Client(server.url)
+        report = client.run(spec)
+
+        bench = Workbench(workers=0)
+        serial = run_spec(bench, spec)
+        # JSON text, not dict equality: figures with averaged columns can
+        # carry NaN cells, which never compare equal as floats.
+        assert json.dumps(report["figure"], sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )
+
+        from repro.specs import policy_label
+
+        serial_rows = {
+            (job.kernel, job.config.name, policy_label(job.policy)): bench.result_for(job)
+            for job in spec.jobs(bench)
+        }
+        assert len(report["runs"]) == len(spec.jobs(bench))
+        for row in report["runs"]:
+            result = serial_rows[(row["kernel"], row["config"], row["policy"])]
+            assert row["cycles"] == result.cycles
+            assert row["instructions"] == result.instructions
+            assert row["cpi"] == result.cpi
+        assert report["schema"] == "repro.run_report/1"
+
+    def test_duplicate_submission_is_pure_cache_hit(self, server):
+        spec = make_spec(kernels=("gzip",), clusters=(1, 2))
+        client = Client(server.url)
+        first = client.run(spec)
+        executed = client.stats()["jobs"]["executed"]
+        assert executed == 2
+
+        second_sub = client.submit(spec)
+        client.wait(second_sub["id"])
+        second = client.result(second_sub["id"])
+        stats = client.stats()
+        assert stats["jobs"]["executed"] == executed  # zero new simulations
+        assert stats["jobs"]["cached"] >= 2
+        assert second["runs"] == first["runs"]
+        assert second["totals"] == first["totals"]
+        assert second["figure"] == first["figure"]
+
+    def test_status_and_events_reflect_lifecycle(self, server):
+        spec = make_spec()
+        client = Client(server.url)
+        sub = client.submit(spec)
+        assert sub["status"] in ("queued", "running", "done")
+        final = client.wait(sub["id"])
+        assert final["status"] == "done"
+        assert final["jobs"]["completed"] == final["jobs"]["total"] == 1
+        assert final["jobs"]["failed"] == 0
+        assert "manifest" in final  # journal summary rides on status
+
+        events = list(client.events(sub["id"]))
+        names = [e["event"] for e in events]
+        assert names[0] == "status" and names[-1] == "done"
+        assert names.count("job") == 1
+        assert [e["id"] for e in events] == list(range(1, len(events) + 1))
+
+
+# ---------------------------------------------------------------------------
+# Coalescing
+# ---------------------------------------------------------------------------
+
+
+class TestCoalescing:
+    def test_overlapping_sweeps_simulate_shared_jobs_once(self, server):
+        spec_a = make_spec(name="sweep-a", kernels=("gzip", "mcf"))
+        spec_b = make_spec(name="sweep-b", kernels=("mcf", "gcc"))
+        client = Client(server.url)
+
+        bench = Workbench(workers=0)
+        union = {job_key(j) for j in spec_a.jobs(bench)} | {
+            job_key(j) for j in spec_b.jobs(bench)
+        }
+        assert len(union) == 3  # mcf/1/l shared
+
+        sub_a = client.submit(spec_a)
+        sub_b = client.submit(spec_b)  # while A is queued/running
+        # B must not claim anything A owns: its overlap either coalesces
+        # onto A's in-flight claim or (if A already finished it) comes
+        # back from the cache -- never a second execution.
+        assert sub_b["jobs"]["execute"] <= 1
+        client.wait(sub_a["id"])
+        final_b = client.wait(sub_b["id"])
+        assert final_b["jobs"]["completed"] == 2
+
+        stats = client.stats()
+        assert stats["jobs"]["executed"] == len(union)  # exactly once each
+        report_a = client.result(sub_a["id"])
+        report_b = client.result(sub_b["id"])
+        rows_a = {r["kernel"]: r for r in report_a["runs"]}
+        rows_b = {r["kernel"]: r for r in report_b["runs"]}
+        assert rows_a["mcf"] == rows_b["mcf"]  # fan-out delivered the same result
+
+    def test_registry_exactly_once_and_fan_out(self):
+        registry = CoalescingRegistry()
+        first = registry.claim("a", ["k1", "k2", "k1"])  # in-submission dupes collapse
+        assert first.execute == ("k1", "k2")
+        second = registry.claim("b", ["k2", "k3"])
+        assert second.coalesced == ("k2",) and second.execute == ("k3",)
+        assert registry.settle("k2") == ["a", "b"]  # owner first
+        assert registry.settle("k2") == []  # settled keys leave the registry
+        third = registry.claim("c", ["k2"], is_cached=lambda k: True)
+        assert third.cached == ("k2",)
+
+    def test_registry_release_reowns_subscribed_flights(self):
+        registry = CoalescingRegistry()
+        registry.claim("a", ["k1", "k2"])
+        registry.claim("b", ["k1"])
+        dropped = registry.release("a")
+        assert dropped == ["k2"]  # unsubscribed flight dropped
+        assert registry.settle("k1") == ["b"]  # subscribed flight re-owned
+
+    def test_priority_queue_ordering(self):
+        entries = sorted(
+            [queue_key(0, 1), queue_key(5, 2), queue_key(5, 3), queue_key(-1, 4)]
+        )
+        assert entries == [(-5, 2), (-5, 3), (0, 1), (1, 4)]
+
+
+KEYS = st.lists(
+    st.sampled_from([f"k{i}" for i in range(8)]), min_size=0, max_size=8
+)
+SUBMISSIONS = st.lists(KEYS, min_size=0, max_size=6)
+
+
+class TestCoalescingProperties:
+    @settings(max_examples=200)
+    @given(submissions=SUBMISSIONS, cached=st.sets(st.sampled_from([f"k{i}" for i in range(8)])))
+    def test_claims_partition_each_submission(self, submissions, cached):
+        claims = plan_claims(submissions, cached)
+        executed_union: set[str] = set()
+        for keys, claim in zip(submissions, claims):
+            unique = list(dict.fromkeys(keys))
+            parts = [*claim.execute, *claim.coalesced, *claim.cached]
+            assert sorted(parts) == sorted(unique)  # a partition, no dupes
+            assert set(claim.cached) <= cached
+            # coalesced keys were claimed by an earlier submission
+            assert set(claim.coalesced) <= executed_union
+            # exactly-once: no key is executed twice across submissions
+            assert not (set(claim.execute) & executed_union)
+            executed_union |= set(claim.execute)
+        all_keys = set().union(*map(set, submissions)) if submissions else set()
+        assert executed_union == all_keys - cached
+
+    @settings(max_examples=100)
+    @given(
+        submissions=SUBMISSIONS,
+        cached=st.sets(st.sampled_from([f"k{i}" for i in range(8)])),
+        seed=st.randoms(use_true_random=False),
+    )
+    def test_executed_set_is_order_invariant(self, submissions, cached, seed):
+        baseline = plan_claims(submissions, cached)
+        shuffled = list(submissions)
+        seed.shuffle(shuffled)
+        permuted = plan_claims(shuffled, cached)
+
+        def executed(claims):
+            return set().union(*(set(c.execute) for c in claims)) if claims else set()
+
+        assert executed(baseline) == executed(permuted)
+        assert sum(len(c.execute) for c in baseline) == sum(
+            len(c.execute) for c in permuted
+        )
+
+
+# ---------------------------------------------------------------------------
+# Quotas and typed errors
+# ---------------------------------------------------------------------------
+
+
+class TestQuota:
+    def test_quota_exhaustion_is_a_429_typed_error(self, tmp_path):
+        with BackgroundServer(
+            workers=0, cache_dir=tmp_path / "cache", quota=3
+        ) as server:
+            client = Client(server.url, client_id="alice")
+            spec = make_spec(clusters=(1, 2))  # cost 2
+            first = client.submit(spec)
+            client.wait(first["id"])
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(spec)  # cost 2 > 1 remaining
+            err = excinfo.value
+            assert err.code == "quota_exhausted"
+            assert err.status == 429
+            assert err.detail["client"] == "alice"
+            assert err.detail["cost"] == 2
+            assert err.detail["capacity"] == 3
+            validate_error(err.to_payload())
+
+            # quotas are per-client: another tenant still gets through
+            other = Client(server.url, client_id="bob")
+            sub = other.submit(spec)
+            assert other.wait(sub["id"])["status"] == "done"
+            snapshot = other.stats()["quota"]
+            assert set(snapshot) == {"alice", "bob"}
+
+    def test_token_bucket_refills_lazily(self):
+        now = [0.0]
+        bucket = TokenBucket(4, refill_rate=2.0, clock=lambda: now[0])
+        assert bucket.try_consume(4)
+        assert not bucket.try_consume(1)
+        assert bucket.retry_after(2) == pytest.approx(1.0)
+        now[0] += 1.0
+        assert bucket.available() == pytest.approx(2.0)
+        assert bucket.try_consume(2)
+        assert bucket.retry_after(5) is None  # can never afford it
+
+    def test_http_error_payloads_are_typed(self, server):
+        client = Client(server.url)
+        for do, code, status in [
+            (lambda: client._request("POST", "/v1/experiments", headers={"Content-Type": "application/json"}), "invalid_json", 400),
+            (lambda: client.submit({"name": "x"}), "invalid_spec", 400),
+            (lambda: client.status("exp-999999"), "not_found", 404),
+            (lambda: client._request("GET", "/v1/experiments"), "method_not_allowed", 405),
+            (lambda: client._request("POST", "/v1/stats"), "method_not_allowed", 405),
+            (lambda: client._request("GET", "/v1/nope"), "not_found", 404),
+        ]:
+            with pytest.raises(ServiceError) as excinfo:
+                do()
+            assert excinfo.value.code == code
+            assert excinfo.value.status == status
+            payload = excinfo.value.to_payload()
+            assert payload["schema"] == SERVICE_ERROR_SCHEMA
+            validate_error(payload)
+
+    def test_result_before_completion_conflicts(self, server):
+        spec = make_spec(kernels=("gzip", "mcf"), instructions=30_000)
+        client = Client(server.url)
+        sub = client.submit(spec)
+        try:
+            client.result(sub["id"])
+        except ServiceError as err:
+            assert err.code == "conflict"
+            assert err.status == 409
+        else:
+            # Only acceptable if the sweep genuinely finished already.
+            assert client.status(sub["id"])["status"] == "done"
+        client.wait(sub["id"])
+
+
+# ---------------------------------------------------------------------------
+# SSE replay
+# ---------------------------------------------------------------------------
+
+
+class TestEvents:
+    def test_sse_replays_journal_after_reconnect(self, server):
+        spec = make_spec(kernels=("gzip", "mcf"))
+        client = Client(server.url)
+        sub = client.submit(spec)
+        client.wait(sub["id"])
+
+        full = list(client.events(sub["id"]))
+        assert len(full) >= 4  # status, 2 jobs, done
+        # Drop the connection after two events, reconnect with
+        # Last-Event-ID: the replayed suffix must match exactly.
+        seen = []
+        for event in client.events(sub["id"]):
+            seen.append(event)
+            if len(seen) == 2:
+                break
+        resumed = list(client.events(sub["id"], after=seen[-1]["id"]))
+        assert seen + resumed == full
+
+    def test_sse_replay_from_scratch_is_idempotent(self, server):
+        spec = make_spec()
+        client = Client(server.url)
+        sub = client.submit(spec)
+        client.wait(sub["id"])
+        assert list(client.events(sub["id"])) == list(client.events(sub["id"]))
+
+
+# ---------------------------------------------------------------------------
+# Chaos
+# ---------------------------------------------------------------------------
+
+
+class TestChaos:
+    def test_chaos_injected_submission_converges_bit_identical(self, server):
+        spec = make_spec(kernels=("gzip", "mcf"))
+        client = Client(server.url)
+        config = chaos.ChaosConfig(
+            rules=(chaos.FaultRule(mode="error", attempts=(1,)),)
+        )
+        chaos.install(config)
+        try:
+            report = client.run(spec)
+        finally:
+            chaos.uninstall()
+        final = client.stats()
+        # every job failed its first attempt and was retried
+        assert final["executor"]["retries"] >= 2
+        assert final["executor"]["failed"] == 0
+
+        bench = Workbench(workers=0)
+        serial = run_spec(bench, spec)
+        # JSON text, not dict equality: figures with averaged columns can
+        # carry NaN cells, which never compare equal as floats.
+        assert json.dumps(report["figure"], sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )
+
+    def test_service_failures_settle_as_failed_jobs_not_500s(self, server):
+        spec = make_spec()
+        client = Client(server.url)
+        # error on every attempt: retries exhaust, job fails, experiment
+        # still completes with failed=1 and the report carries the failure
+        chaos.install(chaos.ChaosConfig(rules=(chaos.FaultRule(mode="error"),)))
+        try:
+            sub = client.submit(spec)
+            final = client.wait(sub["id"])
+        finally:
+            chaos.uninstall()
+        assert final["status"] == "done"
+        assert final["jobs"]["failed"] == 1
+        report = client.result(sub["id"])
+        assert report["totals"]["failed"] == 1
+        assert report["failures"][0]["kind"] == "injected"
+
+
+# ---------------------------------------------------------------------------
+# Stats reconciliation
+# ---------------------------------------------------------------------------
+
+
+class TestStats:
+    def test_stats_reconcile_with_workbench_counters(self, server):
+        spec = make_spec(kernels=("gzip", "mcf"), clusters=(1, 2))
+        client = Client(server.url)
+        client.run(spec)
+        client.run(spec)  # duplicate: all cached
+
+        stats = client.stats()
+        bench = server.bench
+        assert stats["executor"] == bench.exec_stats.to_dict()
+        assert stats["simulations_run"] == bench.simulations_run
+        # No failures and no retries here, so every execution the service
+        # claims must equal what the bench actually simulated -- this is
+        # the counter-drift regression (the batched group path used to
+        # skip exec_stats.executed).
+        assert stats["jobs"]["executed"] == stats["simulations_run"] == 4
+        assert stats["cache"] == server.cache.stats()
+        assert stats["cache"]["stores"] == 4
+        assert stats["experiments"]["submitted"] == 2
+        assert stats["experiments"]["completed"] == 2
+        assert stats["experiments"]["errors"] == 0
+        assert stats["jobs"]["in_flight"] == 0
+
+    def test_batched_group_path_counts_executed(self, tmp_path):
+        # Direct regression for the drift: grouped batched prefetch must
+        # tick exec_stats.executed exactly like the per-job executor.
+        bench = Workbench(instructions=2000, workers=0)
+        jobs = [
+            bench.job(get_kernel("gzip"), bench.clustered(c), "l") for c in (1, 2, 4)
+        ]
+        ran = bench.prefetch(jobs)
+        assert ran == 3
+        assert bench.exec_stats.executed == bench.simulations_run == 3
+
+
+# ---------------------------------------------------------------------------
+# Workbench memory-key regression (service shares one bench across specs)
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryKey:
+    def test_memory_cache_keys_on_instructions_and_seed(self):
+        bench = Workbench(instructions=2000, workers=0)
+        base = bench.job(get_kernel("gzip"), bench.clustered(1), "l")
+        variants = [
+            base,
+            replace(base, instructions=1000),
+            replace(base, seed=7),
+        ]
+        bench.prefetch(variants)
+        for job in variants:
+            result = bench.result_for(job)
+            assert result is not None
+            assert result.instructions == job.instructions
+        # the old field-subset key collapsed all three to one simulation
+        assert bench.simulations_run == 3
+
+
+# ---------------------------------------------------------------------------
+# Manifest concurrency
+# ---------------------------------------------------------------------------
+
+
+def _fake_outcome(n: int):
+    return SimpleNamespace(
+        ok=True,
+        job=SimpleNamespace(kernel=f"k{n}", config=SimpleNamespace(name="m")),
+        attempts=1,
+        elapsed=0.01,
+        failure=None,
+    )
+
+
+class TestManifestConcurrency:
+    def test_concurrent_writers_never_corrupt_the_journal(self, tmp_path):
+        manifest = SweepManifest.open(tmp_path, "deadbeef" * 8, "concurrent")
+        per_thread, threads = 50, 4
+        barrier = threading.Barrier(threads)
+        errors: list[BaseException] = []
+
+        def writer(tid: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    key = f"t{tid}-{i}"
+                    manifest.record(key, _fake_outcome(i))
+                    manifest.save()
+            except BaseException as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        workers = [threading.Thread(target=writer, args=(t,)) for t in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert not errors
+        assert not list(tmp_path.glob("*.corrupt"))
+        assert not list(tmp_path.glob("*.tmp-*"))  # no orphaned temp files
+
+        reloaded = SweepManifest.open(tmp_path, "deadbeef" * 8, "concurrent")
+        assert len(reloaded.entries) == per_thread * threads
+        assert reloaded.summary()["completed"] == per_thread * threads
+
+    def test_two_manifest_instances_share_a_path_safely(self, tmp_path):
+        # Cross-instance (cross-process analogue): every published file
+        # version is complete and parseable even while both save in a loop.
+        a = SweepManifest.open(tmp_path, "ab" * 32, "left")
+        b = SweepManifest.open(tmp_path, "ab" * 32, "right")
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn(manifest: SweepManifest, tag: str) -> None:
+            try:
+                i = 0
+                while not stop.is_set() and i < 100:
+                    manifest.record(f"{tag}-{i}", _fake_outcome(i))
+                    manifest.save()
+                    i += 1
+            except BaseException as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(a, "a")),
+            threading.Thread(target=churn, args=(b, "b")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        assert not errors
+        data = json.loads((tmp_path / ("ab" * 32 + ".json")).read_text())
+        assert data["schema"] == "repro.sweep_manifest/1"  # complete document
+
+
+# ---------------------------------------------------------------------------
+# Spec-layer service knobs
+# ---------------------------------------------------------------------------
+
+
+class TestSpecPriority:
+    def test_priority_accepted_and_reported(self, server):
+        spec = make_spec(execution={"priority": 5})
+        client = Client(server.url)
+        sub = client.submit(spec)
+        assert sub["priority"] == 5
+        client.wait(sub["id"])
+
+    def test_priority_does_not_perturb_policy_or_hash(self):
+        plain = make_spec()
+        urgent = make_spec(execution={"priority": 9, "max_retries": 0})
+        assert spec_hash(plain) == spec_hash(urgent)  # execution excluded
+        from repro.experiments.outcomes import ExecutionPolicy
+
+        base = ExecutionPolicy()
+        derived = urgent.execution_policy(base)
+        assert derived.max_retries == 0  # policy keys applied
+        assert not hasattr(derived, "priority")  # service key filtered out
+
+    def test_priority_must_be_an_integer(self):
+        with pytest.raises(SpecError):
+            make_spec(execution={"priority": "high"})
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_serve_subcommand_help(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--port", "--workers", "--cache-dir", "--quota"):
+            assert flag in out
