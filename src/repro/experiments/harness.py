@@ -416,7 +416,7 @@ class Workbench:
                 settle(JobOutcome(job=job, result=result, attempts=1))
 
         if self.workers > 1 and len(groups) > 1:
-            fallback.extend(self._run_groups_pooled(groups, settle_group))
+            fallback.extend(self._run_groups_pooled(groups, settle_group, should_stop))
         else:
             for group in groups:
                 if should_stop is not None and should_stop():
@@ -441,15 +441,19 @@ class Workbench:
                     settle_group(group, results)
         return rest + fallback
 
-    def _run_groups_pooled(self, groups, settle_group) -> list[RunJob]:
+    def _run_groups_pooled(self, groups, settle_group, should_stop=None) -> list[RunJob]:
         """Fan whole groups out over a process pool (one future each).
 
         Worker tracer spans are not collected here (unlike the per-job
         pool); the parent records one ``batched-group`` span per group.
         Any per-group failure -- including a broken pool -- returns the
         group's jobs for the resilient per-job executor to retry.
+        ``should_stop`` is polled while awaiting completions (mirroring
+        the per-job scheduler's ``_check_stop``), so a graceful shutdown
+        can interrupt a multi-group sweep instead of waiting for the
+        whole pool to drain; already-settled groups stay settled.
         """
-        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
         from repro.experiments.batch import group_worker
 
@@ -457,22 +461,36 @@ class Workbench:
         pool = ProcessPoolExecutor(max_workers=min(self.workers, len(groups)))
         try:
             futures = {pool.submit(group_worker, group): group for group in groups}
-            for future, group in futures.items():
-                try:
-                    if self.tracer is not None:
-                        with self.tracer.span(
-                            "batched-group",
-                            kernel=group[0].kernel,
-                            jobs=len(group),
-                            pooled=True,
-                        ):
+            outstanding = set(futures)
+            poll = 0.25 if should_stop is not None else None
+            while outstanding:
+                if should_stop is not None and should_stop():
+                    from repro.experiments.outcomes import ExecutionInterrupted
+
+                    raise ExecutionInterrupted(
+                        f"execution stopped with {len(outstanding)} "
+                        "batched group(s) outstanding"
+                    )
+                done, outstanding = wait(
+                    outstanding, timeout=poll, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    group = futures[future]
+                    try:
+                        if self.tracer is not None:
+                            with self.tracer.span(
+                                "batched-group",
+                                kernel=group[0].kernel,
+                                jobs=len(group),
+                                pooled=True,
+                            ):
+                                results = future.result()
+                        else:
                             results = future.result()
+                    except Exception:
+                        failed.extend(group)
                     else:
-                        results = future.result()
-                except Exception:
-                    failed.extend(group)
-                else:
-                    settle_group(group, results)
+                        settle_group(group, results)
         except BaseException:
             pool.shutdown(wait=False, cancel_futures=True)
             raise

@@ -28,11 +28,14 @@ class Client:
 
     def __init__(self, base_url: str, client_id: str = "anonymous", timeout: float = 60.0):
         split = urlsplit(base_url)
+        if not split.netloc:  # tolerate "host:port" / "[::1]:port" sans scheme
+            split = urlsplit("//" + base_url)
         if split.scheme not in ("", "http"):
             raise ValueError(f"unsupported scheme {split.scheme!r} (http only)")
-        netloc = split.netloc or split.path  # tolerate "host:port" sans scheme
-        self.host, _, port = netloc.partition(":")
-        self.port = int(port) if port else 80
+        if not split.hostname:
+            raise ValueError(f"no host in {base_url!r}")
+        self.host = split.hostname  # brackets stripped from IPv6 literals
+        self.port = split.port or 80
         self.client_id = client_id
         self.timeout = timeout
 

@@ -119,23 +119,22 @@ class CoalescingRegistry:
             return []
         return flight.parties()
 
-    def release(self, party: Any) -> list[str]:
-        """Drop every flight owned by ``party`` that has no subscribers.
+    def forfeit(self, party: Any) -> list[Flight]:
+        """Retire every flight owned by ``party`` without a result.
 
-        Used when a submission is abandoned before executing (internal
-        error paths); flights with subscribers are re-owned by their
-        first subscriber instead of being lost.
+        Used when a submission dies before finishing its sweep (executor
+        blew up, shutdown).  Its flights will never execute now -- the
+        subscribers coalesced precisely *because* the owner claimed the
+        key, so none of them has it in their own run set.  Re-owning the
+        flight would therefore strand it in the registry forever; instead
+        each flight is removed and handed back so the caller can fan a
+        failure out to owner and subscribers alike.  The keys leave the
+        registry, so the next submission re-claims and retries them.
         """
-        dropped: list[str] = []
-        for key, flight in list(self._flights.items()):
-            if flight.owner is not party:
-                continue
-            if flight.subscribers:
-                flight.owner = flight.subscribers.pop(0)
-            else:
-                del self._flights[key]
-                dropped.append(key)
-        return dropped
+        forfeited = [f for f in self._flights.values() if f.owner is party]
+        for flight in forfeited:
+            del self._flights[flight.key]
+        return forfeited
 
     def in_flight(self) -> int:
         return len(self._flights)

@@ -69,6 +69,8 @@ __all__ = ["BackgroundServer", "ReproServer", "serve"]
 STATS_SCHEMA = "repro.service_stats/1"
 
 _MAX_BODY = 8 << 20  # 8 MiB: a spec file is kilobytes; anything bigger is abuse
+_MAX_HEADER_BYTES = 64 << 10  # request line + headers combined
+_READ_TIMEOUT = 30.0  # seconds to receive one complete request (anti-slowloris)
 _SSE_KEEPALIVE = 15.0  # seconds between ``:`` comments on an idle stream
 
 
@@ -95,10 +97,17 @@ async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
         raise ServiceError("bad_request", f"malformed request line {line!r}")
     method, target = parts[0].upper(), parts[1]
     headers: dict[str, str] = {}
+    header_bytes = len(line)
     while True:
         raw = await reader.readline()
         if raw in (b"\r\n", b"\n", b""):
             break
+        header_bytes += len(raw)
+        if header_bytes > _MAX_HEADER_BYTES:
+            raise ServiceError(
+                "payload_too_large",
+                f"request headers exceed the {_MAX_HEADER_BYTES}-byte limit",
+            )
         name, _, value = raw.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
     body = b""
@@ -108,6 +117,8 @@ async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
             size = int(length)
         except ValueError:
             raise ServiceError("bad_request", f"bad Content-Length {length!r}") from None
+        if size < 0:
+            raise ServiceError("bad_request", f"bad Content-Length {length!r}")
         if size > _MAX_BODY:
             raise ServiceError(
                 "payload_too_large",
@@ -446,21 +457,27 @@ class ReproServer:
         self._retire(record)
 
     def _fail_record(self, record: ExperimentRecord, message: str) -> None:
-        for key in self.registry.release(record):
-            record.note_settled(
-                key,
-                False,
-                "run",
-                {
-                    "kind": "error",
-                    "error_type": "ServiceError",
-                    "message": message,
-                    "attempts": 0,
-                    "elapsed": 0.0,
-                    "traceback_digest": "",
-                },
-                publish=False,
-            )
+        failure = {
+            "kind": "error",
+            "error_type": "ServiceError",
+            "message": message,
+            "attempts": 0,
+            "elapsed": 0.0,
+            "traceback_digest": "",
+        }
+        # Forfeit (not re-own) every flight this record claimed: the
+        # subscribers coalesced instead of claiming, so their run sets
+        # exclude these keys and nobody else will ever execute them.
+        # Settle each flight as failed and fan that out, so subscribers
+        # reach a terminal state instead of waiting forever, and the
+        # keys leave the registry for the next submission to retry.
+        for flight in self.registry.forfeit(record):
+            for party in flight.parties():
+                if party is record:
+                    party.note_settled(flight.key, False, "run", failure, publish=False)
+                else:
+                    party.note_settled(flight.key, False, "coalesced", failure)
+                    self._maybe_finalize(party)
         record.status = "error"
         record.finished = time.time()
         self.errors += 1
@@ -528,12 +545,15 @@ class ReproServer:
     ) -> None:
         try:
             try:
-                request = await _read_request(reader)
+                # The timeout covers receiving one *complete* request, so a
+                # client trickling header bytes (slowloris) cannot pin a
+                # handler task open indefinitely.
+                request = await asyncio.wait_for(_read_request(reader), _READ_TIMEOUT)
             except ServiceError as exc:
                 writer.write(_http_payload(exc.status, exc.to_payload()))
                 await writer.drain()
                 return
-            except (asyncio.IncompleteReadError, ConnectionError):
+            except (asyncio.IncompleteReadError, ConnectionError, asyncio.TimeoutError):
                 return
             if request is None:
                 return

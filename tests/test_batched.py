@@ -189,6 +189,22 @@ def test_plan_groups_buckets_by_trace_and_falls_back():
     assert total == len(a + b)
 
 
+def test_pooled_group_prefetch_honors_should_stop():
+    # Graceful shutdown must interrupt the *pooled* batched path too,
+    # not just the serial group loop: should_stop is polled while
+    # awaiting group completions.
+    from repro.experiments.outcomes import ExecutionInterrupted
+
+    bench = Workbench(instructions=INSTRUCTIONS, workers=2)
+    jobs = [
+        bench.job(get_kernel(kernel), _machine(clusters), policy)
+        for kernel in ("gcc", "gzip")
+        for clusters, policy in ((1, "l"), (2, "l"))
+    ]
+    with pytest.raises(ExecutionInterrupted):
+        bench.prefetch(jobs, should_stop=lambda: True)
+
+
 def test_plan_groups_min_size_sends_singletons_to_rest():
     lone = _job(4, "p")
     groups, rest = plan_groups([lone])

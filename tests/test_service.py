@@ -195,13 +195,20 @@ class TestCoalescing:
         third = registry.claim("c", ["k2"], is_cached=lambda k: True)
         assert third.cached == ("k2",)
 
-    def test_registry_release_reowns_subscribed_flights(self):
+    def test_registry_forfeit_settles_subscribed_flights(self):
+        # A forfeited flight must leave the registry *with* its
+        # subscribers reported, never be re-owned: the subscribers
+        # coalesced instead of claiming, so no surviving submission has
+        # the key in its run set and a re-owned flight would sit in the
+        # registry forever (stranding the subscriber and swallowing
+        # every future submission of the key).
         registry = CoalescingRegistry()
         registry.claim("a", ["k1", "k2"])
         registry.claim("b", ["k1"])
-        dropped = registry.release("a")
-        assert dropped == ["k2"]  # unsubscribed flight dropped
-        assert registry.settle("k1") == ["b"]  # subscribed flight re-owned
+        forfeited = {f.key: f.parties() for f in registry.forfeit("a")}
+        assert forfeited == {"k1": ["a", "b"], "k2": ["a"]}
+        assert registry.in_flight() == 0  # nothing stranded
+        assert registry.claim("c", ["k1"]).execute == ("k1",)  # retryable
 
     def test_priority_queue_ordering(self):
         entries = sorted(
@@ -316,6 +323,26 @@ class TestQuota:
             assert payload["schema"] == SERVICE_ERROR_SCHEMA
             validate_error(payload)
 
+    def test_negative_content_length_is_a_typed_400(self, server):
+        # http.client never sends a negative Content-Length, so speak raw
+        # bytes: the parser must reject it as bad_request, not blow up in
+        # readexactly() and drop the connection without a response.
+        import socket
+
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /v1/experiments HTTP/1.1\r\n"
+                b"Host: test\r\nContent-Length: -5\r\n\r\n"
+            )
+            raw = b""
+            while chunk := sock.recv(65536):  # server closes after responding
+                raw += chunk
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.split(b"\r\n", 1)[0] == b"HTTP/1.1 400 Bad Request"
+        payload = json.loads(body.decode("utf-8"))
+        assert payload["error"] == "bad_request"
+        validate_error(payload)
+
     def test_result_before_completion_conflicts(self, server):
         spec = make_spec(kernels=("gzip", "mcf"), instructions=30_000)
         client = Client(server.url)
@@ -329,6 +356,24 @@ class TestQuota:
             # Only acceptable if the sweep genuinely finished already.
             assert client.status(sub["id"])["status"] == "done"
         client.wait(sub["id"])
+
+
+class TestClientUrl:
+    def test_client_parses_ipv6_and_schemeless_urls(self):
+        # [::1] used to partition on the first ':', yielding host "[".
+        for url, host, port in [
+            ("http://[::1]:8035", "::1", 8035),
+            ("http://127.0.0.1:9000", "127.0.0.1", 9000),
+            ("127.0.0.1:9000", "127.0.0.1", 9000),
+            ("localhost:9000", "localhost", 9000),
+            ("http://localhost", "localhost", 80),
+        ]:
+            client = Client(url)
+            assert (client.host, client.port) == (host, port)
+
+    def test_client_rejects_non_http_schemes(self):
+        with pytest.raises(ValueError):
+            Client("https://localhost:1")
 
 
 # ---------------------------------------------------------------------------
@@ -392,6 +437,53 @@ class TestChaos:
         assert json.dumps(report["figure"], sort_keys=True) == json.dumps(
             serial.to_dict(), sort_keys=True
         )
+
+    def test_failed_sweep_fails_over_coalesced_subscribers(self, server):
+        # A claims gzip+mcf+gcc: gzip hangs long enough for B to submit
+        # and coalesce onto mcf+gcc, then mcf errors under fail_fast, so
+        # A's sweep raises RunFailureError with gcc never executed.  The
+        # forfeited flights must settle B as failed -- before the fix,
+        # release() re-owned them to B (which has no execution path for
+        # them), leaving B "running" forever and every later submission
+        # of those keys coalescing onto the dead flight.
+        spec_a = make_spec(
+            name="doomed",
+            kernels=("gzip", "mcf", "gcc"),
+            execution={"fail_fast": True, "max_retries": 0},
+        )
+        spec_b = make_spec(name="rider", kernels=("mcf", "gcc"))
+        client = Client(server.url)
+        chaos.install(
+            chaos.ChaosConfig(
+                rules=(
+                    chaos.FaultRule(mode="hang", match={"kernel": "gzip"}),
+                    chaos.FaultRule(mode="error", match={"kernel": "mcf"}),
+                ),
+                hang_seconds=2.0,
+            )
+        )
+        try:
+            sub_a = client.submit(spec_a)
+            sub_b = client.submit(spec_b)  # lands inside gzip's hang
+            assert sub_b["jobs"]["coalesced"] == 2  # riding A's flights
+            final_a = client.wait(sub_a["id"])
+            final_b = client.wait(sub_b["id"], timeout=10.0)
+        finally:
+            chaos.uninstall()
+        assert final_a["status"] == "error"
+        # B terminates: per-job failures are results, so it ends "done"
+        # with its coalesced cells marked failed, not stuck "running".
+        assert final_b["status"] == "done"
+        assert final_b["jobs"]["failed"] == 2
+        stats = client.stats()
+        assert stats["jobs"]["in_flight"] == 0  # registry fully drained
+        # The forfeited keys are retryable: a fresh fault-free submission
+        # re-claims and executes them instead of coalescing onto a ghost.
+        retry = client.submit(spec_b)
+        assert retry["jobs"]["coalesced"] == 0
+        final_retry = client.wait(retry["id"])
+        assert final_retry["status"] == "done"
+        assert final_retry["jobs"]["failed"] == 0
 
     def test_service_failures_settle_as_failed_jobs_not_500s(self, server):
         spec = make_spec()
