@@ -31,6 +31,10 @@ without a single deep import:
   :class:`RunFailure` (failures as values), :func:`execute_outcomes`,
   :func:`run_job_outcome`, :class:`SweepManifest` (sweep
   checkpoint/resume) and :class:`SimulationDiverged`;
+* **execution backends** -- the :class:`Executor` protocol and its two
+  implementations, :class:`LocalPoolExecutor` (the in-process pool) and
+  :class:`DistributedExecutor` (sharding over ``repro worker``
+  processes), plus :func:`executor_names` / :func:`make_executor`;
 * **figures** -- :data:`EXPERIMENTS`, :data:`PLANS`, :func:`figure`,
   :func:`list_figures`, plus every ``run_*`` / ``plan_*`` pair;
 * **machines & policies** -- config constructors, both simulators, all
@@ -106,6 +110,13 @@ from repro.core.simulator import SimulationDiverged
 from repro.experiments import EXPERIMENTS, PLANS, SPECS, FigureData
 from repro.experiments.aggregate import average_figures, run_seeded
 from repro.experiments.cache import RunCache, default_cache_dir, job_key
+from repro.experiments.distributed import DistributedExecutor
+from repro.experiments.executor import (
+    Executor,
+    LocalPoolExecutor,
+    executor_names,
+    make_executor,
+)
 from repro.experiments.harness import (
     DEFAULT_INSTRUCTIONS,
     POLICY_NAMES,
@@ -310,6 +321,9 @@ __all__ = [
     "__version__",
     # workbench & execution
     "DEFAULT_INSTRUCTIONS",
+    "DistributedExecutor",
+    "Executor",
+    "LocalPoolExecutor",
     "POLICY_NAMES",
     "ParallelWorkbench",
     "PreparedWorkload",
@@ -322,7 +336,9 @@ __all__ = [
     "execute_job",
     "execute_jobs",
     "execute_outcomes",
+    "executor_names",
     "job_key",
+    "make_executor",
     "prepare_workload",
     "run_job_outcome",
     "run_seeded",

@@ -9,10 +9,11 @@ A thin front door over the experiment runner plus spec-file tooling::
     repro specs validate specs/*.json   # schema-check spec files
     repro specs status specs/*.json     # checkpoint progress per sweep
     repro serve --port 8035 --workers 4 # the async job API (repro.service)
+    repro worker 127.0.0.1:7070         # serve a distributed sweep (repro.distwork)
 
 ``python -m repro`` forwards here, so all three spellings are
-equivalent.  Everything that is not a ``specs`` or ``serve`` subcommand
-is handed to :func:`repro.experiments.runner.main` unchanged.
+equivalent.  Everything that is not a ``specs``, ``serve`` or ``worker``
+subcommand is handed to :func:`repro.experiments.runner.main` unchanged.
 """
 
 from __future__ import annotations
@@ -212,7 +213,30 @@ def _serve_main(argv: list[str]) -> int:
         default=0.0,
         help="tokens refilled per second per client (needs --quota)",
     )
+    from repro.experiments.executor import executor_names
+
+    parser.add_argument(
+        "--executor",
+        choices=executor_names(),
+        default="local",
+        help="execution backend for simulation jobs (default: local)",
+    )
+    parser.add_argument(
+        "--workers-endpoint",
+        default=None,
+        help=(
+            "where 'repro worker' processes rendezvous (host:port or a "
+            "shared spool directory; required with --executor distributed)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.executor == "distributed" and not args.workers_endpoint:
+        print(
+            "repro serve: --executor distributed needs --workers-endpoint "
+            "(host:port or a shared spool directory)",
+            file=sys.stderr,
+        )
+        return 2
     from repro.experiments.harness import DEFAULT_INSTRUCTIONS
     from repro.service import serve
 
@@ -228,6 +252,8 @@ def _serve_main(argv: list[str]) -> int:
         seed=args.seed,
         quota=args.quota,
         quota_refill=args.quota_refill,
+        executor=args.executor,
+        workers_endpoint=args.workers_endpoint,
     )
 
 
@@ -237,6 +263,10 @@ def main(argv: list[str] | None = None) -> int:
         return _specs_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from repro.distwork.worker import main as worker_main
+
+        return worker_main(argv[1:])
     from repro.experiments.runner import main as runner_main
 
     return runner_main(argv)

@@ -1,0 +1,395 @@
+"""The ``repro worker`` process: lease jobs, run them, report outcomes.
+
+A worker is deliberately thin: all simulation, retry and fault-injection
+semantics come from the existing resilient per-job path
+(:func:`repro.experiments.parallel.run_job_outcome`), and the shared
+content-addressed :class:`~repro.experiments.cache.RunCache` is both its
+fast path (another worker may have produced the result already) and its
+durable store (results survive the worker; the coordinator's copy of the
+outcome is just the notification).
+
+Lease semantics: the coordinator grants one task at a time and expects a
+heartbeat at the advertised interval; a worker that dies mid-job simply
+stops heartbeating and the task is re-queued for someone else.  The task
+message carries ``attempt`` -- attempts charged by earlier dead leases --
+and the in-process retry loop continues counting from there, so the
+retry budget and the deterministic chaos schedule (``REPRO_CHAOS``
+reaches this process through the environment like any pool worker) span
+lease boundaries exactly as they span pool respawns locally.
+
+Both transports are symmetrical for the worker:
+
+* **tcp** -- one persistent framed-JSON connection; a background thread
+  shares the socket under a lock to heartbeat while the main thread
+  simulates.
+* **dir** -- claim ``tasks/<id>.json`` by atomic rename into ``active/``,
+  heartbeat by touching the claimed file's mtime, report by writing
+  ``results/<id>.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+from typing import Any
+
+from repro.distwork.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    job_from_dict,
+    outcome_to_dict,
+    parse_endpoint,
+    policy_from_dict,
+    recv_frame,
+    send_frame,
+)
+from repro.experiments.cache import RunCache
+from repro.experiments.outcomes import JobOutcome
+from repro.experiments.parallel import run_job_outcome
+
+__all__ = ["execute_leased_job", "main", "run_worker"]
+
+
+def execute_leased_job(
+    task: dict[str, Any], cache: RunCache | None
+) -> dict[str, Any]:
+    """Run one leased task to a settled outcome message.
+
+    Cache first: a hit (stored by a previous sweep or a sibling worker)
+    settles as ``source="cache"`` without simulating.  A fresh run goes
+    through the policy's retry loop starting past the attempts already
+    charged to dead leases, and its result is stored to the shared cache
+    *before* the outcome is reported -- if the report is lost, the work
+    is not.
+    """
+    job = job_from_dict(task["job"])
+    policy = policy_from_dict(task.get("policy", {}))
+    if cache is not None:
+        result = cache.load(job)
+        if result is not None:
+            outcome = JobOutcome(job=job, result=result, attempts=0, source="cache")
+            return outcome_to_dict(outcome)
+    outcome = run_job_outcome(
+        job, policy=policy, start_attempt=int(task.get("attempt", 0))
+    )
+    if cache is not None and outcome.ok:
+        cache.store(job, outcome.result)
+    return outcome_to_dict(outcome)
+
+
+def run_worker(
+    endpoint: str,
+    *,
+    cache: RunCache | None = None,
+    worker_id: str | None = None,
+    poll: float = 0.2,
+    idle_timeout: float | None = None,
+    reconnect_window: float = 10.0,
+    stop_event: "threading.Event | None" = None,
+) -> int:
+    """Serve jobs from ``endpoint`` until stopped; returns jobs executed.
+
+    Exits when the coordinator says stop, when ``idle_timeout`` seconds
+    pass with nothing to do, when ``stop_event`` is set (in-process
+    embedding, used by tests), or -- tcp only -- when the coordinator
+    stays unreachable for ``reconnect_window`` seconds.
+    """
+    if worker_id is None:
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    kind, target = parse_endpoint(endpoint)
+    if kind == "tcp":
+        return _run_tcp_worker(
+            target,
+            cache=cache,
+            worker_id=worker_id,
+            poll=poll,
+            idle_timeout=idle_timeout,
+            reconnect_window=reconnect_window,
+            stop_event=stop_event,
+        )
+    return _run_dir_worker(
+        pathlib.Path(target),
+        cache=cache,
+        worker_id=worker_id,
+        poll=poll,
+        idle_timeout=idle_timeout,
+        stop_event=stop_event,
+    )
+
+
+# ---------------------------------------------------------------------------
+# TCP transport
+# ---------------------------------------------------------------------------
+
+
+class _Connection:
+    """One framed connection; a lock serializes whole request/response
+    exchanges so the heartbeat thread and the main thread can share it."""
+
+    def __init__(self, address: tuple[str, int], worker_id: str):
+        self.sock = socket.create_connection(address, timeout=30.0)
+        self.lock = threading.Lock()
+        self.worker_id = worker_id
+        reply = self.exchange({"op": "hello", "version": PROTOCOL_VERSION})
+        if reply.get("op") != "welcome":
+            raise ProtocolError(f"expected welcome, got {reply.get('op')!r}")
+        self.heartbeat_interval = float(reply.get("heartbeat", 5.0))
+
+    def exchange(self, message: dict[str, Any]) -> dict[str, Any]:
+        with self.lock:
+            send_frame(self.sock, dict(message, worker=self.worker_id))
+            reply = recv_frame(self.sock)
+        if reply is None:
+            raise ProtocolError("coordinator closed the connection")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+def _run_tcp_worker(
+    address: tuple[str, int],
+    *,
+    cache: RunCache | None,
+    worker_id: str,
+    poll: float,
+    idle_timeout: float | None,
+    reconnect_window: float,
+    stop_event: "threading.Event | None",
+) -> int:
+    executed = 0
+    conn: _Connection | None = None
+    unreachable_since: float | None = None
+    idle_since: float | None = None
+    try:
+        while True:
+            if stop_event is not None and stop_event.is_set():
+                return executed
+            if conn is None:
+                try:
+                    conn = _Connection(address, worker_id)
+                except (OSError, ProtocolError):
+                    now = time.monotonic()
+                    if unreachable_since is None:
+                        unreachable_since = now
+                    if now - unreachable_since >= reconnect_window:
+                        return executed
+                    time.sleep(min(poll, 0.5))
+                    continue
+                unreachable_since = None
+            try:
+                reply = conn.exchange({"op": "next"})
+                op = reply.get("op")
+                if op == "stop":
+                    return executed
+                if op == "idle":
+                    now = time.monotonic()
+                    if idle_since is None:
+                        idle_since = now
+                    if idle_timeout is not None and now - idle_since >= idle_timeout:
+                        return executed
+                    time.sleep(poll)
+                    continue
+                if op != "task":
+                    raise ProtocolError(f"expected task/idle/stop, got {op!r}")
+                idle_since = None
+                outcome = _run_tcp_task(conn, reply, cache)
+                conn.exchange(
+                    {"op": "done", "id": reply["id"], "outcome": outcome}
+                )
+                executed += 1
+            except (OSError, ProtocolError):
+                conn.close()
+                conn = None  # reconnect; an in-flight lease will be stolen
+    finally:
+        if conn is not None:
+            conn.close()
+
+
+def _run_tcp_task(
+    conn: _Connection, task: dict[str, Any], cache: RunCache | None
+) -> dict[str, Any]:
+    """Execute under a background heartbeat on the shared connection."""
+    done = threading.Event()
+
+    def beat() -> None:
+        while not done.wait(conn.heartbeat_interval):
+            try:
+                conn.exchange({"op": "heartbeat", "id": task["id"]})
+            except (OSError, ProtocolError):
+                return  # connection died; the main thread will notice
+            except Exception:  # pragma: no cover - never kill the runner
+                return
+
+    thread = threading.Thread(target=beat, name="distwork-heartbeat", daemon=True)
+    thread.start()
+    try:
+        return execute_leased_job(task, cache)
+    finally:
+        done.set()
+        thread.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# Spool-directory transport
+# ---------------------------------------------------------------------------
+
+
+def _run_dir_worker(
+    root: pathlib.Path,
+    *,
+    cache: RunCache | None,
+    worker_id: str,
+    poll: float,
+    idle_timeout: float | None,
+    stop_event: "threading.Event | None",
+) -> int:
+    tasks_dir = root / "tasks"
+    active_dir = root / "active"
+    results_dir = root / "results"
+    for directory in (tasks_dir, active_dir, results_dir):
+        directory.mkdir(parents=True, exist_ok=True)
+    executed = 0
+    idle_since: float | None = None
+    while True:
+        if stop_event is not None and stop_event.is_set():
+            return executed
+        if (root / "stop").exists():
+            return executed
+        claimed = _claim_dir_task(tasks_dir, active_dir)
+        if claimed is None:
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if idle_timeout is not None and now - idle_since >= idle_timeout:
+                return executed
+            time.sleep(poll)
+            continue
+        idle_since = None
+        active_path, task = claimed
+        outcome = _run_dir_task(active_path, task, cache)
+        result_path = results_dir / active_path.name
+        tmp = result_path.with_name(result_path.name + f".tmp-{os.getpid()}")
+        tmp.write_text(
+            json.dumps({"id": task["id"], "outcome": outcome}, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        os.replace(tmp, result_path)
+        try:
+            active_path.unlink()
+        except FileNotFoundError:  # stolen while we finished; settle wins
+            pass
+        executed += 1
+
+
+def _claim_dir_task(
+    tasks_dir: pathlib.Path, active_dir: pathlib.Path
+) -> tuple[pathlib.Path, dict[str, Any]] | None:
+    """Atomically move the oldest queued task into ``active/``.
+
+    ``os.replace`` of one source path succeeds for exactly one claimant;
+    the loser's ``FileNotFoundError`` just means someone else got it.
+    """
+    for path in sorted(tasks_dir.glob("*.json")):
+        target = active_dir / path.name
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            continue
+        try:
+            task = json.loads(target.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):  # pragma: no cover - damage
+            continue
+        return target, task
+    return None
+
+
+def _run_dir_task(
+    active_path: pathlib.Path, task: dict[str, Any], cache: RunCache | None
+) -> dict[str, Any]:
+    """Execute under a background mtime heartbeat on the claimed file."""
+    done = threading.Event()
+
+    def beat() -> None:
+        while not done.wait(1.0):
+            try:
+                os.utime(active_path)
+            except OSError:
+                return  # stolen or settled; the runner finishes regardless
+
+    thread = threading.Thread(target=beat, name="distwork-heartbeat", daemon=True)
+    thread.start()
+    try:
+        return execute_leased_job(task, cache)
+    finally:
+        done.set()
+        thread.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# CLI (``repro worker``)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description=(
+            "Serve simulation jobs leased from a sweep coordinator. "
+            "ENDPOINT is host:port (tcp) or a shared spool directory."
+        ),
+    )
+    parser.add_argument("endpoint", help="coordinator host:port or spool directory")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared result cache directory (default: the repo-wide default)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="run without the shared result cache"
+    )
+    parser.add_argument(
+        "--id", default=None, help="worker identity (default: hostname-pid)"
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="seconds between idle polls (default: 0.2)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many idle seconds (default: run until stopped)",
+    )
+    parser.add_argument(
+        "--reconnect-window",
+        type=float,
+        default=10.0,
+        help=(
+            "tcp only: exit after the coordinator stays unreachable this "
+            "many seconds (default: 10; raise it to start workers before "
+            "the sweep)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    executed = run_worker(
+        args.endpoint,
+        cache=cache,
+        worker_id=args.id,
+        poll=args.poll,
+        idle_timeout=args.idle_timeout,
+        reconnect_window=args.reconnect_window,
+    )
+    print(f"worker done: {executed} job(s) executed")
+    return 0

@@ -40,8 +40,9 @@ from typing import Iterable, Sequence
 
 from repro.core.config import MachineConfig, clustered_machine, monolithic_machine
 from repro.core.results import SimulationResult
-from repro.experiments.batch import fast_policy, grouping_blocked, plan_groups
+from repro.experiments.batch import fast_policy
 from repro.experiments.cache import RunCache
+from repro.experiments.executor import Executor, executor_names, make_executor
 from repro.experiments.outcomes import (
     ExecutionPolicy,
     JobOutcome,
@@ -53,7 +54,6 @@ from repro.experiments.parallel import (
     RunJob,
     dedupe_jobs,
     default_workers,
-    execute_outcomes,
     prepare_workload,
     run_job_outcome,
 )
@@ -118,6 +118,14 @@ class Workbench:
     :meth:`prefetch` runs same-trace groups of them through one shared
     decode/precompute/warm-up pass (:mod:`repro.experiments.batch`).
     ``batch="off"`` restores the pure per-job event path.
+
+    Execution backend: ``executor`` names the
+    :class:`~repro.experiments.executor.Executor` :meth:`prefetch` fans
+    pending jobs out through -- ``"local"`` (the in-process pool,
+    default) or ``"distributed"`` (shard over ``repro worker`` processes
+    at ``workers_endpoint``; see :mod:`repro.distwork`) -- or is a ready
+    executor instance.  Call :meth:`close_executors` when done with a
+    bench that used the distributed backend.
     """
 
     def __init__(
@@ -133,6 +141,8 @@ class Workbench:
         metrics: bool = False,
         tracer=None,
         execution: ExecutionPolicy | None = None,
+        executor: "str | Executor" = "local",
+        workers_endpoint: str | None = None,
     ):
         if instructions <= 0:
             raise ValueError("instructions must be positive")
@@ -142,6 +152,11 @@ class Workbench:
             )
         if batch not in ("auto", "off"):
             raise ValueError(f"unknown batch mode {batch!r}; want 'auto' or 'off'")
+        if isinstance(executor, str) and executor not in executor_names():
+            raise ValueError(
+                f"unknown executor {executor!r}; "
+                f"want one of: {', '.join(executor_names())}"
+            )
         self.instructions = instructions
         self.seed = seed
         self.benchmarks = tuple(benchmarks if benchmarks is not None else SUITE)
@@ -153,6 +168,9 @@ class Workbench:
         self.metrics = metrics
         self.tracer = tracer
         self.execution = execution if execution is not None else ExecutionPolicy()
+        self.executor = executor
+        self.workers_endpoint = workers_endpoint
+        self._executor_cache: dict[str, Executor] = {}
         self.exec_stats = OutcomeStats()
         if cache is not None and tracer is not None and cache.tracer is None:
             cache.tracer = tracer
@@ -310,12 +328,22 @@ class Workbench:
         return out
 
     def _settle(self, outcome: JobOutcome) -> None:
-        """Absorb one executed outcome into the caches / failure ledger."""
+        """Absorb one executed outcome into the caches / failure ledger.
+
+        Only outcomes that actually *ran* a simulation count toward
+        ``simulations_run`` and get flushed to the persistent cache; the
+        distributed executor can settle a job from the shared on-disk
+        cache (``source="cache"``) when another worker already stored it,
+        and re-storing or re-counting those would lie about work done.
+        (The local path settles everything as ``source="run"``, so its
+        accounting is unchanged.)
+        """
         key = self._memory_key(outcome.job)
         if outcome.ok:
-            self.simulations_run += 1
-            if self.cache is not None:
-                self.cache.store(outcome.job, outcome.result)
+            if outcome.source == "run":
+                self.simulations_run += 1
+                if self.cache is not None:
+                    self.cache.store(outcome.job, outcome.result)
             self._run_cache[key] = outcome.result
             self._failures.pop(key, None)
         else:
@@ -367,136 +395,44 @@ class Workbench:
             if on_outcome is not None:
                 on_outcome(outcome)
 
-        pending = self._prefetch_batched_groups(pending, settle, should_stop)
-        if pending:
-            execute_outcomes(
-                pending,
-                self.workers,
-                tracer=self.tracer,
-                policy=self.execution,
-                on_outcome=settle,
-                stats=self.exec_stats,
-                should_stop=should_stop,
-            )
+        self.resolve_executor().execute(
+            pending,
+            tracer=self.tracer,
+            policy=self.execution,
+            on_outcome=settle,
+            stats=self.exec_stats,
+            should_stop=should_stop,
+        )
         return self.simulations_run - executed_before
 
-    def _prefetch_batched_groups(self, pending, settle, should_stop=None) -> list[RunJob]:
-        """Run same-trace ``sim="batched"`` groups through the shared-
-        precompute runner; returns the jobs still owed to the per-job
-        executor.
+    def resolve_executor(self) -> Executor:
+        """The :class:`~repro.experiments.executor.Executor` prefetch uses.
 
-        Grouped execution shares one trace decode, dependence precompute
-        and canonical predictor warm-up per kernel -- the batched
-        backend's whole point -- while each job's *result* stays
-        bit-identical to individual execution (the canonical warm-up
-        makes grid points independent of grouping).  The group path
-        deliberately steps aside whenever per-job observability matters:
-        under fault injection (the chaos harness targets individual
-        attempts) and under a per-job wall-time budget (groups cannot be
-        recycled mid-flight).  A group that fails for any reason falls
-        back, whole, to the fault-tolerant per-job path, which then
-        retries/classifies each job on its own.
+        ``executor`` may be a backend name (``"local"`` /
+        ``"distributed"``) or a ready :class:`Executor` instance.  Named
+        backends are built through
+        :func:`~repro.experiments.executor.make_executor` and cached per
+        name, so a distributed executor keeps its coordinator transport
+        alive across prefetch calls (a sweep is many prefetches); the
+        local backend is stateless, so caching it is merely free.
         """
-        if grouping_blocked() is not None or self.execution.job_timeout is not None:
-            return pending
-        groups, rest = plan_groups(pending)
-        if not groups:
-            return pending
-        from repro.experiments.batch import run_batched_group
+        if not isinstance(self.executor, str):
+            return self.executor
+        cached = self._executor_cache.get(self.executor)
+        if cached is None:
+            cached = make_executor(
+                self.executor,
+                workers=self.workers,
+                endpoint=self.workers_endpoint,
+            )
+            self._executor_cache[self.executor] = cached
+        return cached
 
-        fallback: list[RunJob] = []
-
-        def settle_group(group, results) -> None:
-            for job, result in zip(group, results):
-                # Group members executed for real, so they count toward
-                # exec_stats just like per-job successes -- without this
-                # the executed counter drifts below simulations_run
-                # whenever the batched path runs.
-                self.exec_stats.executed += 1
-                settle(JobOutcome(job=job, result=result, attempts=1))
-
-        if self.workers > 1 and len(groups) > 1:
-            fallback.extend(self._run_groups_pooled(groups, settle_group, should_stop))
-        else:
-            for group in groups:
-                if should_stop is not None and should_stop():
-                    from repro.experiments.outcomes import ExecutionInterrupted
-
-                    raise ExecutionInterrupted(
-                        "execution stopped between batched groups"
-                    )
-                try:
-                    if self.tracer is not None:
-                        with self.tracer.span(
-                            "batched-group",
-                            kernel=group[0].kernel,
-                            jobs=len(group),
-                        ):
-                            results = run_batched_group(group, tracer=self.tracer)
-                    else:
-                        results = run_batched_group(group)
-                except Exception:
-                    fallback.extend(group)
-                else:
-                    settle_group(group, results)
-        return rest + fallback
-
-    def _run_groups_pooled(self, groups, settle_group, should_stop=None) -> list[RunJob]:
-        """Fan whole groups out over a process pool (one future each).
-
-        Worker tracer spans are not collected here (unlike the per-job
-        pool); the parent records one ``batched-group`` span per group.
-        Any per-group failure -- including a broken pool -- returns the
-        group's jobs for the resilient per-job executor to retry.
-        ``should_stop`` is polled while awaiting completions (mirroring
-        the per-job scheduler's ``_check_stop``), so a graceful shutdown
-        can interrupt a multi-group sweep instead of waiting for the
-        whole pool to drain; already-settled groups stay settled.
-        """
-        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-
-        from repro.experiments.batch import group_worker
-
-        failed: list[RunJob] = []
-        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(groups)))
-        try:
-            futures = {pool.submit(group_worker, group): group for group in groups}
-            outstanding = set(futures)
-            poll = 0.25 if should_stop is not None else None
-            while outstanding:
-                if should_stop is not None and should_stop():
-                    from repro.experiments.outcomes import ExecutionInterrupted
-
-                    raise ExecutionInterrupted(
-                        f"execution stopped with {len(outstanding)} "
-                        "batched group(s) outstanding"
-                    )
-                done, outstanding = wait(
-                    outstanding, timeout=poll, return_when=FIRST_COMPLETED
-                )
-                for future in done:
-                    group = futures[future]
-                    try:
-                        if self.tracer is not None:
-                            with self.tracer.span(
-                                "batched-group",
-                                kernel=group[0].kernel,
-                                jobs=len(group),
-                                pooled=True,
-                            ):
-                                results = future.result()
-                        else:
-                            results = future.result()
-                    except Exception:
-                        failed.extend(group)
-                    else:
-                        settle_group(group, results)
-        except BaseException:
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        else:
-            pool.shutdown(wait=True)
-        return failed
+    def close_executors(self) -> None:
+        """Release executor-held resources (distributed transports)."""
+        for executor in self._executor_cache.values():
+            executor.close()
+        self._executor_cache.clear()
 
     # ------------------------------------------------------------------
     def result_for(self, job: RunJob) -> SimulationResult | None:

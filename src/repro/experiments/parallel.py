@@ -37,9 +37,7 @@ from __future__ import annotations
 
 import os
 import time
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
@@ -49,12 +47,10 @@ from repro.core.rename import Dependences, extract_dependences
 from repro.core.results import SimulationResult
 from repro.core.simulator import ClusteredSimulator
 from repro.experiments.outcomes import (
-    ExecutionInterrupted,
     ExecutionPolicy,
     GarbageResult,
     JobOutcome,
     OutcomeStats,
-    RunFailureError,
     classify_failure,
 )
 from repro.frontend.branch_predictor import (
@@ -384,317 +380,6 @@ def run_job_outcome(
         )
 
 
-class _JobState:
-    """Mutable per-job bookkeeping inside the pool scheduler."""
-
-    __slots__ = ("job", "index", "attempts", "eligible_at", "first_start")
-
-    def __init__(self, job: RunJob, index: int):
-        self.job = job
-        self.index = index
-        self.attempts = 0
-        self.eligible_at = 0.0
-        self.first_start: float | None = None
-
-
-class _PoolScheduler:
-    """Per-job futures with timeouts, retries and pool recovery.
-
-    The scheduler submits at most ``pool_size`` jobs at a time, so a
-    job's wall-time budget starts ticking when it actually starts
-    running.  A hung or overdue worker cannot be cancelled politely, so
-    a timeout (like a ``BrokenProcessPool``) kills and respawns the
-    pool; in-flight jobs that were *not* at fault are re-enqueued with
-    no attempt charged.  After ``max_pool_respawns`` consecutive pool
-    deaths with zero completed jobs in between, the remaining jobs run
-    serially in-process rather than thrashing a dying pool.
-    """
-
-    def __init__(
-        self,
-        jobs: Sequence[RunJob],
-        pool_size: int,
-        tracer: "Tracer | None",
-        policy: ExecutionPolicy,
-        on_outcome: "Callable[[JobOutcome], None] | None",
-        stats: OutcomeStats | None,
-        should_stop: "Callable[[], bool] | None" = None,
-    ):
-        self.jobs = list(jobs)
-        self.pool_size = pool_size
-        self.tracer = tracer
-        self.policy = policy
-        self.on_outcome = on_outcome
-        self.stats = stats
-        self.should_stop = should_stop
-        self.outcomes: list[JobOutcome | None] = [None] * len(self.jobs)
-        self.pending: deque[_JobState] = deque(
-            _JobState(job, i) for i, job in enumerate(self.jobs)
-        )
-        self.running: dict = {}  # future -> (state, deadline | None)
-        self.pool: ProcessPoolExecutor | None = None
-        self.respawns_without_progress = 0
-        self.completed_since_respawn = 0
-        self.degrade_serial = False
-
-    # ------------------------------------------------------------------
-    def run(self) -> list[JobOutcome]:
-        try:
-            while self.pending or self.running:
-                self._check_stop()
-                if self.degrade_serial and not self.running:
-                    self._drain_serial()
-                    break
-                self._ensure_pool()
-                self._submit_eligible()
-                self._wait_and_collect()
-        except BaseException:
-            # KeyboardInterrupt or a fail-fast failure: cancel pending
-            # futures and take the children down with the pool so no
-            # orphans linger.  Completed results were already delivered
-            # through on_outcome.
-            self._kill_pool()
-            raise
-        else:
-            if self.pool is not None:
-                self.pool.shutdown(wait=True)
-                self.pool = None
-        assert all(outcome is not None for outcome in self.outcomes)
-        return self.outcomes  # type: ignore[return-value]
-
-    def _check_stop(self) -> None:
-        if self.should_stop is not None and self.should_stop():
-            raise ExecutionInterrupted(
-                f"execution stopped with {len(self.pending)} pending and "
-                f"{len(self.running)} running job(s)"
-            )
-
-    # ------------------------------------------------------------------
-    def _ensure_pool(self) -> None:
-        if self.pool is None and not self.degrade_serial:
-            self.pool = ProcessPoolExecutor(max_workers=self.pool_size)
-
-    def _submit_eligible(self) -> None:
-        if self.pool is None:
-            return
-        now = time.monotonic()
-        held: list[_JobState] = []
-        try:
-            while self.pending and len(self.running) < self.pool_size:
-                state = self.pending.popleft()
-                if state.eligible_at > now:
-                    held.append(state)
-                    continue
-                state.attempts += 1
-                if state.first_start is None:
-                    state.first_start = now
-                deadline = (
-                    now + self.policy.job_timeout
-                    if self.policy.job_timeout is not None
-                    else None
-                )
-                payload = (state.job, state.attempts, self.tracer is not None)
-                try:
-                    future = self.pool.submit(_pool_attempt, payload)
-                except BrokenProcessPool:
-                    # The job never reached the pool: uncharge and requeue.
-                    state.attempts -= 1
-                    self.pending.appendleft(state)
-                    self._pool_broken()
-                    break
-                self.running[future] = (state, deadline)
-        finally:
-            self.pending.extendleft(reversed(held))
-
-    def _wait_and_collect(self) -> None:
-        now = time.monotonic()
-        waits: list[float] = []
-        deadlines = [d for (_, d) in self.running.values() if d is not None]
-        if deadlines:
-            waits.append(min(deadlines) - now)
-        if self.pending and len(self.running) < self.pool_size:
-            # Capacity is free but every queued job is in backoff: wake
-            # when the earliest becomes eligible.
-            waits.append(min(s.eligible_at for s in self.pending) - now)
-        timeout = max(0.0, min(waits)) if waits else None
-        if not self.running:
-            if timeout:
-                time.sleep(timeout)
-            return
-        done, _ = wait(set(self.running), timeout=timeout, return_when=FIRST_COMPLETED)
-        # Harvest clean completions before any pool-death sweep: a pool
-        # break re-enqueues every job still tracked as in-flight, and a
-        # result that already arrived should not be thrown away with them.
-        for future in sorted(done, key=lambda f: f.exception() is not None):
-            self._collect(future)
-        self._check_deadlines()
-
-    # ------------------------------------------------------------------
-    def _collect(self, future) -> None:
-        entry = self.running.pop(future, None)
-        if entry is None:  # already handled by a pool-death sweep
-            return
-        state, _deadline = entry
-        try:
-            result, spans = future.result()
-            _validate_result(state.job, result)
-        except BrokenProcessPool:
-            self.running[future] = entry  # count it among the lost
-            self._pool_broken()
-            return
-        except Exception as exc:
-            self._attempt_failed(state, exc)
-            return
-        if spans and self.tracer is not None:
-            self.tracer.merge(spans, worker=True)
-        self._success(state, result)
-
-    def _success(self, state: _JobState, result: SimulationResult) -> None:
-        if self.stats is not None:
-            self.stats.executed += 1
-        self.completed_since_respawn += 1
-        self.respawns_without_progress = 0
-        self._finish(
-            state,
-            JobOutcome(
-                job=state.job,
-                result=result,
-                attempts=state.attempts,
-                elapsed=self._elapsed(state),
-            ),
-        )
-
-    def _attempt_failed(self, state: _JobState, exc: BaseException) -> None:
-        failure = classify_failure(exc, state.attempts, self._elapsed(state))
-        if failure.retryable and state.attempts <= self.policy.max_retries:
-            if self.stats is not None:
-                self.stats.retries += 1
-            if self.tracer is not None:
-                self.tracer.event(
-                    "job.retry",
-                    kernel=state.job.kernel,
-                    kind=failure.kind,
-                    attempt=state.attempts,
-                )
-            state.eligible_at = time.monotonic() + self.policy.backoff(state.attempts)
-            self.pending.append(state)
-            return
-        if self.stats is not None:
-            self.stats.record_failure(failure)
-        self._finish(
-            state,
-            JobOutcome(
-                job=state.job,
-                failure=failure,
-                attempts=state.attempts,
-                elapsed=self._elapsed(state),
-            ),
-        )
-
-    def _finish(self, state: _JobState, outcome: JobOutcome) -> None:
-        self.outcomes[state.index] = outcome
-        if self.on_outcome is not None:
-            self.on_outcome(outcome)
-        if not outcome.ok and self.policy.fail_fast:
-            assert outcome.failure is not None
-            raise RunFailureError(state.job, outcome.failure)
-
-    def _elapsed(self, state: _JobState) -> float:
-        if state.first_start is None:
-            return 0.0
-        return time.monotonic() - state.first_start
-
-    # ------------------------------------------------------------------
-    def _pool_broken(self) -> None:
-        """A worker died abruptly: respawn and re-enqueue the lost jobs.
-
-        Which in-flight job killed the worker is unknowable from the
-        parent, so every lost job is charged one ``crash`` attempt --
-        the retry budget bounds a job that reliably kills its worker
-        while letting innocent bystanders re-run.
-        """
-        lost = [state for (state, _d) in self.running.values()]
-        self.running.clear()
-        self._kill_pool()
-        if self.stats is not None:
-            self.stats.pool_respawns += 1
-        if self.tracer is not None:
-            self.tracer.event("pool.respawn", lost=len(lost))
-        if self.completed_since_respawn == 0:
-            self.respawns_without_progress += 1
-        else:
-            self.respawns_without_progress = 0
-        self.completed_since_respawn = 0
-        if self.respawns_without_progress > self.policy.max_pool_respawns:
-            self.degrade_serial = True
-            if self.tracer is not None:
-                self.tracer.event("pool.degrade-serial")
-        for state in lost:
-            self._attempt_failed(state, BrokenProcessPool("worker process died"))
-
-    def _check_deadlines(self) -> None:
-        if self.policy.job_timeout is None or not self.running:
-            return
-        now = time.monotonic()
-        overdue = [
-            (future, state)
-            for future, (state, deadline) in self.running.items()
-            if deadline is not None and deadline <= now and not future.done()
-        ]
-        if not overdue:
-            return
-        # The overdue workers are hung; the only way out is to recycle
-        # the pool.  Innocent in-flight jobs are re-enqueued uncharged.
-        if self.stats is not None:
-            self.stats.timeouts += len(overdue)
-        for future, state in overdue:
-            del self.running[future]
-            self._attempt_failed(
-                state,
-                TimeoutError(
-                    f"job exceeded {self.policy.job_timeout}s wall-time budget"
-                ),
-            )
-        for future, (state, _deadline) in list(self.running.items()):
-            state.attempts -= 1  # not this job's fault: uncharge the attempt
-            self.pending.append(state)
-        self.running.clear()
-        self._kill_pool()
-        if self.tracer is not None:
-            self.tracer.event("pool.recycle", reason="timeout")
-
-    def _kill_pool(self) -> None:
-        pool = self.pool
-        self.pool = None
-        if pool is None:
-            return
-        # Hung children never drain the call queue, so a polite shutdown
-        # would block forever: kill them first (private attr, guarded).
-        processes = getattr(pool, "_processes", None)
-        if processes:
-            for process in list(processes.values()):
-                try:
-                    process.kill()
-                except Exception:  # pragma: no cover - already-dead race
-                    pass
-        pool.shutdown(wait=False, cancel_futures=True)
-
-    # ------------------------------------------------------------------
-    def _drain_serial(self) -> None:
-        """Degraded mode: finish the remaining jobs in-process."""
-        while self.pending:
-            self._check_stop()
-            state = self.pending.popleft()
-            outcome = run_job_outcome(
-                state.job,
-                tracer=self.tracer,
-                policy=self.policy,
-                stats=self.stats,
-                start_attempt=state.attempts,
-            )
-            self._finish(state, outcome)
-
-
 def execute_outcomes(
     jobs: Sequence[RunJob],
     workers: int,
@@ -725,32 +410,22 @@ def execute_outcomes(
 
     Successful results are bit-identical to serial, fault-free execution
     regardless of retries, worker count or pool respawns.
+
+    Since the :class:`~repro.experiments.executor.Executor` protocol
+    landed this is a thin convenience over
+    :class:`~repro.experiments.executor.LocalPoolExecutor` in pure
+    per-job mode (no group batching -- this entry point never grouped).
     """
-    policy = policy if policy is not None else ExecutionPolicy()
-    jobs = list(jobs)
-    if not jobs:
-        return []
-    if workers <= 1 or len(jobs) <= 1:
-        outcomes: list[JobOutcome] = []
-        for job in jobs:
-            if should_stop is not None and should_stop():
-                raise ExecutionInterrupted(
-                    f"execution stopped with {len(jobs) - len(outcomes)} "
-                    "job(s) not yet run"
-                )
-            outcome = run_job_outcome(job, tracer=tracer, policy=policy, stats=stats)
-            outcomes.append(outcome)
-            if on_outcome is not None:
-                on_outcome(outcome)
-            if not outcome.ok and policy.fail_fast:
-                assert outcome.failure is not None
-                raise RunFailureError(job, outcome.failure)
-        return outcomes
-    scheduler = _PoolScheduler(
-        jobs, min(workers, len(jobs)), tracer, policy, on_outcome, stats,
+    from repro.experiments.executor import LocalPoolExecutor
+
+    return LocalPoolExecutor(workers=workers, batch_groups=False).execute(
+        jobs,
+        tracer=tracer,
+        policy=policy,
+        on_outcome=on_outcome,
+        stats=stats,
         should_stop=should_stop,
     )
-    return scheduler.run()
 
 
 def execute_jobs(
@@ -778,3 +453,30 @@ def dedupe_jobs(jobs: Iterable[RunJob]) -> list[RunJob]:
             seen.add(job)
             unique.append(job)
     return unique
+
+
+# The pool scheduler moved to repro.experiments.executor when the
+# Executor protocol landed.  Deep reaches into the old internals keep
+# working, via a module __getattr__ that warns once per name.
+_MOVED = {
+    "_JobState": "repro.experiments.executor",
+    "_PoolScheduler": "repro.experiments.executor",
+}
+
+
+def __getattr__(name: str):
+    module = _MOVED.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"{name!r} moved from 'repro.experiments.parallel' to {module!r}; "
+        "prefer the Executor protocol (repro.api.LocalPoolExecutor) over "
+        "scheduler internals",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # warn once per name, then resolve attribute-fast
+    return value

@@ -45,6 +45,7 @@ import time
 from repro.experiments import EXPERIMENTS, PLANS
 from repro.experiments.aggregate import run_seeded
 from repro.experiments.cache import RunCache, default_cache_dir
+from repro.experiments.executor import executor_names
 from repro.experiments.harness import DEFAULT_INSTRUCTIONS, Workbench
 from repro.experiments.manifest import SweepManifest, default_manifest_dir
 from repro.experiments.outcomes import ExecutionPolicy, RunFailureError
@@ -105,6 +106,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="fan independent simulations out over this many worker "
         "processes (default 0 = serial; results are bit-identical)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=executor_names(),
+        default="local",
+        help="execution backend: 'local' runs jobs on this machine's "
+        "process pool; 'distributed' shards them over external "
+        "'repro worker' processes at --workers-endpoint (default local)",
+    )
+    parser.add_argument(
+        "--workers-endpoint",
+        default=None,
+        metavar="ENDPOINT",
+        help="where distributed workers rendezvous: host:port (binds a "
+        "coordinator socket there) or a shared spool directory; required "
+        "with --executor distributed",
     )
     parser.add_argument(
         "--cache-dir",
@@ -267,6 +284,13 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"bad execution policy: {exc}", file=sys.stderr)
         return 2
+    if args.executor == "distributed" and not args.workers_endpoint:
+        print(
+            "--executor distributed needs --workers-endpoint "
+            "(host:port or a shared spool directory)",
+            file=sys.stderr,
+        )
+        return 2
     cache = None if args.no_cache else RunCache(args.cache_dir, tracer=tracer)
     batch_mode = "off" if args.no_batch else "auto"
     bench = Workbench(
@@ -280,11 +304,37 @@ def main(argv: list[str] | None = None) -> int:
         metrics=args.metrics,
         tracer=tracer,
         execution=execution,
+        executor=args.executor,
+        workers_endpoint=args.workers_endpoint,
     )
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
     report_dir = args.out if args.out else pathlib.Path("results")
 
+    try:
+        return _run_tasks(
+            args, tasks, bench, cache, tracer, benchmarks, execution,
+            batch_mode, json_stream, status_stream, streamed, report_dir,
+        )
+    finally:
+        # Stops distributed workers cleanly; a no-op for the local pool.
+        bench.close_executors()
+
+
+def _run_tasks(
+    args,
+    tasks,
+    bench,
+    cache,
+    tracer,
+    benchmarks,
+    execution,
+    batch_mode,
+    json_stream,
+    status_stream,
+    streamed,
+    report_dir,
+) -> int:
     for name, experiment, spec in tasks:
         start = time.time()
         hits_before = cache.hits if cache else 0

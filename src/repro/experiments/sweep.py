@@ -97,13 +97,18 @@ def run_spec(
 ) -> FigureData:
     """Execute ``spec`` on ``bench`` and return its figure table."""
     saved_execution = bench.execution
+    saved_executor = bench.executor
     bench.execution = spec.execution_policy(saved_execution)
+    spec_executor = (spec.execution or {}).get("executor")
+    if spec_executor is not None:
+        bench.executor = spec_executor
     try:
         return _run_spec(bench, spec, manifest)
     finally:
         # The workbench is shared across a CLI invocation's tasks; one
         # spec's execution overrides must not leak into the next.
         bench.execution = saved_execution
+        bench.executor = saved_executor
 
 
 def _run_spec(

@@ -170,6 +170,8 @@ class ReproServer:
         quota: float | None = None,
         quota_refill: float = 0.0,
         execution: ExecutionPolicy | None = None,
+        executor: str = "local",
+        workers_endpoint: str | None = None,
         tracer=None,
         max_history: int = 256,
     ):
@@ -186,6 +188,8 @@ class ReproServer:
             batch=batch,
             tracer=tracer,
             execution=execution if execution is not None else ExecutionPolicy(),
+            executor=executor,
+            workers_endpoint=workers_endpoint,
         )
         self.quota = QuotaManager(quota, quota_refill)
         self.registry = CoalescingRegistry()
@@ -238,6 +242,7 @@ class ReproServer:
                 await self._worker
             except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
                 pass
+        self.bench.close_executors()
 
     @property
     def url(self) -> str:
@@ -374,7 +379,11 @@ class ReproServer:
 
         with self._bench_lock:
             saved = self.bench.execution
+            saved_executor = self.bench.executor
             self.bench.execution = record.spec.execution_policy(saved)
+            spec_executor = (record.spec.execution or {}).get("executor")
+            if spec_executor is not None:
+                self.bench.executor = spec_executor
             try:
                 self.bench.prefetch(
                     run_jobs,
@@ -383,6 +392,7 @@ class ReproServer:
                 )
             finally:
                 self.bench.execution = saved
+                self.bench.executor = saved_executor
                 if manifest is not None:
                     manifest.save(force=True)
 

@@ -135,10 +135,11 @@ class ExperimentSpec:
 
     # Keys that override the executor's ExecutionPolicy...
     _POLICY_KEYS = ("max_retries", "job_timeout", "fail_fast")
-    # ...plus service-only knobs (scheduling priority for `repro serve`),
-    # which execution_policy() must filter out: ExecutionPolicy has no
-    # such field, and replace() would raise on it.
-    _EXECUTION_KEYS = _POLICY_KEYS + ("priority",)
+    # ...plus knobs that pick *how* a sweep runs rather than what it
+    # computes (scheduling priority for `repro serve`; the execution
+    # backend name), which execution_policy() must filter out:
+    # ExecutionPolicy has no such fields, and replace() would raise.
+    _EXECUTION_KEYS = _POLICY_KEYS + ("priority", "executor")
 
     def __post_init__(self) -> None:
         require_type(self.name, str, "ExperimentSpec.name")
@@ -208,6 +209,20 @@ class ExperimentSpec:
                     int,
                     "ExperimentSpec.execution.priority",
                 )
+            if "executor" in self.execution:
+                require_type(
+                    self.execution["executor"],
+                    str,
+                    "ExperimentSpec.execution.executor",
+                )
+                from repro.experiments.executor import executor_names
+
+                if self.execution["executor"] not in executor_names():
+                    raise SpecError(
+                        "ExperimentSpec.execution.executor must be one of "
+                        f"{', '.join(executor_names())}, "
+                        f"not {self.execution['executor']!r}"
+                    )
             object.__setattr__(self, "execution", dict(self.execution))
 
     @staticmethod

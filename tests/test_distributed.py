@@ -1,0 +1,445 @@
+"""Distributed sweeps: coordinator + ``repro worker`` end to end.
+
+The acceptance property mirrors the parallel/chaos suites: results
+produced through any number of workers, any join order, stolen leases
+and injected faults must be bit-identical to a serial in-process run.
+The shared content-addressed :class:`RunCache` is the result store, so
+at-least-once execution (work stealing, duplicated runs) is benign by
+construction; these tests drive both transports, kill a real worker
+process mid-sweep, corrupt a cache entry, and interrupt/resume through
+the sweep manifest to prove it.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialize import results_identical
+from repro.distwork.coordinator import TaskBoard
+from repro.distwork.protocol import (
+    ProtocolError,
+    job_from_dict,
+    job_to_dict,
+    parse_endpoint,
+    policy_from_dict,
+    policy_to_dict,
+    recv_frame,
+    send_frame,
+)
+from repro.distwork.worker import run_worker
+from repro.experiments.cache import RunCache, job_key
+from repro.experiments.distributed import DistributedExecutor
+from repro.experiments.harness import Workbench
+from repro.experiments.manifest import SweepManifest, default_manifest_dir
+from repro.experiments.outcomes import ExecutionInterrupted, ExecutionPolicy
+from repro.specs import ExperimentSpec, MachineSpec, SweepSpec, spec_hash
+from repro.testing.chaos import ChaosConfig, corrupt_cache_entry, uninstall
+from repro.workloads.suite import get_kernel
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+INSTRUCTIONS = 400
+KERNELS = ("gcc", "mcf")
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_chaos(monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    uninstall()
+    yield
+    uninstall()
+
+
+def make_bench(cache=None, **kwargs):
+    kwargs.setdefault("instructions", INSTRUCTIONS)
+    kwargs.setdefault("benchmarks", [get_kernel(k) for k in KERNELS])
+    return Workbench(cache=cache, **kwargs)
+
+
+def make_jobs(bench, policies=("l", "s")):
+    return [
+        bench.job(get_kernel(kernel), bench.clustered(2), policy)
+        for kernel in KERNELS
+        for policy in policies
+    ]
+
+
+def start_worker_threads(
+    endpoint, count, *, cache_root=None, poll=0.01, delays=None
+):
+    """In-process workers (threads): returns (threads, counts, stop_event)."""
+    stop = threading.Event()
+    counts = [0] * count
+
+    def serve(index: int) -> None:
+        if delays is not None and delays[index]:
+            time.sleep(delays[index])
+        cache = RunCache(cache_root) if cache_root is not None else None
+        counts[index] = run_worker(
+            endpoint,
+            cache=cache,
+            worker_id=f"t{index}",
+            poll=poll,
+            stop_event=stop,
+        )
+
+    threads = [
+        threading.Thread(target=serve, args=(i,), daemon=True) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    return threads, counts, stop
+
+
+def stop_worker_threads(executor, threads, stop):
+    executor.close()  # tells workers to exit at their next poll
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert not any(thread.is_alive() for thread in threads)
+
+
+# ---------------------------------------------------------------------------
+# Protocol and ledger units
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_parse_endpoint(self):
+        assert parse_endpoint("127.0.0.1:7070") == ("tcp", ("127.0.0.1", 7070))
+        assert parse_endpoint("localhost:0") == ("tcp", ("localhost", 0))
+        assert parse_endpoint("/tmp/spool")[0] == "dir"
+        assert parse_endpoint("relative/spool")[0] == "dir"
+        with pytest.raises(ValueError):
+            parse_endpoint("")
+
+    def test_job_round_trip(self):
+        bench = make_bench()
+        for job in make_jobs(bench):
+            assert job_from_dict(job_to_dict(job)) == job
+
+    def test_policy_round_trip(self):
+        policy = ExecutionPolicy(max_retries=5, job_timeout=2.0, fail_fast=True)
+        assert policy_from_dict(policy_to_dict(policy)) == policy
+        assert policy_from_dict({}) == ExecutionPolicy()
+
+    def test_framing_and_eof(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "hello", "n": 1})
+            assert recv_frame(b) == {"op": "hello", "n": 1}
+            a.close()
+            assert recv_frame(b) is None  # clean EOF at a frame boundary
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_is_an_error(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00\x00\xff{")  # header promises more bytes
+            a.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+
+class TestTaskBoard:
+    def _task(self, tid="t1", max_retries=2):
+        return {
+            "id": tid,
+            "job": {"kernel": "gcc"},
+            "policy": {"max_retries": max_retries},
+            "attempt": 0,
+        }
+
+    def test_expired_lease_requeues_with_attempt_charged(self):
+        board = TaskBoard(lease_timeout=0.0)
+        board.add(self._task())
+        assert board.claim("w1")["attempt"] == 0
+        board.reap_expired()
+        stolen = board.claim("w2")
+        assert stolen is not None and stolen["attempt"] == 1
+
+    def test_leases_dying_past_budget_settle_as_worker_lost(self):
+        board = TaskBoard(lease_timeout=0.0)
+        board.add(self._task(max_retries=1))
+        for _ in range(2):  # max_retries + 1 lease deaths
+            assert board.claim("w") is not None
+            board.reap_expired()
+        assert board.claim("w") is None
+        ((tid, outcome),) = [board.results.get_nowait()]
+        assert tid == "t1"
+        assert outcome["failure"]["error_type"] == "WorkerLost"
+        assert outcome["failure"]["kind"] == "crash"
+
+    def test_complete_settles_at_most_once(self):
+        board = TaskBoard(lease_timeout=60.0)
+        board.add(self._task())
+        board.claim("w1")
+        assert board.complete("t1", {"ok": True})
+        assert not board.complete("t1", {"ok": True})  # late duplicate dropped
+        board.release_worker("w1")  # no revival after settle
+        assert board.claim("w2") is None
+
+    def test_cancel_pending_drops_unleased_tasks(self):
+        board = TaskBoard(lease_timeout=60.0)
+        board.add(self._task("a"))
+        board.add(self._task("b"))
+        board.claim("w1")
+        assert board.cancel_pending() == 1
+        assert board.claim("w1") is None
+
+
+# ---------------------------------------------------------------------------
+# End-to-end over both transports
+# ---------------------------------------------------------------------------
+
+
+class TestTransportsMatchSerial:
+    def test_dir_transport_bit_identical(self, tmp_path):
+        from repro.experiments.parallel import execute_job
+
+        serial = make_bench()
+        want = [execute_job(job) for job in make_jobs(serial)]
+
+        executor = DistributedExecutor(str(tmp_path / "spool"), poll=0.01)
+        bench = make_bench(cache=RunCache(tmp_path / "cache"), executor=executor)
+        jobs = make_jobs(bench)
+        threads, counts, stop = start_worker_threads(
+            str(tmp_path / "spool"), 2, cache_root=tmp_path / "cache"
+        )
+        try:
+            executed = bench.prefetch(jobs)
+            assert executed == len(jobs)
+            for job, expected in zip(jobs, want):
+                got = bench.result_for(job)
+                assert got is not None and results_identical(expected, got)
+        finally:
+            stop_worker_threads(executor, threads, stop)
+        assert sum(counts) == len(jobs)
+
+    def test_tcp_transport_and_shared_cache_reuse(self, tmp_path):
+        executor = DistributedExecutor("127.0.0.1:0", poll=0.01)
+        executor._ensure_transport()  # resolves the ephemeral port
+        bench = make_bench(cache=RunCache(tmp_path / "cache"), executor=executor)
+        jobs = make_jobs(bench)
+        threads, counts, stop = start_worker_threads(
+            executor.endpoint, 3, cache_root=tmp_path / "cache"
+        )
+        try:
+            assert bench.prefetch(jobs) == len(jobs)
+            # Same transport, second batch: everything is already in the
+            # workbench's memory cache, so nothing is even published.
+            assert bench.prefetch(jobs) == 0
+            # A fresh bench over the same shared cache settles from disk.
+            bench2 = make_bench(cache=RunCache(tmp_path / "cache"))
+            assert bench2.prefetch(make_jobs(bench2)) == 0
+        finally:
+            stop_worker_threads(executor, threads, stop)
+        assert sum(counts) == len(jobs)
+
+
+# ---------------------------------------------------------------------------
+# The acceptance sweep: figure 14, three real workers, chaos injected
+# ---------------------------------------------------------------------------
+
+
+class TestChaosAcceptance:
+    def test_figure14_three_process_workers_kill_and_corruption(
+        self, tmp_path
+    ):
+        """Scaled-down acceptance run: Figure 14 through 3 ``repro
+        worker`` processes with a 30% injected crash rate in the workers,
+        one worker SIGKILLed mid-sweep (its lease is stolen), and one
+        pre-corrupted cache entry (quarantined and recomputed) -- output
+        identical to the fault-free serial figure."""
+        from repro.experiments.fig14 import run_figure14
+
+        kernels = [get_kernel(k) for k in KERNELS]
+        clean_bench = Workbench(instructions=INSTRUCTIONS, benchmarks=kernels)
+        clean = str(run_figure14(clean_bench))
+
+        cache = RunCache(tmp_path / "cache")
+        executor = DistributedExecutor("127.0.0.1:0", lease_timeout=2.0, poll=0.01)
+        executor._ensure_transport()
+        bench = Workbench(
+            instructions=INSTRUCTIONS,
+            benchmarks=kernels,
+            cache=cache,
+            executor=executor,
+        )
+        # Pre-corrupt one entry: store a real result, then damage it.
+        spec = get_kernel("gcc")
+        victim = bench.job(spec, bench.clustered(2), "focused")
+        cache.store(victim, clean_bench.run(spec, clean_bench.clustered(2), "focused"))
+        corrupt_cache_entry(cache, victim, mode="truncate")
+
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(REPO / "src"),
+            REPRO_CHAOS=ChaosConfig(crash_rate=0.3, seed=11).env_value(),
+        )
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "worker", executor.endpoint,
+                    "--cache-dir", str(cache.root), "--id", f"p{i}",
+                    "--poll", "0.02",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            for i in range(3)
+        ]
+        killer = threading.Timer(1.5, lambda: procs[0].send_signal(signal.SIGKILL))
+        killer.daemon = True
+        try:
+            killer.start()
+            with pytest.warns(RuntimeWarning, match="quarantined"):
+                chaotic = str(run_figure14(bench))
+        finally:
+            killer.cancel()
+            executor.close()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=5)
+        assert chaotic == clean
+        assert cache.quarantined == 1
+
+
+# ---------------------------------------------------------------------------
+# Interrupt / resume through the sweep manifest
+# ---------------------------------------------------------------------------
+
+
+class TestManifestResume:
+    def test_interrupted_distributed_sweep_resumes(self, tmp_path):
+        spec = ExperimentSpec(
+            name="dist-resume",
+            sweeps=(SweepSpec((MachineSpec(2),), ("l", "s")),),
+            workloads=[{"kernel": k} for k in KERNELS],
+            instructions=INSTRUCTIONS,
+        )
+        serial_bench = make_bench()
+        from repro.experiments.sweep import run_spec
+
+        want = str(run_spec(serial_bench, spec))
+
+        cache = RunCache(tmp_path / "cache")
+        manifest = SweepManifest.open(
+            default_manifest_dir(cache.root), spec_hash(spec), spec.name
+        )
+        executor = DistributedExecutor(str(tmp_path / "spool1"), poll=0.01)
+        bench = make_bench(cache=cache, executor=executor)
+        jobs = spec.jobs(bench)
+        threads, _, stop = start_worker_threads(
+            str(tmp_path / "spool1"), 2, cache_root=cache.root
+        )
+        settled = []
+
+        def record(outcome):
+            manifest.record(job_key(outcome.job), outcome)
+            manifest.save()
+            settled.append(outcome)
+
+        try:
+            with pytest.raises(ExecutionInterrupted, match="distributed"):
+                bench.prefetch(
+                    jobs, on_outcome=record, should_stop=lambda: len(settled) >= 2
+                )
+        finally:
+            manifest.save(force=True)
+            stop_worker_threads(executor, threads, stop)
+        assert 2 <= len(settled) < len(jobs)
+
+        # Resume on a fresh bench/spool: the manifest reports what was
+        # already journaled and the shared cache supplies those results.
+        resumed_manifest = SweepManifest.open(
+            default_manifest_dir(cache.root), spec_hash(spec), spec.name
+        )
+        assert len(resumed_manifest.resumed) == len(settled)
+        executor2 = DistributedExecutor(str(tmp_path / "spool2"), poll=0.01)
+        bench2 = make_bench(cache=RunCache(cache.root), executor=executor2)
+        threads2, _, stop2 = start_worker_threads(
+            str(tmp_path / "spool2"), 2, cache_root=cache.root
+        )
+        try:
+            figure = run_spec(bench2, spec, resumed_manifest)
+        finally:
+            stop_worker_threads(executor2, threads2, stop2)
+        assert any(note.startswith("resumed:") for note in figure.notes)
+        figure.notes = [n for n in figure.notes if not n.startswith("resumed:")]
+        assert str(figure) == want
+        # Jobs the shared cache satisfied on resume are never re-journaled
+        # (same as the local path: the prefetch cache pre-scan bypasses
+        # on_outcome), so the manifest holds at least the interrupted
+        # run's record and nothing was re-executed.
+        assert resumed_manifest.summary()["completed"] >= len(settled)
+        assert bench2.exec_stats.executed == 0
+
+
+# ---------------------------------------------------------------------------
+# Property: executed-job set is shard-count and join-order independent
+# ---------------------------------------------------------------------------
+
+
+class TestShardingProperties:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        n_workers=st.integers(min_value=1, max_value=3),
+        delays=st.lists(
+            st.sampled_from([0.0, 0.01, 0.03]), min_size=3, max_size=3
+        ),
+    )
+    def test_executed_jobs_independent_of_shards_and_join_order(
+        self, n_workers, delays
+    ):
+        """Every submitted job is executed exactly once (no cache, no
+        faults), whatever the worker count and whenever workers join."""
+        root = pathlib.Path(tempfile.mkdtemp(prefix="distwork-prop-"))
+        try:
+            executor = DistributedExecutor(
+                str(root / "spool"), lease_timeout=60.0, poll=0.005
+            )
+            bench = make_bench(instructions=120, executor=executor)
+            jobs = make_jobs(bench, policies=("l",))
+            threads, counts, stop = start_worker_threads(
+                str(root / "spool"),
+                n_workers,
+                cache_root=None,
+                poll=0.005,
+                delays=delays[:n_workers],
+            )
+            try:
+                outcomes = executor.execute(jobs, policy=ExecutionPolicy())
+            finally:
+                stop_worker_threads(executor, threads, stop)
+            assert [outcome.job for outcome in outcomes] == jobs
+            assert all(outcome.ok for outcome in outcomes)
+            assert all(outcome.source == "run" for outcome in outcomes)
+            # No shared cache and generous leases: exactly-once execution,
+            # however the work sharded across however many workers.
+            assert sum(counts) == len(jobs)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)

@@ -1,0 +1,178 @@
+"""The :class:`~repro.experiments.executor.Executor` protocol layer.
+
+The refactor contract: execution backends are interchangeable behind one
+protocol, ``LocalPoolExecutor`` is the old pool logic bit-for-bit, the
+registry (:func:`make_executor`) validates names and endpoints up front,
+and the moved ``parallel`` internals keep importing -- with a
+:class:`DeprecationWarning` -- from their old home.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.serialize import results_identical
+from repro.experiments import parallel
+from repro.experiments.distributed import DistributedExecutor
+from repro.experiments.executor import (
+    EXECUTOR_NAMES,
+    Executor,
+    LocalPoolExecutor,
+    executor_names,
+    make_executor,
+)
+from repro.experiments.harness import Workbench
+from repro.experiments.outcomes import ExecutionPolicy, OutcomeStats
+from repro.experiments.parallel import execute_job
+from repro.experiments.sweep import run_spec
+from repro.specs import ExperimentSpec, MachineSpec, SpecError, SweepSpec, spec_hash
+from repro.workloads.suite import get_kernel
+
+INSTRUCTIONS = 400
+KERNELS = ("gcc", "mcf")
+
+
+def make_bench(**kwargs):
+    kwargs.setdefault("instructions", INSTRUCTIONS)
+    kwargs.setdefault("benchmarks", [get_kernel(k) for k in KERNELS])
+    return Workbench(**kwargs)
+
+
+def make_jobs(bench, policies=("l", "s")):
+    return [
+        bench.job(get_kernel(kernel), bench.clustered(2), policy)
+        for kernel in KERNELS
+        for policy in policies
+    ]
+
+
+class TestRegistry:
+    def test_names(self):
+        assert executor_names() == EXECUTOR_NAMES == ("local", "distributed")
+
+    def test_make_local(self):
+        executor = make_executor("local", workers=3)
+        assert isinstance(executor, LocalPoolExecutor)
+        assert executor.workers == 3
+        assert executor.name == "local"
+
+    def test_make_distributed_needs_endpoint(self):
+        with pytest.raises(ValueError, match="workers endpoint"):
+            make_executor("distributed")
+
+    def test_make_distributed(self):
+        executor = make_executor("distributed", endpoint="127.0.0.1:0")
+        try:
+            assert isinstance(executor, DistributedExecutor)
+            assert executor.name == "distributed"
+        finally:
+            executor.close()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("bogus")
+
+    def test_protocol_is_runtime_checkable(self):
+        assert isinstance(LocalPoolExecutor(), Executor)
+        distributed = DistributedExecutor("127.0.0.1:0")
+        try:
+            assert isinstance(distributed, Executor)
+        finally:
+            distributed.close()
+
+
+class TestLocalPoolExecutor:
+    def test_outcomes_in_submission_order_and_bit_identical(self):
+        bench = make_bench()
+        jobs = make_jobs(bench)
+        seen: list[tuple[str, int]] = []
+
+        def on_outcome(outcome):
+            seen.append((threading.get_ident(), 1))
+
+        stats = OutcomeStats()
+        executor = LocalPoolExecutor()
+        outcomes = executor.execute(
+            jobs,
+            policy=ExecutionPolicy(),
+            on_outcome=on_outcome,
+            stats=stats,
+        )
+        assert [outcome.job for outcome in outcomes] == jobs
+        assert all(outcome.ok for outcome in outcomes)
+        assert stats.executed == len(jobs)
+        # on_outcome fires on the calling thread, once per job.
+        assert [tid for tid, _ in seen] == [threading.get_ident()] * len(jobs)
+        for job, outcome in zip(jobs, outcomes):
+            assert results_identical(execute_job(job), outcome.result)
+
+    def test_workbench_resolves_and_caches_executor(self):
+        bench = make_bench()
+        executor = bench.resolve_executor()
+        assert isinstance(executor, LocalPoolExecutor)
+        assert bench.resolve_executor() is executor
+        bench.close_executors()
+        assert bench.resolve_executor() is not executor
+
+    def test_workbench_accepts_executor_instance(self):
+        sentinel = LocalPoolExecutor(workers=0)
+        bench = make_bench(executor=sentinel)
+        assert bench.resolve_executor() is sentinel
+
+    def test_workbench_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="bogus"):
+            make_bench(executor="bogus")
+
+
+class TestDeprecationShim:
+    @pytest.mark.parametrize("name", ["_PoolScheduler", "_JobState"])
+    def test_moved_internals_warn_and_resolve(self, name):
+        from repro.experiments import executor as executor_module
+
+        parallel.__dict__.pop(name, None)  # the shim caches after one warn
+        with pytest.warns(DeprecationWarning, match=name):
+            moved = getattr(parallel, name)
+        assert moved is getattr(executor_module, name)
+        # The cached second lookup is warning-free.
+        assert getattr(parallel, name) is moved
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            parallel._NeverExisted
+
+
+class TestSpecExecutorField:
+    def _spec(self, execution=None):
+        return ExperimentSpec(
+            name="executor-field",
+            sweeps=(SweepSpec((MachineSpec(2),), ("l",)),),
+            workloads=None,
+            execution=execution,
+        )
+
+    def test_valid_names_accepted_and_surfaced(self):
+        spec = self._spec(execution={"executor": "local"})
+        assert spec.to_dict()["execution"]["executor"] == "local"
+
+    def test_unknown_name_rejected_at_load(self):
+        with pytest.raises(SpecError, match="executor"):
+            self._spec(execution={"executor": "bogus"})
+
+    def test_executor_key_is_hash_neutral(self):
+        plain = self._spec()
+        tagged = self._spec(execution={"executor": "distributed"})
+        assert spec_hash(plain) == spec_hash(tagged)
+
+    def test_run_spec_restores_bench_executor(self):
+        sentinel = LocalPoolExecutor()
+        bench = make_bench(executor=sentinel)
+        spec = ExperimentSpec(
+            name="restore",
+            sweeps=(SweepSpec((MachineSpec(2),), ("l",)),),
+            workloads=[{"kernel": "gcc"}],
+            execution={"executor": "local"},
+        )
+        run_spec(bench, spec)
+        assert bench.executor is sentinel

@@ -31,10 +31,14 @@ def _tracked_files() -> list[str]:
 
 
 def test_no_bytecode_caches_are_tracked():
+    # Component-wise, not substring: any tracked path that *is* or lives
+    # under a ``__pycache__`` directory fails, as does any compiled
+    # artifact regardless of where it hides.
     offenders = [
         path
         for path in _tracked_files()
-        if "__pycache__" in path or path.endswith((".pyc", ".pyo", ".pyd"))
+        if "__pycache__" in pathlib.PurePosixPath(path).parts
+        or path.endswith((".pyc", ".pyo", ".pyd"))
     ]
     assert offenders == []
 
