@@ -212,8 +212,12 @@ class _TcpHandler(socketserver.BaseRequestHandler):
                         else:
                             send_frame(self.request, dict(task, op="task"))
                 elif op == "heartbeat":
-                    board.heartbeat(str(message.get("id")), worker)
-                    send_frame(self.request, {"op": "ok"})
+                    held = board.heartbeat(str(message.get("id")), worker)
+                    # "lost" tells a slow-but-alive worker its lease was
+                    # stolen or the task settled elsewhere: abandon the
+                    # run (the result would be dropped) and lease fresh
+                    # work instead.
+                    send_frame(self.request, {"op": "ok" if held else "lost"})
                 elif op == "done":
                     board.complete(str(message.get("id")), message["outcome"])
                     send_frame(self.request, {"op": "ok"})
@@ -292,6 +296,11 @@ class DirCoordinator:
         results/<id>.json  settled outcome (written via temp file + rename)
         stop               sentinel; workers exit when it appears
 
+    Construction empties all three directories (and removes the
+    sentinel): the spool is transient per-sweep state owned by the
+    coordinator, and files left by a previous run must never be adopted
+    as this run's tasks or results.
+
     Lease expiry is wall-clock mtime staleness, so coordinator and worker
     clocks must agree to within the lease timeout -- fine on one host or
     NFS; pick a generous timeout across machines.
@@ -305,6 +314,19 @@ class DirCoordinator:
         self.results_dir = self.root / "results"
         for directory in (self.tasks_dir, self.active_dir, self.results_dir):
             directory.mkdir(parents=True, exist_ok=True)
+            # The coordinator owns the spool: leftover tasks, leases and
+            # results from a previous sweep would otherwise be adopted as
+            # this run's (workers would run stale tasks, and a stale
+            # result whose id collides with a fresh task would settle it
+            # with the wrong payload), so a new coordinator always starts
+            # from an empty spool.
+            for leftover in directory.iterdir():
+                if not leftover.is_file():
+                    continue
+                try:
+                    leftover.unlink()
+                except FileNotFoundError:
+                    pass
         # A leftover sentinel from a previous sweep would make fresh
         # workers exit on arrival.
         self._stop_path = self.root / "stop"
@@ -354,13 +376,23 @@ class DirCoordinator:
             if attempts >= _max_attempts(task):
                 self._settled.add(path.stem)
                 settled.append((path.stem, _lost_lease_outcome(task, attempts)))
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
             else:
-                # Steal: back onto the queue with the attempt charged.
-                self._write_json(self.tasks_dir / path.name, task)
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                pass
+                # Steal: rewrite the active file with the attempt
+                # charged, then rename that one file back onto the
+                # queue.  The task lives in exactly one directory at
+                # every instant -- publishing to ``tasks/`` first would
+                # let a worker claim the re-queued copy (its rename
+                # lands on the still-present active path) only to have
+                # this sweep's unlink delete the claim.
+                self._write_json(path, task)
+                try:
+                    os.replace(path, self.tasks_dir / path.name)
+                except FileNotFoundError:
+                    pass  # settled between the rewrite and the re-queue
         return settled
 
     def cancel_pending(self) -> int:

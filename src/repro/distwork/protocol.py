@@ -22,7 +22,10 @@ Worker-initiated, one request/response pair per frame exchange::
             "attempt": n}                      # lease granted
          | {"op": "idle"}                      # nothing queued right now
          | {"op": "stop"}                      # sweep over; exit
-    {"op": "heartbeat", "worker": id, "id": tid} -> {"op": "ok"}
+    {"op": "heartbeat", "worker": id, "id": tid}
+        -> {"op": "ok"}                        # lease extended
+         | {"op": "lost"}                      # lease stolen or task
+                                               # settled: abandon the run
     {"op": "done", "worker": id, "id": tid, "outcome": {...}}
         -> {"op": "ok"}
 

@@ -17,6 +17,20 @@ retry budget and the deterministic chaos schedule (``REPRO_CHAOS``
 reaches this process through the environment like any pool worker) span
 lease boundaries exactly as they span pool respawns locally.
 
+Two conditions interrupt a leased run the way the local pool would:
+
+* ``policy.job_timeout`` -- when set, each attempt runs in a killable
+  one-process child pool (:class:`_TimeoutAttemptRunner`); an attempt
+  past its budget has its child killed and is charged a retryable
+  ``timeout`` failure, mirroring the pool's recycle-on-hang.  Without
+  this the background heartbeat would keep a hung job's lease alive
+  forever and stall the whole sweep.
+* a **lost lease** -- a heartbeat answered ``lost`` (tcp) or a vanished
+  active file (dir) means the task was stolen or settled elsewhere; the
+  worker abandons the run (between attempts, or mid-attempt by killing
+  the child when a timeout runner is active) and leases fresh work
+  instead of finishing a job whose result would be dropped.
+
 Both transports are symmetrical for the worker:
 
 * **tcp** -- one persistent framed-JSON connection; a background thread
@@ -36,7 +50,9 @@ import pathlib
 import socket
 import threading
 import time
-from typing import Any
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable
 
 from repro.distwork.protocol import (
     PROTOCOL_VERSION,
@@ -49,14 +65,93 @@ from repro.distwork.protocol import (
     send_frame,
 )
 from repro.experiments.cache import RunCache
-from repro.experiments.outcomes import JobOutcome
+from repro.experiments.outcomes import ExecutionInterrupted, JobOutcome
 from repro.experiments.parallel import run_job_outcome
 
 __all__ = ["execute_leased_job", "main", "run_worker"]
 
 
+class _TimeoutAttemptRunner:
+    """Run attempts in a killable child so ``policy.job_timeout`` binds.
+
+    The local pool enforces ``job_timeout`` by recycling hung workers;
+    in-process execution cannot interrupt a running simulation, so when
+    the policy sets a timeout each attempt runs through a one-process
+    pool whose child is killed (and respawned for the next attempt) once
+    the deadline passes -- the attempt is then charged a retryable
+    ``timeout`` failure exactly like a pool recycle.  Chaos reaches the
+    child through ``REPRO_CHAOS`` in the environment the same way it
+    reaches local pool workers, so fault schedules replay unchanged.
+
+    ``should_abandon`` (the lease-lost signal) is polled while waiting;
+    when it turns true the child is killed and
+    :class:`~repro.experiments.outcomes.ExecutionInterrupted` aborts the
+    whole task.
+    """
+
+    def __init__(
+        self,
+        timeout: float,
+        should_abandon: "Callable[[], bool] | None" = None,
+    ):
+        self.timeout = timeout
+        self.should_abandon = should_abandon
+        self._pool: ProcessPoolExecutor | None = None
+
+    def __call__(self, job: Any, attempt: int) -> Any:
+        from repro.experiments.parallel import _pool_attempt
+
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=1)
+        future = self._pool.submit(_pool_attempt, (job, attempt, False))
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self.should_abandon is not None and self.should_abandon():
+                self._kill()
+                raise ExecutionInterrupted("lease lost mid-attempt")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._kill()
+                raise TimeoutError(
+                    f"job exceeded {self.timeout}s wall-time budget"
+                )
+            try:
+                result, _spans = future.result(timeout=min(remaining, 0.25))
+            except BrokenProcessPool:
+                self._kill()
+                raise
+            except TimeoutError:
+                if future.done():
+                    raise  # the attempt itself raised a TimeoutError
+                continue  # still waiting: re-check deadline and abandon
+            return result
+
+    def _kill(self) -> None:
+        """Kill the (possibly hung) child; a polite shutdown would block."""
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                try:
+                    process.kill()
+                except Exception:  # pragma: no cover - already-dead race
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
 def execute_leased_job(
-    task: dict[str, Any], cache: RunCache | None
+    task: dict[str, Any],
+    cache: RunCache | None,
+    *,
+    should_abandon: "Callable[[], bool] | None" = None,
 ) -> dict[str, Any]:
     """Run one leased task to a settled outcome message.
 
@@ -66,6 +161,13 @@ def execute_leased_job(
     charged to dead leases, and its result is stored to the shared cache
     *before* the outcome is reported -- if the report is lost, the work
     is not.
+
+    When the policy sets ``job_timeout`` every attempt runs in a
+    killable child (:class:`_TimeoutAttemptRunner`).  ``should_abandon``
+    is polled between attempts -- and during them when the timeout
+    runner is active -- and raises
+    :class:`~repro.experiments.outcomes.ExecutionInterrupted` so the
+    caller can drop a task whose lease was lost and request new work.
     """
     job = job_from_dict(task["job"])
     policy = policy_from_dict(task.get("policy", {}))
@@ -74,9 +176,20 @@ def execute_leased_job(
         if result is not None:
             outcome = JobOutcome(job=job, result=result, attempts=0, source="cache")
             return outcome_to_dict(outcome)
-    outcome = run_job_outcome(
-        job, policy=policy, start_attempt=int(task.get("attempt", 0))
-    )
+    runner: _TimeoutAttemptRunner | None = None
+    if policy.job_timeout is not None:
+        runner = _TimeoutAttemptRunner(policy.job_timeout, should_abandon)
+    try:
+        outcome = run_job_outcome(
+            job,
+            policy=policy,
+            start_attempt=int(task.get("attempt", 0)),
+            attempt_runner=runner,
+            should_stop=should_abandon,
+        )
+    finally:
+        if runner is not None:
+            runner.close()
     if cache is not None and outcome.ok:
         cache.store(job, outcome.result)
     return outcome_to_dict(outcome)
@@ -202,6 +315,8 @@ def _run_tcp_worker(
                     raise ProtocolError(f"expected task/idle/stop, got {op!r}")
                 idle_since = None
                 outcome = _run_tcp_task(conn, reply, cache)
+                if outcome is None:
+                    continue  # lease lost mid-run; the task settled elsewhere
                 conn.exchange(
                     {"op": "done", "id": reply["id"], "outcome": outcome}
                 )
@@ -216,23 +331,34 @@ def _run_tcp_worker(
 
 def _run_tcp_task(
     conn: _Connection, task: dict[str, Any], cache: RunCache | None
-) -> dict[str, Any]:
-    """Execute under a background heartbeat on the shared connection."""
+) -> "dict[str, Any] | None":
+    """Execute under a background heartbeat on the shared connection.
+
+    Returns ``None`` when a heartbeat came back ``lost`` -- the lease
+    was stolen or the task settled elsewhere, so the run was abandoned
+    and there is nothing to report.
+    """
     done = threading.Event()
+    lost = threading.Event()
 
     def beat() -> None:
         while not done.wait(conn.heartbeat_interval):
             try:
-                conn.exchange({"op": "heartbeat", "id": task["id"]})
+                reply = conn.exchange({"op": "heartbeat", "id": task["id"]})
             except (OSError, ProtocolError):
                 return  # connection died; the main thread will notice
             except Exception:  # pragma: no cover - never kill the runner
+                return
+            if reply.get("op") == "lost":
+                lost.set()
                 return
 
     thread = threading.Thread(target=beat, name="distwork-heartbeat", daemon=True)
     thread.start()
     try:
-        return execute_leased_job(task, cache)
+        return execute_leased_job(task, cache, should_abandon=lost.is_set)
+    except ExecutionInterrupted:
+        return None
     finally:
         done.set()
         thread.join(timeout=5.0)
@@ -276,6 +402,8 @@ def _run_dir_worker(
         idle_since = None
         active_path, task = claimed
         outcome = _run_dir_task(active_path, task, cache)
+        if outcome is None:
+            continue  # lease lost mid-run; the task settled elsewhere
         result_path = results_dir / active_path.name
         tmp = result_path.with_name(result_path.name + f".tmp-{os.getpid()}")
         tmp.write_text(
@@ -314,21 +442,32 @@ def _claim_dir_task(
 
 def _run_dir_task(
     active_path: pathlib.Path, task: dict[str, Any], cache: RunCache | None
-) -> dict[str, Any]:
-    """Execute under a background mtime heartbeat on the claimed file."""
+) -> "dict[str, Any] | None":
+    """Execute under a background mtime heartbeat on the claimed file.
+
+    Returns ``None`` when the active file vanished -- the lease was
+    stolen back onto the queue or the task settled elsewhere, so the
+    run was abandoned and there is nothing to report.
+    """
     done = threading.Event()
+    lost = threading.Event()
 
     def beat() -> None:
         while not done.wait(1.0):
             try:
                 os.utime(active_path)
+            except FileNotFoundError:
+                lost.set()  # stolen or settled elsewhere; abandon the run
+                return
             except OSError:
-                return  # stolen or settled; the runner finishes regardless
+                return  # transient damage: stop beating, let the lease lapse
 
     thread = threading.Thread(target=beat, name="distwork-heartbeat", daemon=True)
     thread.start()
     try:
-        return execute_leased_job(task, cache)
+        return execute_leased_job(task, cache, should_abandon=lost.is_set)
+    except ExecutionInterrupted:
+        return None
     finally:
         done.set()
         thread.join(timeout=5.0)

@@ -28,6 +28,7 @@ retries instead.
 from __future__ import annotations
 
 import time
+import uuid
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.experiments.outcomes import (
@@ -80,6 +81,11 @@ class DistributedExecutor:
         self.poll = poll
         self._transport = None
         self._batch = 0
+        # Task ids are scoped to this executor instance: a plain batch
+        # counter would repeat across runs, and a reused spool directory
+        # (or a late message from an earlier coordinator) could then
+        # settle a fresh job with a stale payload.
+        self._nonce = uuid.uuid4().hex[:8]
 
     # ------------------------------------------------------------------
     def _ensure_transport(self):
@@ -122,7 +128,7 @@ class DistributedExecutor:
         policy_wire = policy_to_dict(policy)
         index_for: dict[str, int] = {}
         for i, job in enumerate(jobs):
-            tid = f"b{self._batch:03d}-{i:05d}"
+            tid = f"{self._nonce}-b{self._batch:03d}-{i:05d}"
             index_for[tid] = i
             transport.publish(
                 {"id": tid, "job": job_to_dict(job), "policy": policy_wire, "attempt": 0}
@@ -166,9 +172,21 @@ class DistributedExecutor:
         job: "RunJob",
         stats: OutcomeStats | None,
     ) -> JobOutcome:
-        from repro.distwork.protocol import outcome_from_dict
+        from repro.distwork.protocol import ProtocolError, outcome_from_dict
+        from repro.experiments.cache import job_key
 
         wire = outcome_from_dict(message)
+        # Identity check before re-anchoring: per-run task ids and the
+        # coordinator's spool clearing make a payload/job mismatch
+        # structurally impossible, so one here means a stale or damaged
+        # message -- refuse loudly rather than settle a job with some
+        # other job's result.
+        if job_key(wire.job) != job_key(job):
+            raise ProtocolError(
+                "settled outcome carries a different job than the one "
+                f"published for it (kernel {wire.job.kernel!r} vs "
+                f"{job.kernel!r}): stale spool entry or damaged payload"
+            )
         # Re-anchor on the locally-held job object: it round-trips
         # bit-identically, but the local instance is what the caller's
         # bookkeeping (memory cache keys, manifests) already holds.

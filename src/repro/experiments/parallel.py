@@ -47,6 +47,7 @@ from repro.core.rename import Dependences, extract_dependences
 from repro.core.results import SimulationResult
 from repro.core.simulator import ClusteredSimulator
 from repro.experiments.outcomes import (
+    ExecutionInterrupted,
     ExecutionPolicy,
     GarbageResult,
     JobOutcome,
@@ -333,21 +334,39 @@ def run_job_outcome(
     policy: ExecutionPolicy | None = None,
     stats: OutcomeStats | None = None,
     start_attempt: int = 0,
+    attempt_runner: "Callable[[RunJob, int], SimulationResult] | None" = None,
+    should_stop: "Callable[[], bool] | None" = None,
 ) -> JobOutcome:
     """Run one job in-process with the policy's retry loop.
 
-    Serial execution cannot interrupt a running simulation, so
-    ``job_timeout`` is not enforced here (the pool path recycles workers
-    instead); everything else -- retry classification, backoff, typed
-    outcomes -- behaves exactly as in the pool.
+    Serial in-process execution cannot interrupt a running simulation,
+    so ``job_timeout`` is not enforced here by default (the pool path
+    recycles workers instead).  A caller that *can* enforce it supplies
+    ``attempt_runner``, a ``(job, attempt) -> SimulationResult``
+    substitute for the in-process attempt -- the distributed worker uses
+    a killable child process when the policy sets a timeout.
+    ``should_stop`` is polled before each attempt and raises
+    :class:`~repro.experiments.outcomes.ExecutionInterrupted` (an
+    ``attempt_runner`` may raise it mid-attempt too; it is never
+    classified as a failure).  Everything else -- retry classification,
+    backoff, typed outcomes -- behaves exactly as in the pool.
     """
     policy = policy if policy is not None else ExecutionPolicy()
     start = time.monotonic()
     attempt = start_attempt
     while True:
+        if should_stop is not None and should_stop():
+            raise ExecutionInterrupted(
+                f"job abandoned before attempt {attempt + 1}"
+            )
         attempt += 1
         try:
-            result = _run_attempt(job, attempt, prepared, tracer)
+            if attempt_runner is not None:
+                result = attempt_runner(job, attempt)
+            else:
+                result = _run_attempt(job, attempt, prepared, tracer)
+        except ExecutionInterrupted:
+            raise
         except Exception as exc:
             elapsed = time.monotonic() - start
             failure = classify_failure(exc, attempt, elapsed)

@@ -12,6 +12,7 @@ the sweep manifest to prove it.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import shutil
@@ -28,25 +29,36 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.serialize import results_identical
-from repro.distwork.coordinator import TaskBoard
+from repro.distwork.coordinator import DirCoordinator, TaskBoard, TcpCoordinator
 from repro.distwork.protocol import (
     ProtocolError,
     job_from_dict,
     job_to_dict,
+    outcome_to_dict,
     parse_endpoint,
     policy_from_dict,
     policy_to_dict,
     recv_frame,
     send_frame,
 )
-from repro.distwork.worker import run_worker
+from repro.distwork.worker import execute_leased_job, run_worker
 from repro.experiments.cache import RunCache, job_key
 from repro.experiments.distributed import DistributedExecutor
 from repro.experiments.harness import Workbench
 from repro.experiments.manifest import SweepManifest, default_manifest_dir
-from repro.experiments.outcomes import ExecutionInterrupted, ExecutionPolicy
+from repro.experiments.outcomes import (
+    ExecutionInterrupted,
+    ExecutionPolicy,
+    JobOutcome,
+    RunFailure,
+)
 from repro.specs import ExperimentSpec, MachineSpec, SweepSpec, spec_hash
-from repro.testing.chaos import ChaosConfig, corrupt_cache_entry, uninstall
+from repro.testing.chaos import (
+    ChaosConfig,
+    FaultRule,
+    corrupt_cache_entry,
+    uninstall,
+)
 from repro.workloads.suite import get_kernel
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
@@ -201,6 +213,238 @@ class TestTaskBoard:
         board.claim("w1")
         assert board.cancel_pending() == 1
         assert board.claim("w1") is None
+
+
+# ---------------------------------------------------------------------------
+# Spool hygiene: a reused spool directory must never leak a previous run
+# ---------------------------------------------------------------------------
+
+
+class TestSpoolHygiene:
+    def test_fresh_dir_coordinator_clears_stale_spool(self, tmp_path):
+        spool = tmp_path / "spool"
+        for sub in ("tasks", "active", "results"):
+            (spool / sub).mkdir(parents=True)
+        (spool / "tasks" / "b001-00000.json").write_text("{}")
+        (spool / "active" / "b001-00001.json").write_text("{}")
+        (spool / "results" / "b001-00002.json").write_text(
+            '{"id": "b001-00002", "outcome": {}}'
+        )
+        (spool / "stop").touch()
+        coordinator = DirCoordinator(spool)
+        assert coordinator.pump() == []
+        assert not list((spool / "tasks").iterdir())
+        assert not list((spool / "active").iterdir())
+        assert not list((spool / "results").iterdir())
+        assert not (spool / "stop").exists()
+
+    def test_task_ids_are_scoped_per_executor(self, tmp_path):
+        first = DistributedExecutor(str(tmp_path / "a"))
+        second = DistributedExecutor(str(tmp_path / "b"))
+        assert first._nonce != second._nonce
+
+    def test_reused_spool_reexecutes_instead_of_adopting_results(self, tmp_path):
+        """The review scenario: sweep A leaves results/*.json behind; a
+        later sweep B over the same spool directory (different jobs!)
+        must execute its own jobs, not settle them with A's outcomes."""
+        from repro.experiments.parallel import execute_job
+
+        spool = str(tmp_path / "spool")
+        bench = make_bench()
+        jobs_a = make_jobs(bench, policies=("l",))
+        first = DistributedExecutor(spool, poll=0.01)
+        threads, _, stop = start_worker_threads(spool, 1)
+        try:
+            outcomes_a = first.execute(jobs_a)
+        finally:
+            stop_worker_threads(first, threads, stop)
+        assert all(outcome.ok for outcome in outcomes_a)
+
+        jobs_b = make_jobs(bench, policies=("s",))
+        second = DistributedExecutor(spool, poll=0.01)
+        second._ensure_transport()  # clears the spool (and A's stop file)
+        threads2, counts2, stop2 = start_worker_threads(spool, 1)
+        try:
+            outcomes_b = second.execute(jobs_b)
+        finally:
+            stop_worker_threads(second, threads2, stop2)
+        assert sum(counts2) == len(jobs_b)  # really executed, not adopted
+        for job, outcome in zip(jobs_b, outcomes_b):
+            assert outcome.ok and outcome.source == "run"
+            assert results_identical(outcome.result, execute_job(job))
+
+    def test_settle_rejects_foreign_job_payload(self, tmp_path):
+        bench = make_bench()
+        mine, other = make_jobs(bench)[:2]
+        executor = DistributedExecutor(str(tmp_path / "spool"))
+        failure = RunFailure(
+            kind="error", error_type="X", message="m", attempts=1, elapsed=0.0
+        )
+        foreign = outcome_to_dict(JobOutcome(job=other, failure=failure, attempts=1))
+        with pytest.raises(ProtocolError, match="different job"):
+            executor._settle(foreign, mine, None)
+        ours = outcome_to_dict(JobOutcome(job=mine, failure=failure, attempts=1))
+        settled = executor._settle(ours, mine, None)
+        assert settled.job is mine and not settled.ok
+
+
+# ---------------------------------------------------------------------------
+# Stale-lease stealing on the spool transport
+# ---------------------------------------------------------------------------
+
+
+class TestDirSteal:
+    def _publish_claimed(self, coordinator, max_retries):
+        task = {
+            "id": "t1",
+            "job": {"kernel": "gcc"},
+            "policy": {"max_retries": max_retries},
+            "attempt": 0,
+        }
+        coordinator.publish(task)
+        tasks_path = coordinator.tasks_dir / "t1.json"
+        active_path = coordinator.active_dir / "t1.json"
+        os.replace(tasks_path, active_path)  # a worker's claim
+        stale = time.time() - 60.0
+        os.utime(active_path, (stale, stale))
+        return tasks_path, active_path
+
+    def test_steal_moves_task_atomically_back_onto_queue(self, tmp_path):
+        coordinator = DirCoordinator(tmp_path / "spool", lease_timeout=5.0)
+        tasks_path, active_path = self._publish_claimed(coordinator, max_retries=5)
+        assert coordinator.pump() == []
+        # The task lives in exactly one directory: re-queued with the
+        # lost lease's attempt charged, and gone from active/.
+        assert tasks_path.exists() and not active_path.exists()
+        assert json.loads(tasks_path.read_text())["attempt"] == 1
+
+    def test_steal_past_budget_settles_worker_lost(self, tmp_path):
+        coordinator = DirCoordinator(tmp_path / "spool", lease_timeout=5.0)
+        tasks_path, active_path = self._publish_claimed(coordinator, max_retries=0)
+        ((tid, outcome),) = coordinator.pump()
+        assert tid == "t1"
+        assert outcome["failure"]["error_type"] == "WorkerLost"
+        assert not tasks_path.exists() and not active_path.exists()
+
+
+# ---------------------------------------------------------------------------
+# job_timeout enforcement on distributed workers
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedJobTimeout:
+    def test_hung_attempt_is_killed_and_retried(self, tmp_path, monkeypatch):
+        """A first attempt that hangs (30s chaos sleep) is killed at the
+        policy's job_timeout and charged a retryable ``timeout``; the
+        retry runs clean.  Before enforcement the worker's heartbeat
+        kept the hung job's lease alive for the full hang."""
+        chaos = ChaosConfig(rules=(FaultRule(mode="hang", attempts=(1,)),))
+        monkeypatch.setenv("REPRO_CHAOS", chaos.env_value())
+        executor = DistributedExecutor(str(tmp_path / "spool"), poll=0.01)
+        bench = make_bench()
+        job = make_jobs(bench, policies=("l",))[0]
+        threads, counts, stop = start_worker_threads(str(tmp_path / "spool"), 1)
+        start = time.monotonic()
+        try:
+            (outcome,) = executor.execute(
+                [job], policy=ExecutionPolicy(max_retries=2, job_timeout=0.5)
+            )
+        finally:
+            stop_worker_threads(executor, threads, stop)
+        assert outcome.ok
+        assert outcome.attempts == 2  # attempt 1 timed out, attempt 2 clean
+        assert time.monotonic() - start < 20.0  # nowhere near the 30s hang
+        assert sum(counts) == 1
+
+
+# ---------------------------------------------------------------------------
+# Lost leases: the coordinator says so, the worker abandons the run
+# ---------------------------------------------------------------------------
+
+
+class TestLostLease:
+    def test_heartbeat_replies_lost_after_steal(self):
+        coordinator = TcpCoordinator("127.0.0.1", 0, lease_timeout=0.0)
+        try:
+            coordinator.publish(
+                {
+                    "id": "t1",
+                    "job": {"kernel": "gcc"},
+                    "policy": {"max_retries": 5},
+                    "attempt": 0,
+                }
+            )
+            sock = socket.create_connection(coordinator.address, timeout=10.0)
+            try:
+                send_frame(sock, {"op": "hello", "worker": "w1", "version": 1})
+                assert recv_frame(sock)["op"] == "welcome"
+                send_frame(sock, {"op": "next", "worker": "w1"})
+                assert recv_frame(sock)["op"] == "task"
+                send_frame(sock, {"op": "heartbeat", "worker": "w1", "id": "t1"})
+                assert recv_frame(sock)["op"] == "ok"  # lease still ours
+                coordinator.board.reap_expired()  # timeout 0: stolen at once
+                send_frame(sock, {"op": "heartbeat", "worker": "w1", "id": "t1"})
+                assert recv_frame(sock)["op"] == "lost"
+            finally:
+                sock.close()
+        finally:
+            coordinator.close()
+
+    def test_execute_leased_job_abandons_when_told(self):
+        bench = make_bench()
+        job = make_jobs(bench)[0]
+        task = {"id": "t", "job": job_to_dict(job), "policy": {}, "attempt": 0}
+        with pytest.raises(ExecutionInterrupted):
+            execute_leased_job(task, None, should_abandon=lambda: True)
+
+    def test_tcp_worker_abandons_hung_job_whose_task_settled(self, monkeypatch):
+        """A worker stuck in a hung attempt learns via a ``lost``
+        heartbeat that its task settled elsewhere, kills the attempt and
+        exits idle instead of sleeping out the 30s hang (and instead of
+        reporting a result that would be dropped)."""
+        chaos = ChaosConfig(rules=(FaultRule(mode="hang"),))
+        monkeypatch.setenv("REPRO_CHAOS", chaos.env_value())
+        coordinator = TcpCoordinator("127.0.0.1", 0, lease_timeout=0.6)
+        bench = make_bench()
+        job = make_jobs(bench)[0]
+        coordinator.publish(
+            {
+                "id": "t1",
+                "job": job_to_dict(job),
+                # job_timeout activates the killable child; generous so
+                # the lost lease (not the timeout) ends the attempt.
+                "policy": {"max_retries": 0, "job_timeout": 20.0},
+                "attempt": 0,
+            }
+        )
+        executed = []
+        host, port = coordinator.address
+        thread = threading.Thread(
+            target=lambda: executed.append(
+                run_worker(
+                    f"{host}:{port}",
+                    worker_id="w1",
+                    poll=0.02,
+                    idle_timeout=0.5,
+                )
+            ),
+            daemon=True,
+        )
+        start = time.monotonic()
+        thread.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while not coordinator.board._leases:
+                assert time.monotonic() < deadline, "worker never claimed"
+                time.sleep(0.01)
+            # The task settles elsewhere (e.g. a steal finished first).
+            assert coordinator.board.complete("t1", {"outcome": "elsewhere"})
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+        finally:
+            coordinator.close()
+        assert executed == [0]  # abandoned: nothing reported as executed
+        assert time.monotonic() - start < 25.0  # did not sleep out the hang
 
 
 # ---------------------------------------------------------------------------
