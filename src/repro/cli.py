@@ -49,12 +49,53 @@ def _specs_list() -> int:
     return 0
 
 
+def _machine_table(spec) -> list[str]:
+    """Per-cluster resource tables for every distinct machine in ``spec``.
+
+    Rendered as ``#``-prefixed comment lines (the caller sends them to
+    stderr) so ``repro specs show NAME > specs/NAME.json`` still writes
+    pure JSON to stdout.
+    """
+    lines: list[str] = []
+    seen = set()
+    for sweep in spec.sweeps:
+        for machine in sweep.machines:
+            if machine in seen:
+                continue
+            seen.add(machine)
+            config = machine.build()
+            lines.append(
+                f"# machine {config.name} (fwd {config.forwarding_latency}, "
+                f"rob {config.rob_size})"
+            )
+            lines.append(
+                "#   cluster  width  int  fp  mem  window  latency-overrides"
+            )
+            for index, cluster in enumerate(config.clusters):
+                overrides = (
+                    ",".join(
+                        f"{op}={cycles}" for op, cycles in cluster.latency_overrides
+                    )
+                    or "-"
+                )
+                lines.append(
+                    f"#   {index:<7}  {cluster.issue_width:<5}  "
+                    f"{cluster.int_ports:<3}  {cluster.fp_ports:<2}  "
+                    f"{cluster.mem_ports:<3}  {cluster.window_size:<6}  "
+                    f"{overrides}"
+                )
+    return lines
+
+
 def _specs_show(name: str) -> int:
     from repro.experiments import SPECS
 
     builder = SPECS.get(name)
     if builder is not None:
-        print(SPECS[name]().to_json(), end="")
+        spec = SPECS[name]()
+        print(spec.to_json(), end="")
+        for line in _machine_table(spec):
+            print(line, file=sys.stderr)
         return 0
     preset = PRESETS.get(name)
     if preset is not None:

@@ -112,6 +112,7 @@ class TracePrecompute:
         "redirect_col",
         "fetch_stop_misp",
         "fetch_stop_taken",
+        "_lat_columns",
     )
 
     def __init__(
@@ -198,6 +199,30 @@ class TracePrecompute:
             stop_taken[i] = nxt_t
         self.fetch_stop_misp = stop_misp
         self.fetch_stop_taken = stop_taken
+        # Memoized per-cluster latency columns, keyed by a ClusterConfig's
+        # normalized ``latency_overrides`` tuple.  Columns are written once
+        # at creation and only read afterwards, so sharing one precompute
+        # across grid points stays sound.
+        self._lat_columns: dict[tuple, list[int]] = {}
+
+    def latency_column(self, overrides: tuple) -> list[int]:
+        """The base-latency column with ``overrides`` applied (memoized).
+
+        ``overrides`` is a :class:`~repro.core.config.ClusterConfig`'s
+        normalized ``latency_overrides`` tuple; the empty tuple aliases the
+        shared ``base_lat`` column.
+        """
+        if not overrides:
+            return self.base_lat
+        cached = self._lat_columns.get(overrides)
+        if cached is None:
+            over = dict(overrides)
+            base = self.base_lat
+            cached = self._lat_columns[overrides] = [
+                over.get(instr.opclass._value_, base[i])
+                for i, instr in enumerate(self.trace)
+            ]
+        return cached
 
     @classmethod
     def from_prepared(cls, prepared) -> "TracePrecompute":
@@ -431,10 +456,23 @@ def simulate_batched(
     unblock_time = fetch_depth
     blocked_on = -1  # mispredicted branch fetch waits on; -1 = none
 
-    cluster_cfg = config.cluster
-    window_size = cluster_cfg.window_size
-    issue_width = cluster_cfg.issue_width
-    port_limits = (cluster_cfg.int_ports, cluster_cfg.fp_ports, cluster_cfg.mem_ports)
+    clusters_cfg = config.clusters
+    if any(c.fp_ports == 0 or c.mem_ports == 0 for c in clusters_cfg):
+        # Capability redirects are not ported to this backend; the
+        # execution layer keeps such configs on the event path.
+        raise ValueError(
+            "batched backend requires every cluster to have FP and memory "
+            "ports; zero-port clusters run on the event backend"
+        )
+    window_sizes = [c.window_size for c in clusters_cfg]
+    issue_widths = [c.issue_width for c in clusters_cfg]
+    port_limits_by_cluster = [
+        (c.int_ports, c.fp_ports, c.mem_ports) for c in clusters_cfg
+    ]
+    # Per-cluster latency plane: clusters without overrides alias the
+    # shared base-latency column, so uniform machines pay nothing.
+    lat_plane = [pre.latency_column(c.latency_overrides) for c in clusters_cfg]
+    has_lat_overrides = any(c.latency_overrides for c in clusters_cfg)
     commit_width = config.commit_width
     dispatch_width = config.dispatch_width
     rob_size = config.rob_size
@@ -561,10 +599,10 @@ def simulate_batched(
         # least_loaded_cluster(): fewest in-flight with window space,
         # first-lowest ties; -1 when every window is full.
         best = -1
-        best_load = window_size
+        best_load = None
         for c in cluster_range:
             load = occupancy[c]
-            if load < best_load:
+            if load < window_sizes[c] and (best_load is None or load < best_load):
                 best = c
                 best_load = load
         return best
@@ -745,6 +783,9 @@ def simulate_batched(
                 blocked = None
                 pos = 0
                 pool_len = len(pool)
+                issue_width = issue_widths[cluster]
+                port_limits = port_limits_by_cluster[cluster]
+                base_lat_c = lat_plane[cluster]
                 while pos < pool_len and issued < issue_width:
                     entry = pool[pos]
                     pos += 1
@@ -759,7 +800,7 @@ def simulate_batched(
                     ports_used[port] += 1
                     issued += 1
                     issue_t[index] = now
-                    latency = base_lat[index]
+                    latency = base_lat_c[index]
                     if port == 2:
                         if is_load[index]:
                             access = load_latency(mem_addr[index])
@@ -770,6 +811,10 @@ def simulate_batched(
                                 mem_extra[index] = extra
                         else:
                             store_access(mem_addr[index])
+                            if has_lat_overrides:
+                                latency_col[index] = latency
+                    elif has_lat_overrides:
+                        latency_col[index] = latency
                     complete = now + latency
                     complete_t[index] = complete
                     if is_misp[index] and blocked_on == index:
@@ -897,10 +942,12 @@ def simulate_batched(
             cluster = -1
             if first < 0:
                 # Inlined least_loaded() (the hottest steering outcome).
-                best_load = window_size
+                best_load = None
                 for c in cluster_range:
                     load = occupancy[c]
-                    if load < best_load:
+                    if load < window_sizes[c] and (
+                        best_load is None or load < best_load
+                    ):
                         cluster = c
                         best_load = load
                 if cluster < 0:
@@ -985,14 +1032,14 @@ def simulate_batched(
                     # Try the producers' clusters in preference order.
                     if ranked is None:
                         target = cluster_col[first]
-                        if occupancy[target] < window_size:
+                        if occupancy[target] < window_sizes[target]:
                             if proactive:
                                 followed.add(first)
                             cluster = target
                     else:
                         for p in ranked:
                             target = cluster_col[p]
-                            if occupancy[target] < window_size:
+                            if occupancy[target] < window_sizes[target]:
                                 if proactive:
                                     followed.add(p)
                                 cluster = target

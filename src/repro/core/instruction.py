@@ -37,6 +37,7 @@ class SteerCause(enum.Enum):
     LOAD_BALANCE_FULL = "load_bal_full"  # wanted producer's cluster, was full
     PROACTIVE = "proactive"  # proactively load-balanced away
     STALLED = "stalled"  # dispatched after a stall-over-steer wait
+    CAPABILITY = "capability"  # redirected: chosen cluster lacks the FU
 
 
 class CommitReason(enum.Enum):

@@ -47,7 +47,7 @@ from repro.core.simulator import (
     TrainerLike,
     _port_class,
 )
-from repro.core.steering.base import SteeringPolicy
+from repro.core.steering.base import SteeringPolicy, capability_redirect
 from repro.core.steering.dependence import DependenceSteering
 from repro.frontend.branch_predictor import (
     GshareBranchPredictor,
@@ -88,13 +88,24 @@ class ReferenceSimulator:
         self.num_clusters = config.num_clusters
         self.forwarding_latency = config.forwarding_latency
         self.now = 0
+        # Per-cluster geometry and latency overrides, indexed by cluster id.
+        self._window_sizes = [entry.window_size for entry in config.clusters]
+        self._lat_over = [dict(entry.latency_overrides) for entry in config.clusters]
 
     # ------------------------------------------------------------------
     # MachineView protocol
     # ------------------------------------------------------------------
     def window_free(self, cluster: int) -> int:
         """Free scheduling-window entries at ``cluster``."""
-        return self.config.cluster.window_size - self._occupancy[cluster]
+        return self._window_sizes[cluster] - self._occupancy[cluster]
+
+    def ports_for(self, cluster: int, opclass) -> int:
+        """Issue ports ``cluster`` has for ``opclass``'s pool."""
+        return self.config.clusters[cluster].ports_for(opclass)
+
+    def cluster_latency(self, cluster: int, opclass) -> int:
+        """Execution latency of ``opclass`` on ``cluster``."""
+        return self.config.clusters[cluster].latency_for(opclass)
 
     def cluster_load(self, cluster: int) -> int:
         """Dispatched-but-unissued instruction count at ``cluster``."""
@@ -175,8 +186,19 @@ class ReferenceSimulator:
 
         key = self.scheduler.priority_key
         l1_hit = config.memory.l1.hit_latency
-        cluster_cfg = config.cluster
-        port_limits = (cluster_cfg.int_ports, cluster_cfg.fp_ports, cluster_cfg.mem_ports)
+        clusters_cfg = config.clusters
+        port_limits = [
+            (entry.int_ports, entry.fp_ports, entry.mem_ports)
+            for entry in clusters_cfg
+        ]
+        # Capability table: for each port pool, the clusters that can ever
+        # issue it.  Only built when some cluster has a zero-port pool.
+        capable: list[tuple[int, ...]] | None = None
+        if any(limits[1] == 0 or limits[2] == 0 for limits in port_limits):
+            capable = [
+                tuple(c for c in range(num_clusters) if port_limits[c][pool] > 0)
+                for pool in range(3)
+            ]
 
         global_values = 0
         rob_count = 0
@@ -230,12 +252,14 @@ class ReferenceSimulator:
                 leftovers: list[InFlight] = []
                 issued = 0
                 ports_used = [0, 0, 0]
+                cluster_cfg = clusters_cfg[cluster]
+                limits = port_limits[cluster]
                 for rec in pool:
                     if issued >= cluster_cfg.issue_width:
                         leftovers.append(rec)
                         continue
                     pclass = _port_class(rec.instr.opclass)
-                    if ports_used[pclass] >= port_limits[pclass]:
+                    if ports_used[pclass] >= limits[pclass]:
                         leftovers.append(rec)
                         continue
                     ports_used[pclass] += 1
@@ -271,6 +295,13 @@ class ReferenceSimulator:
                     rec.predicted_critical = self.predictors.predict_critical(head.pc)
                     rec.loc = self.predictors.loc(head.pc)
                 decision = self.steering.choose(rec, self)
+                if capable is not None and decision.cluster is not None:
+                    pool_c = _port_class(rec.instr.opclass)
+                    if port_limits[decision.cluster][pool_c] == 0:
+                        # The steered cluster can never execute this op
+                        # class; redirect to the least-loaded capable
+                        # cluster or stall.
+                        decision = capability_redirect(self, capable[pool_c])
                 if decision.is_stall:
                     blocking = decision.blocking_cluster
                     pred = (
@@ -325,7 +356,11 @@ class ReferenceSimulator:
         """Begin execution of ``rec`` at cycle ``now``."""
         instr = rec.instr
         rec.issue_time = now
-        latency = instr.base_latency
+        overrides = self._lat_over[rec.cluster]
+        if overrides:
+            latency = overrides.get(instr.opclass.value, instr.base_latency)
+        else:
+            latency = instr.base_latency
         if instr.is_load:
             access = memory.load_latency(instr.mem_addr)
             latency += access

@@ -50,18 +50,44 @@ from repro.vm.trace import DynamicInstruction
 # ---------------------------------------------------------------------------
 
 
+def _cluster_to_dict(cluster: ClusterConfig) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "issue_width": cluster.issue_width,
+        "int_ports": cluster.int_ports,
+        "fp_ports": cluster.fp_ports,
+        "mem_ports": cluster.mem_ports,
+        "window_size": cluster.window_size,
+    }
+    # Key only present when set: a cluster without overrides serializes
+    # byte-identically to the pre-heterogeneity schema.
+    if cluster.latency_overrides:
+        payload["latency_overrides"] = {
+            name: cycles for name, cycles in cluster.latency_overrides
+        }
+    return payload
+
+
+def _cluster_from_dict(data: dict[str, Any]) -> ClusterConfig:
+    return ClusterConfig(**data)
+
+
 def config_to_dict(config: MachineConfig) -> dict[str, Any]:
-    """Flatten a :class:`MachineConfig` tree into JSON types."""
+    """Flatten a :class:`MachineConfig` tree into JSON types.
+
+    Uniform machines keep the legacy ``num_clusters``/``cluster`` spelling
+    byte-for-byte (existing cache entries and goldens stay valid);
+    heterogeneous machines serialize a ``clusters`` list instead.
+    """
     memory = config.memory
+    if config.is_uniform:
+        core: dict[str, Any] = {
+            "num_clusters": config.num_clusters,
+            "cluster": _cluster_to_dict(config.cluster),
+        }
+    else:
+        core = {"clusters": [_cluster_to_dict(c) for c in config.clusters]}
     return {
-        "num_clusters": config.num_clusters,
-        "cluster": {
-            "issue_width": config.cluster.issue_width,
-            "int_ports": config.cluster.int_ports,
-            "fp_ports": config.cluster.fp_ports,
-            "mem_ports": config.cluster.mem_ports,
-            "window_size": config.cluster.window_size,
-        },
+        **core,
         "rob_size": config.rob_size,
         "dispatch_width": config.dispatch_width,
         "commit_width": config.commit_width,
@@ -83,11 +109,14 @@ def config_to_dict(config: MachineConfig) -> dict[str, Any]:
 
 
 def config_from_dict(data: dict[str, Any]) -> MachineConfig:
-    """Inverse of :func:`config_to_dict`."""
+    """Inverse of :func:`config_to_dict` (accepts both cluster spellings)."""
     memory = data["memory"]
+    if "clusters" in data:
+        clusters = tuple(_cluster_from_dict(c) for c in data["clusters"])
+    else:
+        clusters = (_cluster_from_dict(data["cluster"]),) * data["num_clusters"]
     return MachineConfig(
-        num_clusters=data["num_clusters"],
-        cluster=ClusterConfig(**data["cluster"]),
+        clusters=clusters,
         rob_size=data["rob_size"],
         dispatch_width=data["dispatch_width"],
         commit_width=data["commit_width"],

@@ -69,7 +69,7 @@ from repro.core.instruction import (
 from repro.core.rename import Dependences, extract_dependences
 from repro.core.results import IlpProfile, SimulationResult
 from repro.core.scheduling.policies import OldestFirstScheduler, SchedulingPolicy
-from repro.core.steering.base import SteeringPolicy
+from repro.core.steering.base import SteeringPolicy, capability_redirect
 from repro.core.steering.dependence import DependenceSteering
 from repro.core.wakeup import ClusterWakeupQueue
 from repro.frontend.branch_predictor import (
@@ -158,6 +158,36 @@ _PORT_AND_LATENCY = {
 }
 
 
+def _latency_plane(config, trace, base_lat):
+    """Per-cluster execution-latency columns for one trace.
+
+    Clusters without latency overrides alias the shared ``base_lat`` list
+    (zero extra memory on uniform machines); clusters that override an op
+    class get a derived column.  Identical override tuples share a column.
+    """
+    clusters = config.clusters
+    if all(not entry.latency_overrides for entry in clusters):
+        return [base_lat] * len(clusters)
+    total = len(trace)
+    derived: dict[tuple, list[int]] = {}
+    plane = []
+    for entry in clusters:
+        overrides = entry.latency_overrides
+        if not overrides:
+            plane.append(base_lat)
+            continue
+        column = derived.get(overrides)
+        if column is None:
+            over = dict(overrides)
+            column = [
+                over.get(trace[i].opclass._value_, base_lat[i])
+                for i in range(total)
+            ]
+            derived[overrides] = column
+        plane.append(column)
+    return plane
+
+
 class ClusteredSimulator:
     """Runs one dynamic trace through a configured machine."""
 
@@ -190,13 +220,29 @@ class ClusteredSimulator:
         self.forwarding_latency = config.forwarding_latency
         self.now = 0
         self._pressure_tracking = True
+        # Per-cluster geometry, indexed by cluster id.  ``_window_size``
+        # stays a scalar on uniform machines (the steering fast paths
+        # cache it); heterogeneous machines expose ``None`` there, which
+        # sends policies down their method-call path.
+        self._window_sizes = [entry.window_size for entry in config.clusters]
+        self._window_size = (
+            self._window_sizes[0] if config.is_uniform else None
+        )
 
     # ------------------------------------------------------------------
     # MachineView protocol
     # ------------------------------------------------------------------
     def window_free(self, cluster: int) -> int:
         """Free scheduling-window entries at ``cluster``."""
-        return self._window_size - self._occupancy[cluster]
+        return self._window_sizes[cluster] - self._occupancy[cluster]
+
+    def ports_for(self, cluster: int, opclass: OpClass) -> int:
+        """Issue ports at ``cluster`` usable by ``opclass`` (0 = cannot run)."""
+        return self.config.clusters[cluster].ports_for(opclass)
+
+    def cluster_latency(self, cluster: int, opclass: OpClass) -> int:
+        """Execution latency of ``opclass`` on ``cluster``."""
+        return self.config.clusters[cluster].latency_for(opclass)
 
     def cluster_load(self, cluster: int) -> int:
         """Dispatched-but-unissued instruction count at ``cluster``."""
@@ -268,7 +314,6 @@ class ClusteredSimulator:
         self._transfer_used: dict[int, int] = {}
         occupancy = [0] * num_clusters
         self._occupancy = occupancy
-        self._window_size = config.cluster.window_size
         last_issued = [-1] * num_clusters
         self._last_issued = last_issued
         queues = [self.queue_factory() for __ in range(num_clusters)]
@@ -292,6 +337,9 @@ class ClusteredSimulator:
         port_and_latency = _PORT_AND_LATENCY
         for i, instr in enumerate(trace):
             pclass[i], base_lat[i] = port_and_latency[instr.opclass._value_]
+        # Per-cluster latency plane: clusters without overrides share the
+        # base column, so uniform machines pay nothing beyond one index.
+        lat_plane = _latency_plane(config, trace, base_lat)
         adjacency = [deps.all_deps for deps in dependences]
         # Scheduling priority of each instruction, computed once at dispatch.
         prio: list[tuple | None] = [None] * total
@@ -304,9 +352,21 @@ class ClusteredSimulator:
         # Invariant config and collaborator lookups, hoisted out of the loop.
         priority_key = self.scheduler.priority_key
         l1_hit = config.memory.l1.hit_latency
-        cluster_cfg = config.cluster
-        issue_width = cluster_cfg.issue_width
-        port_limits = (cluster_cfg.int_ports, cluster_cfg.fp_ports, cluster_cfg.mem_ports)
+        clusters_cfg = config.clusters
+        issue_widths = [entry.issue_width for entry in clusters_cfg]
+        port_limits = [
+            (entry.int_ports, entry.fp_ports, entry.mem_ports)
+            for entry in clusters_cfg
+        ]
+        # Eligible clusters per port pool, only materialized when some
+        # cluster lacks a port class (FP-less / mem-less clusters): the
+        # dispatch loop then redirects incapable steering targets.
+        capable: list[tuple[int, ...]] | None = None
+        if any(limits[1] == 0 or limits[2] == 0 for limits in port_limits):
+            capable = [
+                tuple(c for c in range(num_clusters) if port_limits[c][pool] > 0)
+                for pool in range(3)
+            ]
         commit_width = config.commit_width
         dispatch_width = config.dispatch_width
         rob_size = config.rob_size
@@ -432,12 +492,15 @@ class ClusteredSimulator:
                 issued = 0
                 ports_used[0] = ports_used[1] = ports_used[2] = 0
                 blocked = None
+                issue_width = issue_widths[cluster]
+                limits = port_limits[cluster]
+                base_lat_c = lat_plane[cluster]
                 while pool and issued < issue_width:
                     entry = heappop(pool)
                     rec = entry[1]
                     index = rec.index
                     port = pclass[index]
-                    if ports_used[port] >= port_limits[port]:
+                    if ports_used[port] >= limits[port]:
                         if blocked is None:
                             blocked = [entry]
                         else:
@@ -447,7 +510,7 @@ class ClusteredSimulator:
                     issued += 1
                     # Begin execution of ``rec`` at cycle ``now``.
                     rec.issue_time = now
-                    latency = base_lat[index]
+                    latency = base_lat_c[index]
                     if port == 2:
                         instr = rec.instr
                         if instr.opclass is load_class:
@@ -506,6 +569,14 @@ class ClusteredSimulator:
                     rec.loc = predictor_loc(pc)
                 decision = steering.choose(rec, self)
                 cluster = decision.cluster
+                if capable is not None and cluster is not None:
+                    pool_c = pclass[index]
+                    if port_limits[cluster][pool_c] == 0:
+                        # The steered cluster can never execute this op
+                        # class (zero ports in its pool); redirect to the
+                        # least-loaded capable cluster or stall.
+                        decision = capability_redirect(self, capable[pool_c])
+                        cluster = decision.cluster
                 if cluster is None:
                     blocking = decision.blocking_cluster
                     pred = last_issued[blocking] if blocking is not None else None

@@ -1,9 +1,11 @@
 """Steering (cluster-assignment) policies."""
 
+from repro.core.steering.affinity import AffinitySteering
 from repro.core.steering.base import (
     MachineView,
     SteeringDecision,
     SteeringPolicy,
+    capability_redirect,
     least_loaded_cluster,
     structural_stall,
 )
@@ -23,6 +25,7 @@ from repro.core.steering.stall_baselines import (
 )
 
 __all__ = [
+    "AffinitySteering",
     "AlwaysStallSteering",
     "CriticalitySteering",
     "CriticalitySteeringConfig",
@@ -34,6 +37,7 @@ __all__ = [
     "ReadinessAwareSteering",
     "SteeringDecision",
     "SteeringPolicy",
+    "capability_redirect",
     "least_loaded_cluster",
     "least_ready_pressure_cluster",
     "structural_stall",

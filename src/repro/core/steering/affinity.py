@@ -1,0 +1,123 @@
+"""FU-affinity steering for heterogeneous machines.
+
+On asymmetric machines (per-cluster FU mixes and latency overrides),
+where an op executes matters beyond window occupancy: an FP op steered
+to an FP-less thin cluster has to be redirected at dispatch, and an
+integer multiply steered to a slow-divider cluster pays double latency.
+:class:`AffinitySteering` makes the steering policy itself
+capability- and latency-aware, using the cluster-capability view
+(``ports_for`` / ``cluster_latency``) the simulators expose through
+:class:`~repro.core.steering.base.MachineView`.
+
+The decision procedure, in order:
+
+1. *Fit filter*: clusters with zero ports for the op's class are never
+   candidates (so the dispatch-level capability redirect has nothing to
+   fix behind this policy's back).
+2. *Producer locality*: if an in-flight producer sits on a fit cluster
+   with window space, collocate with it -- unless that cluster executes
+   the op slower than the best fit cluster (latency beats locality on
+   quirky clusters; on uniform machines this clause never fires).
+3. *Affinity rank*: otherwise pick the fit cluster minimizing
+   ``(latency, -ports, load, index)`` -- fastest execution first, then
+   the richest port pool for this class, then load, then determinism.
+
+On a uniform machine every cluster fits and ranks equally, so the policy
+degrades to dependence-style steering with load-balance fallback.
+"""
+
+from __future__ import annotations
+
+from repro.core.instruction import DispatchReason, InFlight, SteerCause
+from repro.core.steering.base import (
+    MachineView,
+    SteeringDecision,
+    SteeringPolicy,
+    stall_decision,
+    steer_decision,
+)
+
+__all__ = ["AffinitySteering"]
+
+
+class AffinitySteering(SteeringPolicy):
+    """Steer toward clusters whose FU mix and latency serve the op."""
+
+    name = "affinity"
+    wants_commit_events = False
+
+    def __init__(self, prefer_producer: bool = True) -> None:
+        self.prefer_producer = prefer_producer
+
+    def describe(self) -> dict:
+        return {"name": self.name, "prefer_producer": self.prefer_producer}
+
+    def choose(self, instr: InFlight, machine: MachineView) -> SteeringDecision:
+        opclass = instr.instr.opclass
+        ports_for = machine.ports_for
+        cluster_latency = machine.cluster_latency
+        window_free = machine.window_free
+        cluster_load = machine.cluster_load
+
+        best = None
+        best_key = None
+        best_latency = None
+        fullest = None
+        fullest_load = -1
+        any_fit = False
+        for cluster in range(machine.num_clusters):
+            ports = ports_for(cluster, opclass)
+            if ports == 0:
+                continue
+            any_fit = True
+            load = cluster_load(cluster)
+            if load > fullest_load:
+                fullest, fullest_load = cluster, load
+            if window_free(cluster) <= 0:
+                continue
+            latency = cluster_latency(cluster, opclass)
+            key = (latency, -ports, load, cluster)
+            if best_key is None or key < best_key:
+                best, best_key, best_latency = cluster, key, latency
+        if not any_fit:
+            # MachineConfig guarantees every op class is executable
+            # somewhere, so this is unreachable on validated configs;
+            # degrade to a structural stall rather than crash.
+            fullest = max(range(machine.num_clusters), key=cluster_load)
+            return stall_decision(DispatchReason.CLUSTER_FULL, fullest)
+        if best is None:
+            return stall_decision(DispatchReason.CLUSTER_FULL, fullest)
+
+        if self.prefer_producer:
+            producer = self._best_producer(instr, machine)
+            if producer is not None:
+                cluster = producer.cluster
+                if (
+                    cluster != best
+                    and ports_for(cluster, opclass) > 0
+                    and window_free(cluster) > 0
+                    and cluster_latency(cluster, opclass) <= best_latency
+                ):
+                    return steer_decision(cluster, SteerCause.PRODUCER)
+                if cluster == best:
+                    return steer_decision(best, SteerCause.PRODUCER)
+        return steer_decision(best, SteerCause.NO_PRODUCER)
+
+    # ------------------------------------------------------------------
+    def _best_producer(
+        self, instr: InFlight, machine: MachineView
+    ) -> InFlight | None:
+        """The youngest register producer whose value is still in flight."""
+        reg_deps = instr.deps.reg_deps
+        if not reg_deps:
+            return None
+        visible_before = machine.now + 1 - machine.forwarding_latency
+        best = None
+        record = machine.record
+        for dep in reg_deps:
+            producer = record(dep)
+            complete = producer.complete_time
+            if complete < 0 or complete >= visible_before:
+                if best is None or producer.index > best.index:
+                    best = producer
+        return best

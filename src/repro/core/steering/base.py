@@ -39,6 +39,14 @@ class MachineView(Protocol):
         """(Soon-)ready instructions competing for ``cluster``'s ports."""
         ...
 
+    def ports_for(self, cluster: int, opclass) -> int:
+        """Issue ports ``cluster`` has for ``opclass``'s pool (0 = cannot)."""
+        ...
+
+    def cluster_latency(self, cluster: int, opclass) -> int:
+        """Execution latency of ``opclass`` on ``cluster`` (with overrides)."""
+        ...
+
 
 @dataclass(frozen=True, slots=True)
 class SteeringDecision:
@@ -133,24 +141,34 @@ def stall_decision(
     return decision
 
 
-def least_loaded_cluster(machine: MachineView, require_space: bool = True) -> int | None:
+def least_loaded_cluster(
+    machine: MachineView,
+    require_space: bool = True,
+    eligible: tuple[int, ...] | None = None,
+) -> int | None:
     """The cluster with the fewest in-flight instructions.
 
     With ``require_space``, clusters whose window is full are excluded and
-    None is returned when every window is full.  Ties break toward the
-    lowest-numbered cluster for determinism.
+    None is returned when every window is full.  ``eligible`` restricts the
+    scan to a subset of clusters (capability redirects).  Ties break toward
+    the lowest-numbered cluster for determinism.
     """
     occupancy = getattr(machine, "_occupancy", None)
     if occupancy is not None:
-        # Both simulators track occupancy as one list, and
-        # ``window_free(c) == window_size - occupancy[c]`` -- so one probe
-        # recovers the window size and the scan walks the list directly
-        # instead of paying two method calls per cluster.
-        window_size = machine.window_free(0) + occupancy[0]
+        # Both simulators track occupancy as one list and expose the
+        # per-cluster window sizes, so the scan walks the lists directly
+        # instead of paying two method calls per cluster.  (Older machine
+        # views without ``_window_sizes`` are uniform; one probe recovers
+        # the shared size.)
+        window_sizes = getattr(machine, "_window_sizes", None)
+        if window_sizes is None:
+            window_sizes = [machine.window_free(0) + occupancy[0]] * len(occupancy)
         best = None
         best_load = None
-        for cluster, load in enumerate(occupancy):
-            if require_space and load >= window_size:
+        candidates = eligible if eligible is not None else range(len(occupancy))
+        for cluster in candidates:
+            load = occupancy[cluster]
+            if require_space and load >= window_sizes[cluster]:
                 continue
             if best_load is None or load < best_load:
                 best, best_load = cluster, load
@@ -159,7 +177,8 @@ def least_loaded_cluster(machine: MachineView, require_space: bool = True) -> in
     cluster_load = machine.cluster_load
     best = None
     best_load = None
-    for cluster in range(machine.num_clusters):
+    candidates = eligible if eligible is not None else range(machine.num_clusters)
+    for cluster in candidates:
         if require_space and window_free(cluster) <= 0:
             continue
         load = cluster_load(cluster)
@@ -171,4 +190,21 @@ def least_loaded_cluster(machine: MachineView, require_space: bool = True) -> in
 def structural_stall(machine: MachineView) -> SteeringDecision:
     """The decision to return when every cluster window is full."""
     fullest = max(range(machine.num_clusters), key=machine.cluster_load)
+    return stall_decision(DispatchReason.CLUSTER_FULL, fullest)
+
+
+def capability_redirect(
+    machine: MachineView, eligible: tuple[int, ...]
+) -> SteeringDecision:
+    """Re-steer an op whose chosen cluster cannot execute its class.
+
+    Picks the least-loaded cluster among ``eligible`` (those with ports for
+    the op's pool); when every capable window is full, stalls dispatch on
+    the fullest capable cluster.  Both simulators apply this identically at
+    dispatch, after the policy's choice, so policies stay capability-blind.
+    """
+    best = least_loaded_cluster(machine, eligible=eligible)
+    if best is not None:
+        return steer_decision(best, SteerCause.CAPABILITY)
+    fullest = max(eligible, key=machine.cluster_load)
     return stall_decision(DispatchReason.CLUSTER_FULL, fullest)

@@ -68,7 +68,7 @@ from repro.experiments.cache import RunCache
 from repro.experiments.outcomes import ExecutionInterrupted, JobOutcome
 from repro.experiments.parallel import run_job_outcome
 
-__all__ = ["execute_leased_job", "main", "run_worker"]
+__all__ = ["execute_leased_job", "main", "run_supervisor", "run_worker"]
 
 
 class _TimeoutAttemptRunner:
@@ -474,6 +474,133 @@ def _run_dir_task(
 
 
 # ---------------------------------------------------------------------------
+# Supervisor (``repro worker --supervise N``)
+# ---------------------------------------------------------------------------
+
+
+def run_supervisor(
+    count: int,
+    spawn: "Callable[[int], Any]",
+    *,
+    poll: float = 0.2,
+    respawn_delay: float = 0.5,
+    max_respawns: "int | None" = None,
+    on_spawn: "Callable[[int, Any], None] | None" = None,
+) -> int:
+    """Keep ``count`` worker slots alive until each finishes cleanly.
+
+    ``spawn(slot)`` starts one worker process (anything with the
+    ``Popen`` interface: ``poll``/``terminate``/``kill``/``wait``).  A
+    slot whose process exits 0 is *done* -- the coordinator said stop, or
+    the idle timeout elapsed -- and is not restarted.  A process that
+    dies any other way (crash, OOM-kill, SIGKILL) is respawned after
+    ``respawn_delay`` seconds; whatever lease it held is re-queued by the
+    coordinator's heartbeat timeout, so the sweep loses no work.
+
+    ``max_respawns`` bounds total restarts (``None`` = unbounded; the
+    respawn delay throttles crash loops either way).  Returns the number
+    of respawns performed.  On interruption every live child is
+    terminated (then killed if it lingers) before the exception
+    propagates.
+    """
+    if count <= 0:
+        raise ValueError("supervisor needs at least one worker slot")
+    active: dict[int, Any] = {}
+    pending: dict[int, float] = {}
+    respawns = 0
+
+    def start(slot: int) -> None:
+        process = spawn(slot)
+        active[slot] = process
+        if on_spawn is not None:
+            on_spawn(slot, process)
+
+    try:
+        for slot in range(count):
+            start(slot)
+        while active or pending:
+            now = time.monotonic()
+            for slot, process in list(active.items()):
+                code = process.poll()
+                if code is None:
+                    continue
+                del active[slot]
+                if code == 0:
+                    continue  # clean exit: the slot's work is finished
+                if max_respawns is not None and respawns >= max_respawns:
+                    continue
+                pending[slot] = now + respawn_delay
+            for slot, deadline in list(pending.items()):
+                if now >= deadline:
+                    del pending[slot]
+                    # Re-check the cap here: several slots can die in one
+                    # sweep of the poll loop and be queued together.
+                    if max_respawns is not None and respawns >= max_respawns:
+                        continue
+                    start(slot)
+                    respawns += 1
+            if active or pending:
+                time.sleep(poll)
+        return respawns
+    except BaseException:
+        for process in active.values():
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead race
+                pass
+        for process in active.values():
+            try:
+                process.wait(timeout=5.0)
+            except Exception:
+                try:
+                    process.kill()
+                except Exception:  # pragma: no cover - already-dead race
+                    pass
+        raise
+
+
+def _spawn_worker_process(argv: list[str]):
+    """Start one ``repro worker`` child with this interpreter."""
+    import subprocess
+    import sys
+
+    return subprocess.Popen([sys.executable, "-m", "repro", "worker", *argv])
+
+
+def _supervise_main(args: argparse.Namespace) -> int:
+    """Run ``--supervise N``: spawn N single-worker children and babysit."""
+    base_id = args.id or f"{socket.gethostname()}-{os.getpid()}"
+    child_argv = [args.endpoint]
+    if args.cache_dir is not None:
+        child_argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        child_argv += ["--no-cache"]
+    child_argv += ["--poll", str(args.poll)]
+    if args.idle_timeout is not None:
+        child_argv += ["--idle-timeout", str(args.idle_timeout)]
+    child_argv += ["--reconnect-window", str(args.reconnect_window)]
+
+    def spawn(slot: int):
+        return _spawn_worker_process(child_argv + ["--id", f"{base_id}-w{slot}"])
+
+    def announce(slot: int, process) -> None:
+        # One parseable line per (re)spawn; tests and ops tooling use the
+        # pid to target individual workers.
+        print(f"supervisor: worker {slot} pid {process.pid}", flush=True)
+
+    respawns = run_supervisor(
+        args.supervise,
+        spawn,
+        poll=min(args.poll, 0.5),
+        respawn_delay=args.respawn_delay,
+        max_respawns=args.max_respawns,
+        on_spawn=announce,
+    )
+    print(f"supervisor done: {args.supervise} worker(s), {respawns} respawn(s)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # CLI (``repro worker``)
 # ---------------------------------------------------------------------------
 
@@ -520,7 +647,32 @@ def main(argv: "list[str] | None" = None) -> int:
             "the sweep)"
         ),
     )
+    parser.add_argument(
+        "--supervise",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run N worker child processes and respawn any that die "
+            "abnormally; a child exiting cleanly (stop/idle) is done "
+            "(default: 0 = serve jobs in this process)"
+        ),
+    )
+    parser.add_argument(
+        "--respawn-delay",
+        type=float,
+        default=0.5,
+        help="supervisor: seconds to wait before restarting a dead worker",
+    )
+    parser.add_argument(
+        "--max-respawns",
+        type=int,
+        default=None,
+        help="supervisor: stop restarting after this many respawns total",
+    )
     args = parser.parse_args(argv)
+    if args.supervise:
+        return _supervise_main(args)
     cache = None if args.no_cache else RunCache(args.cache_dir)
     executed = run_worker(
         args.endpoint,

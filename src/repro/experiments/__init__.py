@@ -27,6 +27,11 @@ from repro.experiments.fig08 import plan_figure8, run_figure8, spec_figure8
 from repro.experiments.fig14 import plan_figure14, run_figure14, spec_figure14
 from repro.experiments.fig15 import plan_figure15, run_figure15, spec_figure15
 from repro.experiments.figure import FigureData
+from repro.experiments.hetero import (
+    plan_hetero_sweep,
+    run_hetero_sweep,
+    spec_hetero_sweep,
+)
 from repro.experiments.intext import (
     plan_consumer_stats,
     plan_global_values,
@@ -48,6 +53,7 @@ EXPERIMENTS = {
     "figure8": run_figure8,
     "figure14": run_figure14,
     "figure15": run_figure15,
+    "hetero_sweep": run_hetero_sweep,
     "global_values": run_global_values,
     "loc_priority": run_loc_priority_study,
     "consumer_stats": run_consumer_stats,
@@ -65,6 +71,7 @@ SPECS = {
     "figure8": spec_figure8,
     "figure14": spec_figure14,
     "figure15": spec_figure15,
+    "hetero_sweep": spec_hetero_sweep,
     "global_values": spec_global_values,
     "loc_priority": spec_loc_priority_study,
     "consumer_stats": spec_consumer_stats,
@@ -81,6 +88,7 @@ PLANS = {
     "figure8": plan_figure8,
     "figure14": plan_figure14,
     "figure15": plan_figure15,
+    "hetero_sweep": plan_hetero_sweep,
     "global_values": plan_global_values,
     "loc_priority": plan_loc_priority_study,
     "consumer_stats": plan_consumer_stats,
@@ -138,6 +146,7 @@ __all__ = [
     "plan_figure6",
     "plan_figure8",
     "plan_global_values",
+    "plan_hetero_sweep",
     "plan_loc_priority_study",
     "run_consumer_stats",
     "run_figure14",
@@ -148,5 +157,6 @@ __all__ = [
     "run_figure6",
     "run_figure8",
     "run_global_values",
+    "run_hetero_sweep",
     "run_loc_priority_study",
 ]

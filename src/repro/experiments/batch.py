@@ -159,9 +159,23 @@ def _lower(policy: "str | PolicySpec") -> BatchedPolicy | None:
     )
 
 
+def batchable_config(config) -> bool:
+    """Whether the batched engine can run ``config``.
+
+    Clusters with a zero-port pool need the dispatch-level capability
+    redirect, which is only implemented in the event and reference
+    backends.
+    """
+    return all(c.fp_ports > 0 and c.mem_ports > 0 for c in config.clusters)
+
+
 def supports_job(job: RunJob) -> bool:
     """Whether ``job`` can run on the batched backend at all."""
-    return not job.metrics and fast_policy(job.policy) is not None
+    return (
+        not job.metrics
+        and batchable_config(job.config)
+        and fast_policy(job.policy) is not None
+    )
 
 
 def batch_key(job: RunJob) -> tuple:

@@ -40,7 +40,7 @@ from typing import Iterable, Sequence
 
 from repro.core.config import MachineConfig, clustered_machine, monolithic_machine
 from repro.core.results import SimulationResult
-from repro.experiments.batch import fast_policy
+from repro.experiments.batch import batchable_config, fast_policy
 from repro.experiments.cache import RunCache
 from repro.experiments.executor import Executor, executor_names, make_executor
 from repro.experiments.outcomes import (
@@ -229,11 +229,13 @@ class Workbench:
             policy=policy,
             collect_ilp=collect_ilp,
             warm=warm,
-            sim=self.sim_for(policy),
+            sim=self.sim_for(policy, config),
             metrics=self.metrics,
         )
 
-    def sim_for(self, policy: str | PolicySpec) -> str:
+    def sim_for(
+        self, policy: str | PolicySpec, config: MachineConfig | None = None
+    ) -> str:
         """The backend a job running ``policy`` on this workbench uses.
 
         This is the single place the ``batch="auto"`` promotion decision
@@ -242,12 +244,16 @@ class Workbench:
         so every way of constructing "the same run" lands on one job
         identity -- and therefore one cache key.  Pass a *canonical*
         policy (:func:`repro.specs.canonical_policy`) for best memoization.
+        ``config`` keeps machines the batched engine cannot run (clusters
+        with a zero-port pool need the dispatch-level capability
+        redirect) on the event path.
         """
         if (
             self.sim == "event"
             and self.batch == "auto"
             and not self.metrics
             and fast_policy(policy) is not None
+            and (config is None or batchable_config(config))
         ):
             return "batched"
         return self.sim

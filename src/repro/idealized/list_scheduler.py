@@ -30,7 +30,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.config import MachineConfig
+from repro.core.config import ClusterConfig, MachineConfig
 from repro.core.rename import Dependences, build_consumer_lists
 from repro.idealized.regions import split_regions
 from repro.vm.isa import OpClass
@@ -69,8 +69,7 @@ def _port_class(opclass: OpClass) -> int:
 class _ClusterTable:
     """Per-cluster, per-cycle port occupancy."""
 
-    def __init__(self, config: MachineConfig):
-        cluster = config.cluster
+    def __init__(self, cluster: ClusterConfig):
         self._limits = (cluster.int_ports, cluster.fp_ports, cluster.mem_ports)
         self._width = cluster.issue_width
         # cycle -> [int_used, fp_used, mem_used, total_used]
@@ -210,7 +209,7 @@ def _schedule_region(
         trace, dependences, consumers, latencies, start, stop,
         priority_mode, loc_table, binary_table, mispredicted,
     )
-    tables = [_ClusterTable(config) for _ in range(config.num_clusters)]
+    tables = [_ClusterTable(entry) for entry in config.clusters]
 
     pending = [0] * (stop - start)
     for i in range(start, stop):

@@ -284,7 +284,7 @@ class ExperimentSpec:
                                 policy=policy,
                                 collect_ilp=sweep.collect_ilp,
                                 warm=sweep.warm,
-                                sim=bench.sim_for(policy),
+                                sim=bench.sim_for(policy, config),
                                 metrics=bench.metrics,
                             )
                         )

@@ -258,6 +258,9 @@ PRESETS: dict[str, PolicySpec] = {
         predictor=PredictorSpec("chunked"),
         name="readiness",
     ),
+    # FU-affinity steering for heterogeneous machines: capability- and
+    # latency-aware, needs no predictors.
+    "affinity": _preset("affinity", "affinity", {}, "oldest", predictors=False),
 }
 
 # Preset lookup by canonical JSON, for collapsing specs back to names.

@@ -245,6 +245,13 @@ def _build_readiness_steering(
     )
 
 
+@register_steering("affinity")
+def _build_affinity_steering(prefer_producer: bool = True):
+    from repro.core.steering.affinity import AffinitySteering
+
+    return AffinitySteering(prefer_producer=prefer_producer)
+
+
 @register_steering("modulo")
 def _build_modulo_steering():
     from repro.core.steering.simple import ModuloSteering

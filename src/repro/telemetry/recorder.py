@@ -106,6 +106,10 @@ class TelemetryData:
     interval: int
     cycles: int
     instructions: int
+    # Per-cluster window sizes, for occupancy normalization.  Empty on
+    # payloads recorded before this field existed (cache entries round-trip
+    # losslessly either way).
+    window_sizes: list[int] = field(default_factory=list)
     samples: list[dict[str, Any]] = field(default_factory=list)
     interval_series: dict[str, list[int]] = field(default_factory=dict)
     dispatch_reasons: dict[str, int] = field(default_factory=dict)
@@ -134,8 +138,23 @@ class TelemetryData:
         )
 
     def mean_occupancy(self) -> float:
-        """Mean per-cluster window occupancy over all samples."""
-        cells = [v for s in self.samples for v in s["occupancy"]]
+        """Mean window utilization (occupancy / window size) over all samples.
+
+        Each cluster's sampled occupancy is normalized by *that cluster's*
+        window size: on a heterogeneous machine a raw average would let a
+        fat cluster's large window drown out the thin ones.  Legacy
+        payloads without recorded window sizes fall back to the raw mean
+        occupancy count.
+        """
+        sizes = self.window_sizes
+        if not sizes:
+            cells = [v for s in self.samples for v in s["occupancy"]]
+            return sum(cells) / len(cells) if cells else 0.0
+        cells = [
+            occupancy / sizes[index]
+            for s in self.samples
+            for index, occupancy in enumerate(s["occupancy"])
+        ]
         return sum(cells) / len(cells) if cells else 0.0
 
     def summary(self) -> dict[str, Any]:
@@ -165,6 +184,7 @@ def telemetry_to_dict(data: TelemetryData) -> dict[str, Any]:
         "interval": data.interval,
         "cycles": data.cycles,
         "instructions": data.instructions,
+        "window_sizes": list(data.window_sizes),
         "samples": [dict(sample) for sample in data.samples],
         "interval_series": {k: list(v) for k, v in data.interval_series.items()},
         "dispatch_reasons": dict(data.dispatch_reasons),
@@ -183,6 +203,8 @@ def telemetry_from_dict(data: dict[str, Any]) -> TelemetryData:
         interval=data["interval"],
         cycles=data["cycles"],
         instructions=data["instructions"],
+        # .get(): payloads cached before window sizes were recorded.
+        window_sizes=list(data.get("window_sizes", [])),
         samples=[dict(sample) for sample in data["samples"]],
         interval_series={k: list(v) for k, v in data["interval_series"].items()},
         dispatch_reasons=dict(data["dispatch_reasons"]),
@@ -281,6 +303,9 @@ class Recorder:
             interval=interval,
             cycles=cycles,
             instructions=len(records),
+            window_sizes=[
+                cluster.window_size for cluster in result.config.clusters
+            ],
             samples=samples,
             interval_series={
                 "dispatched": dispatched,

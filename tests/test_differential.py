@@ -41,7 +41,14 @@ from repro.core.batched import (
     TracePrecompute,
     simulate_batched,
 )
-from repro.core.config import clustered_machine, monolithic_machine
+from repro.core.config import (
+    MachineConfig,
+    clustered_machine,
+    fat_thin_machine,
+    fp_less_thin_machine,
+    monolithic_machine,
+    slow_divider_machine,
+)
 from repro.core.reference import ReferenceSimulator
 from repro.core.simulator import ClusteredSimulator
 from repro.core.serialize import (
@@ -51,9 +58,10 @@ from repro.core.serialize import (
 )
 from repro.criticality.loc import LocPredictor, PredictorSuite
 from repro.criticality.trainer import ChunkedCriticalityTrainer
-from repro.experiments.batch import fast_policy
+from repro.experiments.batch import batchable_config, fast_policy
 from repro.experiments.harness import POLICY_NAMES
 from repro.experiments.parallel import prepare_workload
+from repro.specs import MachineSpec, spec_hash
 from repro.specs.policy import (
     PolicySpec,
     PredictorSpec,
@@ -388,3 +396,118 @@ def test_hypothesis_traces_bit_identical(
     if fast_policy(policy) is not None:
         batched = run_batched_matched(prepared, config, policy)
         assert_bit_identical(batched, event, f"{context} batched")
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous machines: asymmetric geometry through every backend
+# ---------------------------------------------------------------------------
+
+# One kernel per machine, chosen to exercise its quirk: the FP-less thin
+# clusters see eon's FP traffic (capability redirects), the slow-divider
+# cluster sees gap's integer multiplies (per-cluster latency plane), and
+# the fat+thin machine gets plain gcc (pure geometry asymmetry).
+HETERO_CASES = (
+    ("fat_thin", fat_thin_machine, "gcc"),
+    ("fp_less_thin", fp_less_thin_machine, "eon"),
+    ("slow_divider", slow_divider_machine, "gap"),
+)
+
+HETERO_POLICIES = ("dependence", "focused", "l", "s", "p", "affinity")
+
+
+@pytest.mark.parametrize("policy", HETERO_POLICIES)
+@pytest.mark.parametrize(
+    "name,builder,kernel", HETERO_CASES, ids=[c[0] for c in HETERO_CASES]
+)
+def test_hetero_event_vs_reference_bit_identical(
+    workloads, name, builder, kernel, policy
+):
+    config = builder()
+    prepared = workloads(kernel)
+    event, reference = run_both(prepared, config, policy)
+    assert_bit_identical(event, reference, f"{kernel} {policy} {name}")
+    if batchable_config(config) and fast_policy(policy) is not None:
+        batched = run_batched_matched(prepared, config, policy)
+        assert_bit_identical(batched, event, f"{kernel} {policy} {name} batched")
+
+
+def test_hetero_latency_overrides_actually_bite(workloads):
+    """The slow-divider machine must not silently equal the uniform one."""
+    prepared = workloads("gap")
+    slow = run_one(
+        ClusteredSimulator, prepared, slow_divider_machine(), "dependence"
+    )
+    uniform = run_one(
+        ClusteredSimulator, prepared, clustered_machine(2), "dependence"
+    )
+    assert not results_identical(slow, uniform)
+
+
+def test_fp_less_machine_confines_fp_ops(workloads):
+    """Every FP op lands on a cluster that has FP ports."""
+    from repro.vm.isa import OpClass
+
+    config = fp_less_thin_machine()
+    prepared = workloads("eon")
+    result = run_one(ClusteredSimulator, prepared, config, "dependence")
+    fp_records = [
+        record
+        for record in result.records
+        if record.instr.opclass is OpClass.FP
+    ]
+    assert fp_records, "eon must carry FP traffic for this test to bite"
+    for record in fp_records:
+        assert config.clusters[record.cluster].fp_ports > 0
+
+
+def test_batched_rejects_zero_port_clusters(workloads):
+    prepared = workloads("gcc", 200)
+    pre = TracePrecompute.from_prepared(prepared)
+    fast = fast_policy("dependence")
+    with pytest.raises(ValueError, match="FP and memory ports"):
+        simulate_batched(pre, fp_less_thin_machine(), fast)
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    clusters=st.sampled_from((2, 4, 8)),
+    policy=st.sampled_from(("dependence", "s")),
+    kernel=st.sampled_from(("gcc", "twolf")),
+    instructions=st.integers(min_value=100, max_value=500),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_uniform_percluster_spelling_is_the_legacy_machine(
+    clusters, policy, kernel, instructions, seed
+):
+    """Spelling N equal clusters explicitly is *the same machine*: equal
+    config, identical spec hash, and bit-identical results on all three
+    backends."""
+    legacy = clustered_machine(clusters)
+    spelled = MachineConfig(
+        clusters=tuple(legacy.clusters),
+        rob_size=legacy.rob_size,
+        dispatch_width=legacy.dispatch_width,
+        commit_width=legacy.commit_width,
+        forwarding_latency=legacy.forwarding_latency,
+        forwarding_bandwidth=legacy.forwarding_bandwidth,
+    )
+    assert spelled == legacy
+    assert spec_hash(MachineSpec(clusters=tuple(legacy.clusters))) == spec_hash(
+        MachineSpec(clusters=clusters)
+    )
+
+    prepared = prepare_workload(kernel, instructions, seed)
+    context = f"{kernel} n={instructions} seed={seed} {policy} {clusters}cl"
+    event_legacy, reference_legacy = run_both(prepared, legacy, policy)
+    event_spelled, reference_spelled = run_both(prepared, spelled, policy)
+    assert_bit_identical(event_spelled, event_legacy, f"{context} event")
+    assert_bit_identical(reference_spelled, reference_legacy, f"{context} ref")
+    if fast_policy(policy) is not None:
+        batched_legacy = run_batched_matched(prepared, legacy, policy)
+        batched_spelled = run_batched_matched(prepared, spelled, policy)
+        assert_bit_identical(batched_spelled, batched_legacy, f"{context} batched")
+        assert_bit_identical(batched_spelled, event_spelled, f"{context} b-vs-e")

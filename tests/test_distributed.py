@@ -41,7 +41,7 @@ from repro.distwork.protocol import (
     recv_frame,
     send_frame,
 )
-from repro.distwork.worker import execute_leased_job, run_worker
+from repro.distwork.worker import execute_leased_job, run_supervisor, run_worker
 from repro.experiments.cache import RunCache, job_key
 from repro.experiments.distributed import DistributedExecutor
 from repro.experiments.harness import Workbench
@@ -566,6 +566,126 @@ class TestChaosAcceptance:
                     proc.wait(timeout=5)
         assert chaotic == clean
         assert cache.quarantined == 1
+
+
+# ---------------------------------------------------------------------------
+# The worker supervisor (``repro worker --supervise N``)
+# ---------------------------------------------------------------------------
+
+
+class _FakeProc:
+    def __init__(self, code):
+        self.code = code
+
+    def poll(self):
+        return self.code
+
+
+class TestSupervisor:
+    def test_respawns_abnormal_exit_once(self):
+        spawned = []
+
+        def spawn(slot):
+            # First incarnation dies like a SIGKILL; the respawn is clean.
+            proc = _FakeProc(-signal.SIGKILL if not spawned else 0)
+            spawned.append(proc)
+            return proc
+
+        respawns = run_supervisor(1, spawn, poll=0.005, respawn_delay=0.0)
+        assert respawns == 1
+        assert len(spawned) == 2
+
+    def test_clean_exit_is_not_respawned(self):
+        spawned = []
+
+        def spawn(slot):
+            proc = _FakeProc(0)
+            spawned.append(proc)
+            return proc
+
+        assert run_supervisor(3, spawn, poll=0.005) == 0
+        assert len(spawned) == 3
+
+    def test_max_respawns_bounds_a_crash_loop(self):
+        spawned = []
+
+        def spawn(slot):
+            proc = _FakeProc(1)
+            spawned.append(proc)
+            return proc
+
+        respawns = run_supervisor(
+            2, spawn, poll=0.005, respawn_delay=0.0, max_respawns=3
+        )
+        assert respawns == 3
+        assert len(spawned) == 5  # 2 initial + 3 respawns
+
+    def test_sigkilled_worker_is_respawned_and_sweep_finishes(self, tmp_path):
+        """SIGKILL a supervised worker mid-sweep: the supervisor respawns
+        it, the coordinator steals the dead lease, and the respawned
+        worker finishes the sweep -- no outcome is lost."""
+        cache = RunCache(tmp_path / "cache")
+        spool = str(tmp_path / "spool")
+        executor = DistributedExecutor(spool, lease_timeout=1.0, poll=0.01)
+        executor._ensure_transport()
+        bench = make_bench(cache=cache, executor=executor)
+        jobs = make_jobs(bench)
+
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        supervisor = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker", spool,
+                "--cache-dir", str(cache.root), "--supervise", "1",
+                "--poll", "0.02", "--respawn-delay", "0.1",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+
+        def read_pid() -> int:
+            line = supervisor.stdout.readline()
+            assert "pid" in line, f"unexpected supervisor output: {line!r}"
+            return int(line.rsplit(" ", 1)[1])
+
+        killed = threading.Event()
+
+        def kill_once_leased(pid: int) -> None:
+            # Wait until the worker actually holds a lease, then kill it
+            # mid-run (falling back to a timed kill if leases are too
+            # quick to observe).
+            active = pathlib.Path(spool) / "active"
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if active.exists() and any(active.iterdir()):
+                    break
+                time.sleep(0.01)
+            os.kill(pid, signal.SIGKILL)
+            killed.set()
+
+        try:
+            first_pid = read_pid()
+            killer = threading.Thread(
+                target=kill_once_leased, args=(first_pid,), daemon=True
+            )
+            killer.start()
+            outcomes = executor.execute(
+                jobs, policy=ExecutionPolicy(max_retries=3)
+            )
+            killer.join(timeout=20.0)
+            assert killed.is_set()
+            assert all(out.ok for out in outcomes)
+            second_pid = read_pid()  # the respawned worker
+            assert second_pid != first_pid
+        finally:
+            executor.close()  # stop file: the respawn exits 0, supervisor ends
+            try:
+                supervisor.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                supervisor.kill()
+                supervisor.wait(timeout=5)
+        assert supervisor.returncode == 0
 
 
 # ---------------------------------------------------------------------------

@@ -407,13 +407,16 @@ class TestMachineGeometry:
             spec = MachineSpec(clusters, forwarding_latency=4)
             assert MachineSpec.from_config(spec.build()) == spec
 
-    def test_hand_built_config_not_expressible(self):
+    def test_hand_built_config_round_trips_per_cluster(self):
+        # Pre-heterogeneity this geometry was "not expressible"; now any
+        # config inverts through the per-cluster spelling.
         config = clustered_machine(4)
         odd = dataclasses.replace(
             config, cluster=dataclasses.replace(config.cluster, int_ports=7)
         )
-        with pytest.raises(SpecError, match="not expressible"):
-            MachineSpec.from_config(odd)
+        spec = MachineSpec.from_config(odd)
+        assert not isinstance(spec.clusters, int)
+        assert spec.build() == odd
 
 
 # ---------------------------------------------------------------------------
@@ -482,6 +485,14 @@ class TestCheckedInSpecs:
         assert path.read_text() == SPECS["figure14"]().to_json(), (
             "specs/figure14.json drifted from spec_figure14(); regenerate "
             "with: python -m repro specs show figure14 > specs/figure14.json"
+        )
+
+    def test_hetero_sweep_file_in_lockstep_with_code(self):
+        path = ROOT / "specs" / "hetero_sweep.json"
+        assert path.read_text() == SPECS["hetero_sweep"]().to_json(), (
+            "specs/hetero_sweep.json drifted from spec_hetero_sweep(); "
+            "regenerate with: "
+            "python -m repro specs show hetero_sweep > specs/hetero_sweep.json"
         )
 
     def test_custom_sweep_loads_and_plans(self, bench):
