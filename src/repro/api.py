@@ -112,6 +112,8 @@ from repro.experiments.aggregate import average_figures, run_seeded
 from repro.experiments.cache import RunCache, default_cache_dir, job_key
 from repro.experiments.distributed import DistributedExecutor
 from repro.experiments.executor import (
+    BreakerExecutor,
+    CircuitBreaker,
     Executor,
     LocalPoolExecutor,
     executor_names,
@@ -128,6 +130,7 @@ from repro.experiments.manifest import SweepManifest, default_manifest_dir
 from repro.experiments.outcomes import (
     ExecutionInterrupted,
     ExecutionPolicy,
+    ExecutorUnavailable,
     GarbageResult,
     JobOutcome,
     OutcomeStats,
@@ -145,13 +148,17 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.sweep import run_spec
 from repro.service import (
+    AdmissionController,
     BackgroundServer,
     Client,
+    DurableStore,
     QuotaManager,
     ReproServer,
     SERVICE_ERROR_SCHEMA,
+    STORE_SCHEMA,
     ServiceError,
     TokenBucket,
+    default_store_dir,
     serve,
 )
 from repro.specs import (
@@ -321,8 +328,11 @@ __all__ = [
     "__version__",
     # workbench & execution
     "DEFAULT_INSTRUCTIONS",
+    "BreakerExecutor",
+    "CircuitBreaker",
     "DistributedExecutor",
     "Executor",
+    "ExecutorUnavailable",
     "LocalPoolExecutor",
     "POLICY_NAMES",
     "ParallelWorkbench",
@@ -354,13 +364,17 @@ __all__ = [
     "SweepManifest",
     "default_manifest_dir",
     # service (repro serve)
+    "AdmissionController",
     "BackgroundServer",
     "Client",
+    "DurableStore",
     "QuotaManager",
     "ReproServer",
     "SERVICE_ERROR_SCHEMA",
+    "STORE_SCHEMA",
     "ServiceError",
     "TokenBucket",
+    "default_store_dir",
     "serve",
     # figures
     "EXPERIMENTS",

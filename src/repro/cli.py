@@ -270,6 +270,48 @@ def _serve_main(argv: list[str]) -> int:
             "shared spool directory; required with --executor distributed)"
         ),
     )
+    parser.add_argument(
+        "--no-durable",
+        action="store_true",
+        help=(
+            "disable the crash-safe experiment store (<cache>/service/); "
+            "submissions then live only in process memory"
+        ),
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="shed submissions (503 overloaded) past this many in-flight "
+        "experiments (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-client-inflight",
+        type=int,
+        default=None,
+        help="per-client cap on in-flight experiments (default: unbounded)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive distributed-executor failures before the circuit "
+        "breaker opens (default: 3)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds an open circuit waits before a half-open probe "
+        "(default: 30)",
+    )
+    parser.add_argument(
+        "--breaker-fallback",
+        choices=("local", "hold"),
+        default="local",
+        help="what an open circuit does with jobs: run on the local pool, "
+        "or hold until the backend recovers (default: local)",
+    )
     args = parser.parse_args(argv)
     if args.executor == "distributed" and not args.workers_endpoint:
         print(
@@ -295,6 +337,12 @@ def _serve_main(argv: list[str]) -> int:
         quota_refill=args.quota_refill,
         executor=args.executor,
         workers_endpoint=args.workers_endpoint,
+        durable=not args.no_durable,
+        max_queue_depth=args.max_queue_depth,
+        max_client_inflight=args.max_client_inflight,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        breaker_fallback=args.breaker_fallback,
     )
 
 

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 from repro.experiments.outcomes import (
     ExecutionInterrupted,
     ExecutionPolicy,
+    ExecutorUnavailable,
     JobOutcome,
     OutcomeStats,
     RunFailureError,
@@ -94,17 +95,27 @@ class DistributedExecutor:
             from repro.distwork.protocol import parse_endpoint
 
             kind, target = parse_endpoint(self.endpoint)
-            if kind == "tcp":
-                host, port = target
-                self._transport = TcpCoordinator(
-                    host, port, lease_timeout=self.lease_timeout
-                )
-                host, port = self._transport.address
-                self.endpoint = f"{host}:{port}"
-            else:
-                self._transport = DirCoordinator(
-                    target, lease_timeout=self.lease_timeout
-                )
+            try:
+                if kind == "tcp":
+                    host, port = target
+                    self._transport = TcpCoordinator(
+                        host, port, lease_timeout=self.lease_timeout
+                    )
+                    host, port = self._transport.address
+                    self.endpoint = f"{host}:{port}"
+                else:
+                    self._transport = DirCoordinator(
+                        target, lease_timeout=self.lease_timeout
+                    )
+            except OSError as exc:
+                # The endpoint is unusable (port taken, bad interface,
+                # unwritable spool...).  Surface it as a backend-down
+                # condition the circuit breaker can count, not a raw
+                # socket error.
+                raise ExecutorUnavailable(
+                    f"cannot open workers endpoint {self.endpoint!r}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
         return self._transport
 
     def execute(

@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING, Callable, Protocol, Sequence, runtime_checkabl
 from repro.experiments.outcomes import (
     ExecutionInterrupted,
     ExecutionPolicy,
+    ExecutorUnavailable,
     JobOutcome,
     OutcomeStats,
     RunFailureError,
@@ -58,6 +59,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.tracing import Tracer
 
 __all__ = [
+    "BreakerExecutor",
+    "CircuitBreaker",
     "EXECUTOR_NAMES",
     "Executor",
     "LocalPoolExecutor",
@@ -390,6 +393,228 @@ class LocalPoolExecutor:
             should_stop=should_stop,
         )
         return scheduler.run()
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit: ``closed`` -> ``open`` -> ``half_open``.
+
+    The classic degradation state machine, kept deliberately tiny and
+    executor-agnostic.  ``record_failure()`` counts *consecutive*
+    qualifying failures; reaching ``threshold`` opens the circuit for
+    ``cooldown`` seconds, during which :meth:`allow` refuses work.  After
+    the cooldown one caller is let through as a half-open probe: its
+    success closes the circuit, its failure re-opens it (and restarts
+    the cooldown).  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = "closed"  # "closed" | "open" | "half_open"
+        self.failures = 0  # consecutive
+        self.opened_at: float | None = None
+        self.opens_total = 0
+
+    def allow(self) -> bool:
+        """Whether a call may proceed (transitions open->half_open)."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            assert self.opened_at is not None
+            if self._clock() - self.opened_at < self.cooldown:
+                return False
+            self.state = "half_open"
+            return True
+        # half_open: exactly one probe is in flight; hold everyone else
+        # until it reports back.
+        return False
+
+    def record_success(self) -> str | None:
+        """Note a successful call; returns ``"close"`` on reclosure."""
+        reopened = self.state != "closed"
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = None
+        return "close" if reopened else None
+
+    def record_failure(self) -> str | None:
+        """Note a qualifying failure; returns ``"open"`` when it trips."""
+        if self.state == "half_open":
+            # The probe failed: straight back to open, fresh cooldown.
+            self.state = "open"
+            self.opened_at = self._clock()
+            self.opens_total += 1
+            return "open"
+        self.failures += 1
+        if self.state == "closed" and self.failures >= self.threshold:
+            self.state = "open"
+            self.opened_at = self._clock()
+            self.opens_total += 1
+            return "open"
+        return None
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe would be allowed."""
+        if self.state != "open" or self.opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown - (self._clock() - self.opened_at))
+
+    def snapshot(self) -> dict:
+        """State for readiness probes and the stats endpoint."""
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "threshold": self.threshold,
+            "cooldown": self.cooldown,
+            "opens_total": self.opens_total,
+            "retry_after": round(self.retry_after(), 3),
+        }
+
+
+class BreakerExecutor:
+    """Circuit-break a fragile backend, falling back or holding.
+
+    Wraps a ``primary`` :class:`Executor` (in practice the distributed
+    one -- its coordinator transport and remote workers are the only
+    backend with a network failure mode).  Two failure classes feed the
+    breaker:
+
+    * **connect failures** -- ``primary.execute()`` raising
+      :class:`~repro.experiments.outcomes.ExecutorUnavailable` /
+      ``OSError`` / ``ConnectionError`` before settling anything;
+    * **lost workers** -- settled outcomes whose final failure is
+      ``WorkerLost`` (every lease attempt died), the distributed
+      backend's way of saying "workers keep vanishing".
+
+    Each tripping failure counts consecutively; a fully clean
+    ``execute()`` resets the count.  While the circuit is open, calls go
+    to ``fallback`` when one is configured (the service wires a
+    :class:`LocalPoolExecutor`), otherwise they **queue and hold**:
+    block -- polling ``should_stop`` so drains still interrupt -- until
+    the cooldown elapses and the half-open probe may run.  Transitions
+    emit ``service.breaker.open`` / ``half_open`` / ``close`` tracer
+    events.
+
+    A connect failure settles no jobs, so falling back re-submits the
+    whole batch; ``WorkerLost`` outcomes were already delivered and only
+    shape future calls (the resilient retry layers above own per-job
+    recovery).
+    """
+
+    def __init__(
+        self,
+        primary: "Executor",
+        fallback: "Executor | None" = None,
+        breaker: CircuitBreaker | None = None,
+        tracer: "Tracer | None" = None,
+        hold_poll: float = 0.2,
+    ):
+        self.primary = primary
+        self.fallback = fallback
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.tracer = tracer
+        self.hold_poll = hold_poll
+        self.name = primary.name
+
+    # ------------------------------------------------------------------
+    def _transition(self, event: str | None) -> None:
+        if event is not None and self.tracer is not None:
+            self.tracer.event(f"service.breaker.{event}", backend=self.primary.name)
+
+    def _note_half_open(self) -> None:
+        if self.breaker.state == "half_open" and self.tracer is not None:
+            self.tracer.event("service.breaker.half_open", backend=self.primary.name)
+
+    def _hold(self, should_stop) -> None:
+        """Queue-and-hold: wait out the cooldown (or the caller's stop)."""
+        while not self.breaker.allow():
+            if should_stop is not None and should_stop():
+                raise ExecutionInterrupted(
+                    "execution stopped while holding for an open circuit"
+                )
+            time.sleep(min(self.hold_poll, max(self.breaker.retry_after(), 0.01)))
+        self._note_half_open()
+
+    def execute(
+        self,
+        jobs: "Sequence[RunJob]",
+        *,
+        tracer: "Tracer | None" = None,
+        policy: ExecutionPolicy | None = None,
+        on_outcome: "Callable[[JobOutcome], None] | None" = None,
+        stats: OutcomeStats | None = None,
+        should_stop: "Callable[[], bool] | None" = None,
+    ) -> list[JobOutcome]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        allowed = self.breaker.allow()
+        if allowed:
+            self._note_half_open()
+        else:
+            if self.fallback is None:
+                self._hold(should_stop)
+            else:
+                return self.fallback.execute(
+                    jobs,
+                    tracer=tracer,
+                    policy=policy,
+                    on_outcome=on_outcome,
+                    stats=stats,
+                    should_stop=should_stop,
+                )
+        try:
+            outcomes = self.primary.execute(
+                jobs,
+                tracer=tracer,
+                policy=policy,
+                on_outcome=on_outcome,
+                stats=stats,
+                should_stop=should_stop,
+            )
+        except (ExecutorUnavailable, ConnectionError, OSError) as exc:
+            self._transition(self.breaker.record_failure())
+            if self.fallback is not None:
+                # Nothing settled (connect failures die before publishing),
+                # so the whole batch re-submits cleanly.
+                return self.fallback.execute(
+                    jobs,
+                    tracer=tracer,
+                    policy=policy,
+                    on_outcome=on_outcome,
+                    stats=stats,
+                    should_stop=should_stop,
+                )
+            raise ExecutorUnavailable(
+                f"{self.primary.name} backend unavailable and no fallback "
+                f"configured: {type(exc).__name__}: {exc}"
+            ) from exc
+        lost = sum(
+            1
+            for outcome in outcomes
+            if outcome.failure is not None
+            and outcome.failure.error_type == "WorkerLost"
+        )
+        if lost:
+            self._transition(self.breaker.record_failure())
+        else:
+            self._transition(self.breaker.record_success())
+        return outcomes
+
+    def close(self) -> None:
+        self.primary.close()
+        if self.fallback is not None:
+            self.fallback.close()
 
 
 class _JobState:

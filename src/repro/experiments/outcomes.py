@@ -42,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ExecutionInterrupted",
     "ExecutionPolicy",
+    "ExecutorUnavailable",
     "GarbageResult",
     "JobOutcome",
     "OutcomeStats",
@@ -162,6 +163,18 @@ class ExecutionInterrupted(RuntimeError):
     for graceful shutdown).  Jobs that already settled were delivered
     through ``on_outcome`` and stay cached; the interrupt only forfeits
     work not yet started.
+    """
+
+
+class ExecutorUnavailable(RuntimeError):
+    """An execution backend cannot take work right now.
+
+    Raised by :class:`~repro.experiments.distributed.DistributedExecutor`
+    when its transport cannot be opened (the endpoint is unusable) and by
+    :class:`~repro.experiments.executor.BreakerExecutor` when its circuit
+    is open and no fallback is configured.  Distinct from a per-job
+    :class:`RunFailure`: no job was attempted -- the whole backend is
+    down, and the caller should shed, fall back, or retry later.
     """
 
 

@@ -7,20 +7,29 @@ service with zero new dependencies:
   (:class:`ReproServer`, the blocking :func:`serve` entry point, and
   :class:`BackgroundServer` for tests);
 * :mod:`repro.service.client` -- the stdlib :class:`Client` (submit /
-  status / SSE events / result / stats);
-* :mod:`repro.service.scheduler` -- request coalescing and priority
-  ordering;
+  status / SSE events / result / stats / readiness);
+* :mod:`repro.service.scheduler` -- request coalescing, priority
+  ordering and bounded admission;
 * :mod:`repro.service.quota` -- per-client token-bucket quotas;
+* :mod:`repro.service.durable` -- the crash-safe write-ahead store
+  (:class:`DurableStore`) that makes experiments survive restarts;
 * :mod:`repro.service.errors` -- the ``repro.service_error/1`` typed
   error payloads;
 * :mod:`repro.service.state` -- per-experiment records and the SSE
   event journal.
 
 See README.md ("Running as a service") and docs/API.md for the wire
-protocol.
+protocol and the durability/degradation semantics.
 """
 
 from repro.service.client import Client
+from repro.service.durable import (
+    STORE_SCHEMA,
+    DurableStore,
+    ReplayResult,
+    StoredExperiment,
+    default_store_dir,
+)
 from repro.service.errors import (
     ERROR_CODES,
     SERVICE_ERROR_SCHEMA,
@@ -30,6 +39,7 @@ from repro.service.errors import (
 )
 from repro.service.quota import QuotaManager, TokenBucket
 from repro.service.scheduler import (
+    AdmissionController,
     Claim,
     CoalescingRegistry,
     Flight,
@@ -40,20 +50,26 @@ from repro.service.server import STATS_SCHEMA, BackgroundServer, ReproServer, se
 from repro.service.state import ExperimentRecord, JobCell
 
 __all__ = [
+    "AdmissionController",
     "BackgroundServer",
     "Claim",
     "Client",
     "CoalescingRegistry",
+    "DurableStore",
     "ERROR_CODES",
     "ExperimentRecord",
     "Flight",
     "JobCell",
     "QuotaManager",
+    "ReplayResult",
     "ReproServer",
     "SERVICE_ERROR_SCHEMA",
     "STATS_SCHEMA",
+    "STORE_SCHEMA",
     "ServiceError",
+    "StoredExperiment",
     "TokenBucket",
+    "default_store_dir",
     "error_payload",
     "plan_claims",
     "queue_key",

@@ -104,6 +104,45 @@ class Client:
     def healthz(self) -> dict[str, Any]:
         return self._request("GET", "/v1/healthz")
 
+    def readyz(self) -> dict[str, Any]:
+        """The readiness payload, whatever the HTTP status.
+
+        Unlike every other endpoint a 503 here is not an error to raise
+        -- it *is* the answer (``{"status": "recovering" | "draining",
+        ...}``), so the body is returned for any status.
+        """
+        conn = self._connect()
+        try:
+            conn.request(
+                "GET", "/v1/readyz", headers={"X-Repro-Client": self.client_id}
+            )
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                "internal",
+                f"non-JSON readyz response (HTTP {response.status}): {raw[:200]!r}",
+                status=response.status,
+            ) from exc
+
+    def wait_ready(self, timeout: float = 30.0, poll: float = 0.1) -> dict[str, Any]:
+        """Poll ``/v1/readyz`` until the server reports ready."""
+        deadline = time.monotonic() + timeout
+        last: dict[str, Any] | None = None
+        while time.monotonic() < deadline:
+            try:
+                last = self.readyz()
+                if last.get("status") == "ready":
+                    return last
+            except (ServiceError, OSError):
+                pass
+            time.sleep(poll)
+        raise TimeoutError(f"service not ready after {timeout}s (last: {last})")
+
     def wait(self, exp_id: str, timeout: float = 120.0, poll: float = 0.05) -> dict[str, Any]:
         """Poll status until the experiment is terminal; returns final status."""
         deadline = time.monotonic() + timeout

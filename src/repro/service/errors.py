@@ -47,6 +47,9 @@ ERROR_CODES = {
     "payload_too_large": 413,
     "internal": 500,
     "shutting_down": 503,
+    "draining": 503,           # graceful drain in progress; retry elsewhere/later
+    "overloaded": 503,         # admission queue full or per-client cap hit
+    "not_ready": 503,          # still replaying the durable store on boot
 }
 
 

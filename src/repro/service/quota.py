@@ -149,3 +149,35 @@ class QuotaManager:
                 }
                 for client, bucket in sorted(self._buckets.items())
             }
+
+    # -- durable-store persistence --------------------------------------
+    def export_state(self) -> dict[str, float]:
+        """Per-client available balances, for the durable store.
+
+        Balances only: capacity/refill are server configuration, not
+        client state, and restart may legitimately change them.
+        """
+        if self.capacity is None:
+            return {}
+        with self._lock:
+            return {
+                client: round(bucket.available(), 6)
+                for client, bucket in sorted(self._buckets.items())
+            }
+
+    def restore_state(self, balances: dict[str, float]) -> None:
+        """Seed buckets from persisted balances (clamped to capacity).
+
+        Monotonic clocks do not survive a restart, so refill credit
+        accrued while the server was down is deliberately forfeited: a
+        restart must not be a free refill (the satellite requirement),
+        and under-crediting is the safe direction for an abuse control.
+        """
+        if self.capacity is None:
+            return
+        with self._lock:
+            for client, available in balances.items():
+                bucket = TokenBucket(self.capacity, self.refill_rate, self._clock)
+                bucket._tokens = min(max(float(available), 0.0), bucket.capacity)
+                bucket._updated = self._clock()
+                self._buckets[str(client)] = bucket

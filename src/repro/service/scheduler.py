@@ -22,6 +22,13 @@ backend.  Two mechanisms keep the backend doing minimal work:
   co-submitted sweeps runs urgent work first while FIFO-tiebreaking
   equal priorities to keep the queue starvation-free.
 
+* **Admission** (:class:`AdmissionController`): before any of the above,
+  a submission must be *admitted*.  Two opt-in caps shed load with typed
+  503 ``overloaded`` errors instead of letting the backlog (and its
+  durable journal) grow without bound: a global bound on experiments
+  that are queued or running, and a per-client in-flight cap so one
+  client cannot monopolize the queue.
+
 The registry is deliberately independent of asyncio and of the HTTP
 layer: it is called from the event loop only (single-threaded), and the
 server fans its decisions out to worker threads.
@@ -32,7 +39,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
-__all__ = ["Claim", "CoalescingRegistry", "Flight", "plan_claims", "queue_key"]
+from repro.service.errors import ServiceError
+
+__all__ = [
+    "AdmissionController",
+    "Claim",
+    "CoalescingRegistry",
+    "Flight",
+    "plan_claims",
+    "queue_key",
+]
 
 
 def queue_key(priority: int, sequence: int) -> tuple[int, int]:
@@ -141,6 +157,110 @@ class CoalescingRegistry:
 
     def is_in_flight(self, key: str) -> bool:
         return key in self._flights
+
+
+class AdmissionController:
+    """Bounded admission with load shedding (all caps opt-in).
+
+    ``max_queue_depth`` caps experiments that are admitted but not yet
+    terminal, across all clients; ``max_client_inflight`` caps them per
+    client.  :meth:`admit` either reserves a slot or raises the typed
+    503 ``overloaded`` error (with a ``retry_after`` hint); the server
+    calls :meth:`release` when the experiment reaches a terminal state.
+    Loop-only, like the registry -- no locking.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int | None = None,
+        max_client_inflight: int | None = None,
+        retry_after: float = 1.0,
+    ):
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if max_client_inflight is not None and max_client_inflight < 1:
+            raise ValueError("max_client_inflight must be >= 1 (or None)")
+        self.max_queue_depth = max_queue_depth
+        self.max_client_inflight = max_client_inflight
+        self.retry_after = retry_after
+        self._by_client: dict[str, int] = {}
+        self.inflight = 0
+        self.shed_total = 0
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.max_queue_depth is not None
+            or self.max_client_inflight is not None
+        )
+
+    def admit(self, client: str, force: bool = False) -> None:
+        """Reserve an in-flight slot for ``client`` or shed with a 503.
+
+        ``force`` skips the cap checks but still counts the slot -- used
+        for experiments recovered from the durable store at boot, which
+        were already admitted by the previous incarnation.
+        """
+        if force:
+            self._by_client[client] = self._by_client.get(client, 0) + 1
+            self.inflight += 1
+            return
+        if (
+            self.max_queue_depth is not None
+            and self.inflight >= self.max_queue_depth
+        ):
+            self.shed_total += 1
+            raise ServiceError(
+                "overloaded",
+                f"admission queue is full ({self.inflight} experiments "
+                f"in flight, cap {self.max_queue_depth}); retry later",
+                detail={
+                    "reason": "queue_full",
+                    "inflight": self.inflight,
+                    "max_queue_depth": self.max_queue_depth,
+                    "retry_after": self.retry_after,
+                },
+            )
+        held = self._by_client.get(client, 0)
+        if (
+            self.max_client_inflight is not None
+            and held >= self.max_client_inflight
+        ):
+            self.shed_total += 1
+            raise ServiceError(
+                "overloaded",
+                f"client {client!r} already has {held} experiments in "
+                f"flight (cap {self.max_client_inflight}); retry later",
+                detail={
+                    "reason": "client_inflight",
+                    "client": client,
+                    "inflight": held,
+                    "max_client_inflight": self.max_client_inflight,
+                    "retry_after": self.retry_after,
+                },
+            )
+        self._by_client[client] = held + 1
+        self.inflight += 1
+
+    def release(self, client: str) -> None:
+        """Give back one slot (experiment reached a terminal state)."""
+        held = self._by_client.get(client, 0)
+        if held <= 1:
+            self._by_client.pop(client, None)
+        else:
+            self._by_client[client] = held - 1
+        if held > 0:
+            self.inflight -= 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "inflight": self.inflight,
+            "max_queue_depth": self.max_queue_depth,
+            "max_client_inflight": self.max_client_inflight,
+            "shed_total": self.shed_total,
+            "clients": dict(sorted(self._by_client.items())),
+        }
 
 
 def plan_claims(

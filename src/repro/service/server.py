@@ -28,9 +28,12 @@ Endpoints (all JSON; errors are ``repro.service_error/1`` payloads):
   table embedded), bit-identical to running the same spec through
   :func:`~repro.experiments.sweep.run_spec` serially.
 * ``GET /v1/stats`` -- service counters, executor
-  :class:`~repro.experiments.outcomes.OutcomeStats`, cache counters and
-  quota balances.
-* ``GET /v1/healthz`` -- liveness probe.
+  :class:`~repro.experiments.outcomes.OutcomeStats`, cache counters,
+  quota balances and the durability/degradation state.
+* ``GET /v1/healthz`` -- liveness probe (always 200 while the loop runs).
+* ``GET /v1/readyz`` -- readiness probe: 503 while the server replays
+  its durable store on boot or drains for shutdown, with store, breaker
+  and admission state in the body.
 
 Threading model: the event loop owns all experiment state (records,
 registry, manifests map); exactly one worker task drains the priority
@@ -43,6 +46,19 @@ airtight: claims happen on the loop, execution happens one submission at
 a time, and a settled key's result is in the run cache before its flight
 leaves the registry -- so at every instant an overlapping key is either
 in flight (coalesce) or cached (hit), never re-executed.
+
+Durability (:mod:`repro.service.durable`): with a cache directory the
+server write-ahead journals every accepted submission, settlement and
+terminal state under ``<cache>/service/``.  On boot it replays the
+journal -- reconstructing records under their original ids, settling
+already-cached jobs as cache hits and re-claiming residual jobs through
+the coalescing registry -- so a ``kill -9`` mid-sweep costs only the
+jobs that had not settled.  SIGTERM/SIGINT trigger a *graceful drain*:
+new submissions get typed 503 ``draining`` errors, the in-flight sweep
+checkpoints at its next settle boundary, and the store is flushed and
+compacted before exit.  Overload sheds with typed 503 ``overloaded``
+(admission caps), and a circuit breaker around the distributed executor
+degrades to the local pool (or holds) when workers are unreachable.
 """
 
 from __future__ import annotations
@@ -55,12 +71,14 @@ from typing import Any, Awaitable, Callable
 from urllib.parse import parse_qs, urlsplit
 
 from repro.experiments.cache import RunCache, job_key
+from repro.experiments.executor import BreakerExecutor, CircuitBreaker, LocalPoolExecutor
 from repro.experiments.harness import DEFAULT_INSTRUCTIONS, Workbench
 from repro.experiments.manifest import SweepManifest, default_manifest_dir
 from repro.experiments.outcomes import ExecutionInterrupted, ExecutionPolicy, JobOutcome
+from repro.service.durable import DurableStore, default_store_dir
 from repro.service.errors import ServiceError
 from repro.service.quota import QuotaManager
-from repro.service.scheduler import CoalescingRegistry, queue_key
+from repro.service.scheduler import AdmissionController, CoalescingRegistry, queue_key
 from repro.service.state import ExperimentRecord, JobCell
 from repro.specs import ExperimentSpec, SpecError, spec_hash
 
@@ -174,11 +192,53 @@ class ReproServer:
         workers_endpoint: str | None = None,
         tracer=None,
         max_history: int = 256,
+        durable: bool = True,
+        max_queue_depth: int | None = None,
+        max_client_inflight: int | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        breaker_fallback: str = "local",
+        max_events_memory: int = 512,
     ):
         self.host = host
         self.port = port
         self.tracer = tracer
         self.cache = None if no_cache else RunCache(cache_dir, tracer=tracer)
+
+        # Circuit-break the distributed backend: its coordinator transport
+        # and remote workers are the service's one external dependency.
+        # The wrapped instance (not the name) goes to the workbench, so
+        # every prefetch routes through the breaker.
+        self.breaker: CircuitBreaker | None = None
+        self._breaker_executor: BreakerExecutor | None = None
+        bench_executor: Any = executor
+        if executor == "distributed":
+            from repro.experiments.distributed import DistributedExecutor
+
+            if not workers_endpoint:
+                raise ValueError(
+                    "the distributed executor needs a workers endpoint "
+                    "(host:port or a spool directory)"
+                )
+            if breaker_fallback not in ("local", "hold"):
+                raise ValueError(
+                    f"breaker_fallback must be 'local' or 'hold', "
+                    f"not {breaker_fallback!r}"
+                )
+            self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown)
+            fallback = (
+                LocalPoolExecutor(workers=workers)
+                if breaker_fallback == "local"
+                else None
+            )
+            self._breaker_executor = BreakerExecutor(
+                DistributedExecutor(workers_endpoint),
+                fallback=fallback,
+                breaker=self.breaker,
+                tracer=tracer,
+            )
+            bench_executor = self._breaker_executor
+
         self.bench = Workbench(
             instructions=instructions,
             seed=seed,
@@ -188,11 +248,18 @@ class ReproServer:
             batch=batch,
             tracer=tracer,
             execution=execution if execution is not None else ExecutionPolicy(),
-            executor=executor,
+            executor=bench_executor,
             workers_endpoint=workers_endpoint,
         )
         self.quota = QuotaManager(quota, quota_refill)
         self.registry = CoalescingRegistry()
+        self.admission = AdmissionController(max_queue_depth, max_client_inflight)
+        self.store = (
+            DurableStore(default_store_dir(self.cache.root))
+            if durable and self.cache is not None
+            else None
+        )
+        self.max_events_memory = max_events_memory
         self.max_history = max_history
         self.started = time.time()
 
@@ -204,30 +271,54 @@ class ReproServer:
         self._bench_lock = threading.Lock()
         self._stop_event = threading.Event()
         self._closing = False
+        self._draining = False
+        self._recovering = False
+        self._executing = 0  # sweeps currently inside asyncio.to_thread
         self.submitted = 0
         self.completed = 0
         self.errors = 0
         self.evicted = 0
         self.jobs_cached = 0
+        self.recovered = 0        # experiments rebuilt from the store
+        self.recovered_jobs = 0   # residual jobs re-enqueued at boot
 
         self._loop: asyncio.AbstractEventLoop | None = None
         self._queue: asyncio.PriorityQueue | None = None
         self._worker: asyncio.Task | None = None
         self._server: asyncio.base_events.Server | None = None
+        self._drained: asyncio.Event | None = None
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> "ReproServer":
-        """Bind the socket and start the worker; resolves the real port."""
+        """Bind the socket and start the worker; resolves the real port.
+
+        Recovery happens here, after the socket binds (so probes can see
+        the ``recovering`` state) but before the worker task starts and
+        before any submission is admitted -- a new submission must never
+        claim a key a recovered experiment already owns.
+        """
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.PriorityQueue()
-        self._worker = asyncio.create_task(self._worker_loop())
+        self._drained = asyncio.Event()
         self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.store is not None:
+            self._recovering = True
+            try:
+                self._recover()
+            finally:
+                self._recovering = False
+        self._worker = asyncio.create_task(self._worker_loop())
         return self
 
     async def serve_forever(self) -> None:
         assert self._server is not None
         await self._server.serve_forever()
+
+    async def wait_drained(self) -> None:
+        """Block until a requested drain has fully checkpointed."""
+        assert self._drained is not None
+        await self._drained.wait()
 
     async def aclose(self) -> None:
         """Stop accepting, interrupt in-flight sweeps, drain the worker."""
@@ -242,16 +333,208 @@ class ReproServer:
                 await self._worker
             except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
                 pass
+        if self.store is not None:
+            try:
+                self._flush_store()
+            except OSError:
+                pass
+            self.store.close()
+        if self._breaker_executor is not None:
+            self._breaker_executor.close()
         self.bench.close_executors()
 
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    # -- durability (event loop) ----------------------------------------
+    def _attach_store(self, record: ExperimentRecord) -> None:
+        """Wire a record's event journal to the durable store."""
+        if self.store is None:
+            return
+        store, exp_id = self.store, record.id
+        record.max_events = self.max_events_memory
+        record.on_event = lambda entry: store.append_event(exp_id, entry)
+
+    def _journal_settle(
+        self,
+        record: ExperimentRecord,
+        key: str,
+        ok: bool,
+        source: str,
+        failure: dict[str, Any] | None = None,
+    ) -> None:
+        if self.store is not None:
+            self.store.record_settle(record.id, key, ok, source, failure)
+
+    def _flush_store(self) -> None:
+        """Snapshot quota balances and compact the journal (drain/exit)."""
+        if self.store is None:
+            return
+        if self.quota.enabled:
+            self.store.record_quota(self.quota.export_state())
+        self.store.compact()
+
+    _SETTLE_KINDS = {"cache": "cached", "memory": "cached", "coalesced": "coalesced"}
+
+    def _recover(self) -> None:
+        """Replay the durable store: rebuild records, re-enqueue residue.
+
+        Runs once at boot, on the event loop, before the worker task and
+        before any submission.  Stored settles apply silently (their
+        events are already in the spill files); still-pending keys are
+        re-claimed through the coalescing registry in original submission
+        order, so exactly-once execution holds across the crash exactly
+        as it held across submissions.
+        """
+        assert self.store is not None and self._queue is not None
+        replayed = self.store.replay()
+        if replayed.quota:
+            self.quota.restore_state(replayed.quota)
+        for stored in replayed.experiments:
+            try:
+                seq = int(stored.id.rsplit("-", 1)[-1])
+            except ValueError:
+                seq = 0
+            self._seq = max(self._seq, seq)
+            try:
+                spec = ExperimentSpec.from_dict(stored.spec_payload)
+                jobs = spec.jobs(self.bench)
+            except (SpecError, ValueError, KeyError, TypeError):
+                # The journaled spec no longer round-trips (schema drift,
+                # hand-damaged store): skip it rather than refuse to boot.
+                continue
+            record = ExperimentRecord(
+                id=stored.id,
+                spec=spec,
+                spec_hash=spec_hash(spec),
+                client=stored.client,
+                priority=stored.priority,
+                jobs=list(jobs),
+                created=stored.created,
+            )
+            record.events_base = self.store.event_count(record.id)
+            self._attach_store(record)
+            first_job: dict[str, Any] = {}
+            for job in jobs:
+                first_job.setdefault(job_key(job), job)
+            for key, job in first_job.items():
+                settle = stored.settles.get(key)
+                kind = (
+                    self._SETTLE_KINDS.get(settle["source"], "execute")
+                    if settle is not None
+                    else "execute"
+                )
+                record.cells[key] = JobCell(job=job, key=key, kind=kind)
+                if settle is not None:
+                    record.note_settled(
+                        key, settle["ok"], settle["source"],
+                        settle.get("failure"), publish=False,
+                    )
+            self._records[record.id] = record
+            self.recovered += 1
+            if stored.terminal is not None:
+                record.status = stored.terminal["status"]
+                finished = stored.terminal.get("finished")
+                record.finished = float(finished) if finished else time.time()
+                self._history.append(record.id)
+                continue
+            # Residual work: partition still-pending keys through the
+            # registry, exactly as _submit does for a fresh submission.
+            record.status = "queued"
+            self.admission.admit(record.client, force=True)
+            pending = [cell.key for cell in record.pending_cells()]
+            claim = self.registry.claim(
+                record, pending, is_cached=lambda k: self._is_cached(first_job[k])
+            )
+            run_jobs = []
+            for key in claim.execute:
+                run_jobs.append(first_job[key])
+            for key in claim.cached:
+                record.cells[key].kind = "cached"
+                record.note_settled(key, True, "cache", publish=False)
+                self._journal_settle(record, key, True, "cache")
+                run_jobs.append(first_job[key])  # prefetch-only: 0 executed
+            for key in claim.coalesced:
+                record.cells[key].kind = "coalesced"
+            self.jobs_cached += len(claim.cached)
+            self.recovered_jobs += len(claim.execute)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "service.recover",
+                    id=record.id,
+                    execute=len(claim.execute),
+                    cached=len(claim.cached),
+                    coalesced=len(claim.coalesced),
+                )
+            if run_jobs:
+                self._queue.put_nowait((queue_key(record.priority, seq), record, run_jobs))
+            else:
+                self._maybe_finalize(record)
+
+    # -- graceful drain --------------------------------------------------
+    def request_drain(self) -> None:
+        """Thread- and signal-safe entry to :meth:`begin_drain`."""
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.begin_drain)
+                return
+            except RuntimeError:
+                pass
+        self.begin_drain()
+
+    def begin_drain(self) -> None:
+        """Flip to draining: shed new work, checkpoint in-flight work.
+
+        New submissions get typed 503 ``draining`` errors immediately;
+        the in-flight sweep (if any) stops at its next settle boundary
+        via the ``should_stop`` seam -- everything already settled is in
+        the cache and the journal, the residue stays pending on disk for
+        the next boot.  Once execution quiesces the store is flushed and
+        :meth:`wait_drained` wakes.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._stop_event.set()
+        if self.tracer is not None:
+            self.tracer.event("service.drain.begin")
+        if self._loop is not None and self._loop.is_running():
+            self._loop.create_task(self._finish_drain())
+        else:
+            self._complete_drain()
+
+    async def _finish_drain(self) -> None:
+        while self._executing > 0:
+            await asyncio.sleep(0.02)
+        self._complete_drain()
+
+    def _complete_drain(self) -> None:
+        try:
+            self._flush_store()
+        except OSError:
+            pass
+        if self.tracer is not None:
+            self.tracer.event("service.drain.complete")
+        if self._drained is not None:
+            self._drained.set()
+
     # -- submission (event loop) ---------------------------------------
     def _submit(self, request: _Request) -> dict[str, Any]:
         if self._closing:
             raise ServiceError("shutting_down", "server is shutting down")
+        if self._draining:
+            raise ServiceError(
+                "draining",
+                "server is draining for shutdown; resubmit after restart",
+                detail={"retry_after": 5.0},
+            )
+        if self._recovering:
+            raise ServiceError(
+                "not_ready",
+                "server is replaying its durable store; retry shortly",
+                detail={"retry_after": 1.0},
+            )
         client = request.headers.get("x-repro-client", "anonymous")
         try:
             data = json.loads(request.body.decode("utf-8"))
@@ -273,7 +556,12 @@ class ReproServer:
             key = job_key(job)
             keys.append(key)
             first_job.setdefault(key, job)
-        self.quota.charge(client, len(first_job))
+        self.admission.admit(client)
+        try:
+            self.quota.charge(client, len(first_job))
+        except ServiceError:
+            self.admission.release(client)
+            raise
 
         priority = 0
         if spec.execution is not None:
@@ -287,6 +575,14 @@ class ReproServer:
             priority=priority,
             jobs=list(jobs),
         )
+        self._attach_store(record)
+        if self.store is not None:
+            # Write-ahead: the submission is journaled (with its full
+            # canonical spec payload) before any state that depends on
+            # it, so a crash at any later point can replay it.
+            self.store.record_submit(
+                record.id, client, priority, record.created, spec.to_dict()
+            )
         claim = self.registry.claim(
             record,
             keys,
@@ -323,7 +619,8 @@ class ReproServer:
                 )
         record.publish("status", {"status": "queued", "jobs": record.job_counts()})
         for key in claim.cached:
-            record.note_settled(key, True, "cache")
+            if record.note_settled(key, True, "cache"):
+                self._journal_settle(record, key, True, "cache")
         if run_jobs:
             assert self._queue is not None
             self._queue.put_nowait((queue_key(priority, self._seq), record, run_jobs))
@@ -345,16 +642,30 @@ class ReproServer:
             _key, record, run_jobs = await self._queue.get()
             if record.terminal:
                 continue
+            if self._draining and self.store is not None:
+                # Journaled and still queued: the next boot re-enqueues
+                # it.  Leaving it untouched *is* the checkpoint.
+                continue
             record.status = "running"
             record.publish("status", {"status": "running"})
+            self._executing += 1
             try:
                 await asyncio.to_thread(self._execute_jobs, record, run_jobs)
             except ExecutionInterrupted:
+                if self._draining and self.store is not None:
+                    # Drain checkpoint: everything settled so far is in
+                    # the cache and the journal; the record stays
+                    # non-terminal so recovery resumes the residue.
+                    record.status = "queued"
+                    record.publish("status", {"status": "queued", "drained": True})
+                    continue
                 self._fail_record(record, "server shutting down mid-sweep")
                 continue
             except Exception as exc:  # noqa: BLE001 - typed into the record
                 self._fail_record(record, f"{type(exc).__name__}: {exc}")
                 continue
+            finally:
+                self._executing -= 1
             # to_thread resumes via a loop callback enqueued *after* every
             # per-job call_soon_threadsafe fan-out, so all settlements from
             # this sweep have already been applied when the sweep runs.
@@ -382,7 +693,12 @@ class ReproServer:
             saved_executor = self.bench.executor
             self.bench.execution = record.spec.execution_policy(saved)
             spec_executor = (record.spec.execution or {}).get("executor")
-            if spec_executor is not None:
+            if spec_executor is not None and spec_executor != getattr(
+                saved_executor, "name", saved_executor
+            ):
+                # A spec naming the backend the server already runs keeps
+                # the server's (possibly breaker-wrapped) instance; only a
+                # genuinely different backend is swapped in.
                 self.bench.executor = spec_executor
             try:
                 self.bench.prefetch(
@@ -420,7 +736,8 @@ class ReproServer:
             self.tracer.event("service.fanout", key=key, parties=len(parties))
         for index, party in enumerate(parties):
             source = info["source"] if party is record else "coalesced"
-            party.note_settled(key, info["ok"], source, info["failure"])
+            if party.note_settled(key, info["ok"], source, info["failure"]):
+                self._journal_settle(party, key, info["ok"], source, info["failure"])
             self._maybe_finalize(party)
 
     def _sweep_record(self, record: ExperimentRecord) -> None:
@@ -463,6 +780,9 @@ class ReproServer:
         record.status = "done"
         record.finished = time.time()
         self.completed += 1
+        self.admission.release(record.client)
+        if self.store is not None:
+            self.store.record_terminal(record.id, "done", record.finished)
         record.publish("done", record.status_payload(self._manifest_summary(record)))
         self._retire(record)
 
@@ -484,13 +804,22 @@ class ReproServer:
         for flight in self.registry.forfeit(record):
             for party in flight.parties():
                 if party is record:
-                    party.note_settled(flight.key, False, "run", failure, publish=False)
+                    if party.note_settled(
+                        flight.key, False, "run", failure, publish=False
+                    ):
+                        self._journal_settle(party, flight.key, False, "run", failure)
                 else:
-                    party.note_settled(flight.key, False, "coalesced", failure)
+                    if party.note_settled(flight.key, False, "coalesced", failure):
+                        self._journal_settle(
+                            party, flight.key, False, "coalesced", failure
+                        )
                     self._maybe_finalize(party)
         record.status = "error"
         record.finished = time.time()
         self.errors += 1
+        self.admission.release(record.client)
+        if self.store is not None:
+            self.store.record_terminal(record.id, "error", record.finished, message)
         record.publish("error", {"message": message, **record.status_payload()})
         self._retire(record)
 
@@ -501,6 +830,8 @@ class ReproServer:
             self._records.pop(victim, None)
             self._result_cache.pop(victim, None)
             self.evicted += 1
+            if self.store is not None:
+                self.store.record_evict(victim)
             if self.tracer is not None:
                 self.tracer.event("service.evict", id=victim)
 
@@ -512,6 +843,17 @@ class ReproServer:
         from repro.telemetry import RunReport
 
         with self._bench_lock:
+            # After a restart the memory cache starts empty: results for
+            # cells settled before the crash live only in the run cache.
+            # Prefetch exactly the ok cells (never failed ones -- those
+            # would re-execute) to pull them back into memory.
+            missing = [
+                cell.job
+                for cell in record.cells.values()
+                if cell.status == "ok" and self.bench.result_for(cell.job) is None
+            ]
+            if missing:
+                self.bench.prefetch(missing)
             runs = []
             for job in record.jobs:
                 result = self.bench.result_for(job)
@@ -622,7 +964,19 @@ class ReproServer:
             await send(200, self.stats())
             return
         if path == "/v1/healthz":
-            await send(200, {"status": "ok", "uptime_seconds": round(time.time() - self.started, 3)})
+            # Liveness: 200 whenever the loop can answer at all.  The
+            # degradation detail lives in readyz; these fields are only a
+            # convenience for humans curling the old endpoint.
+            await send(200, {
+                "status": "ok",
+                "uptime_seconds": round(time.time() - self.started, 3),
+                "draining": self._draining,
+                "recovering": self._recovering,
+            })
+            return
+        if path == "/v1/readyz":
+            status, payload = self.readiness()
+            await send(status, payload)
             return
         parts = [p for p in path.split("/") if p]
         if len(parts) >= 3 and parts[0] == "v1" and parts[1] == "experiments":
@@ -666,7 +1020,7 @@ class ReproServer:
     ) -> None:
         after = request.headers.get("last-event-id", request.query.get("after", "0"))
         try:
-            index = max(0, int(after))
+            sent = max(0, int(after))  # highest event id already delivered
         except ValueError:
             raise ServiceError("bad_request", f"bad event id {after!r}") from None
         writer.write(
@@ -677,18 +1031,53 @@ class ReproServer:
         )
         await writer.drain()
         while True:
-            while index < len(record.events):
-                writer.write(_sse_event(record.events[index]))
-                index += 1
+            if sent < record.events_base and self.store is not None:
+                # The requested suffix starts before the in-memory tail:
+                # read the spilled prefix back from the durable store.
+                # (Every published event is spilled before it enters
+                # memory, so disk is always a superset of memory.)
+                spilled = await asyncio.to_thread(self.store.load_events, record.id)
+                for entry in spilled:
+                    if entry["id"] > sent:
+                        writer.write(_sse_event(entry))
+                        sent = entry["id"]
+            for entry in record.events_after(sent):
+                writer.write(_sse_event(entry))
+                sent = entry["id"]
             await writer.drain()
-            if record.terminal and index >= len(record.events):
+            if record.terminal and sent >= record.events_total:
                 return
-            known = index
+            known = sent
             await record.wait_for_events(known, _SSE_KEEPALIVE)
-            if len(record.events) <= known:
+            if record.events_total <= known:
                 writer.write(b": keep-alive\n\n")  # idle heartbeat
 
-    # -- stats ----------------------------------------------------------
+    # -- probes and stats ------------------------------------------------
+    def durability(self) -> dict[str, Any]:
+        """Store / recovery / breaker / drain state (readyz and stats)."""
+        return {
+            "durable": self.store is not None,
+            "recovering": self._recovering,
+            "draining": self._draining,
+            "recovered": {
+                "experiments": self.recovered,
+                "requeued_jobs": self.recovered_jobs,
+            },
+            "store": self.store.stats() if self.store is not None else None,
+            "breaker": self.breaker.snapshot() if self.breaker is not None else None,
+            "admission": self.admission.snapshot(),
+        }
+
+    def readiness(self) -> tuple[int, dict[str, Any]]:
+        """The ``/v1/readyz`` probe: (status, payload)."""
+        if self._recovering:
+            status, state = 503, "recovering"
+        elif self._draining or self._closing:
+            status, state = 503, "draining"
+        else:
+            status, state = 200, "ready"
+        return status, {"status": state, **self.durability()}
+
     def stats(self) -> dict[str, Any]:
         active = sum(1 for r in self._records.values() if not r.terminal)
         payload: dict[str, Any] = {
@@ -712,6 +1101,7 @@ class ReproServer:
             "simulations_run": self.bench.simulations_run,
             "cache": self.cache.stats() if self.cache is not None else None,
             "quota": self.quota.snapshot(),
+            "durability": self.durability(),
         }
         return payload
 
@@ -722,21 +1112,46 @@ class ReproServer:
 
 
 async def _serve_async(server: ReproServer, announce: bool) -> None:
+    import signal
+
     await server.start()
+    loop = asyncio.get_running_loop()
+    # SIGTERM/SIGINT start a graceful drain instead of killing the loop:
+    # in-flight work checkpoints at the next settle boundary, the store
+    # flushes, then serve() returns.  Platforms without signal-handler
+    # support (Windows loops) fall back to KeyboardInterrupt in serve().
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.request_drain)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
     if announce:
         print(f"repro service listening on {server.url} "
               f"(workers={server.bench.workers}, "
               f"cache={'off' if server.cache is None else server.cache.root})")
+    serve_task = asyncio.create_task(server.serve_forever())
+    drain_task = asyncio.create_task(server.wait_drained())
     try:
-        await server.serve_forever()
+        await asyncio.wait(
+            {serve_task, drain_task}, return_when=asyncio.FIRST_COMPLETED
+        )
     except asyncio.CancelledError:
         pass
     finally:
+        for task in (serve_task, drain_task):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+                pass
+        drained = server._draining
         await server.aclose()
+        if announce and drained:
+            print("repro service drained and stopped")
 
 
 def serve(announce: bool = True, **kwargs: Any) -> int:
-    """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
+    """Blocking entry point for ``repro serve`` (signal or Ctrl-C to stop)."""
     server = ReproServer(**kwargs)
     try:
         asyncio.run(_serve_async(server, announce))

@@ -12,6 +12,15 @@ The journal is the SSE wire format's source of truth: every event has a
 (or ``?after=n``) replays the suffix and provably misses nothing.  All
 mutation happens on the server's event loop; worker threads reach the
 record only through ``loop.call_soon_threadsafe``.
+
+With a durable store attached the journal is *bounded and persistent*:
+every published entry is handed to the ``on_event`` hook (the server
+spills it to ``<store>/events/<id>.jsonl``), memory keeps only the most
+recent ``max_events`` entries (``events_base`` counts the spilled
+prefix), and SSE replay reads through -- disk for the spilled prefix,
+memory for the live tail.  Ids are assigned from ``events_total``, so
+they stay dense and strictly increasing across trims *and* across
+server restarts.
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.parallel import RunJob
@@ -67,13 +76,33 @@ class ExperimentRecord:
     created: float = field(default_factory=time.time)
     finished: float | None = None
     events: list[dict[str, Any]] = field(default_factory=list)
+    # Entries spilled out of memory (they precede events[0]'s id).
+    events_base: int = 0
+    # Memory bound: publish() trims the journal down to this many
+    # in-memory entries (None = unbounded, the storeless default).
+    max_events: int | None = None
+    # Spill hook, set by the server: called with each published entry
+    # *before* any trim, so the durable store always holds a superset of
+    # what memory dropped.
+    on_event: "Callable[[dict[str, Any]], None] | None" = None
     _cond: asyncio.Condition = field(default_factory=asyncio.Condition)
 
     # -- event journal --------------------------------------------------
+    @property
+    def events_total(self) -> int:
+        """Journal length including spilled entries (the next id - 1)."""
+        return self.events_base + len(self.events)
+
     def publish(self, event: str, data: dict[str, Any]) -> dict[str, Any]:
         """Append one journal event and wake SSE streams (loop only)."""
-        entry = {"id": len(self.events) + 1, "event": event, "data": data}
+        entry = {"id": self.events_total + 1, "event": event, "data": data}
+        if self.on_event is not None:
+            self.on_event(entry)
         self.events.append(entry)
+        if self.max_events is not None and len(self.events) > self.max_events:
+            drop = len(self.events) - self.max_events
+            del self.events[:drop]
+            self.events_base += drop
 
         async def _notify() -> None:
             async with self._cond:
@@ -84,10 +113,21 @@ class ExperimentRecord:
         asyncio.ensure_future(_notify())
         return entry
 
+    def events_after(self, after: int) -> list[dict[str, Any]]:
+        """In-memory entries with ``id > after`` (spilled prefix excluded).
+
+        The SSE stream uses this for the live tail; entries with
+        ``id <= events_base`` must be read back from the durable store.
+        """
+        if after >= self.events_total:
+            return []
+        start = max(after - self.events_base, 0)
+        return self.events[start:]
+
     async def wait_for_events(self, known: int, timeout: float) -> None:
-        """Block until the journal grows past ``known`` (or timeout)."""
+        """Block until the journal grows past ``known`` ids (or timeout)."""
         async with self._cond:
-            if len(self.events) > known:
+            if self.events_total > known:
                 return
             try:
                 await asyncio.wait_for(self._cond.wait(), timeout)
@@ -163,7 +203,7 @@ class ExperimentRecord:
             "client": self.client,
             "priority": self.priority,
             "jobs": self.job_counts(),
-            "events": len(self.events),
+            "events": self.events_total,
             "created": self.created,
         }
         if self.finished is not None:

@@ -15,7 +15,14 @@ service's core guarantees:
 * chaos-injected submissions converge bit-identical to fault-free runs;
 * the stats endpoint reconciles with the shared workbench's
   ``exec_stats`` / ``simulations_run`` / cache counters;
-* concurrent writers cannot corrupt a :class:`SweepManifest` journal.
+* concurrent writers cannot corrupt a :class:`SweepManifest` journal;
+* a SIGKILLed server restarted on the same cache dir completes the
+  original experiment id bit-identically, re-simulating only the jobs
+  its write-ahead store never saw settle;
+* graceful drain sheds new submissions with a typed 503 and
+  checkpoints in-flight sweeps for the next incarnation;
+* an unreachable distributed backend trips the circuit breaker and the
+  sweep degrades to the local pool instead of failing.
 """
 
 from __future__ import annotations
@@ -685,5 +692,692 @@ class TestCli:
             main(["serve", "--help"])
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
-        for flag in ("--port", "--workers", "--cache-dir", "--quota"):
+        for flag in (
+            "--port",
+            "--workers",
+            "--cache-dir",
+            "--quota",
+            "--no-durable",
+            "--max-queue-depth",
+            "--max-client-inflight",
+            "--breaker-threshold",
+            "--breaker-cooldown",
+            "--breaker-fallback",
+        ):
             assert flag in out
+
+
+# ---------------------------------------------------------------------------
+# Durable store (unit)
+# ---------------------------------------------------------------------------
+
+
+class TestDurableStore:
+    def test_journal_round_trips_through_replay(self, tmp_path):
+        from repro.service import DurableStore
+
+        store = DurableStore(tmp_path / "service")
+        spec = make_spec()
+        store.record_submit("exp-000001", "alice", 2, 123.0, spec.to_dict())
+        store.record_settle("exp-000001", "k1", True, "run")
+        store.record_settle(
+            "exp-000001", "k2", False, "run", failure={"kind": "error"}
+        )
+        store.record_settle("exp-000001", "k1", True, "cache")  # dupe: first wins
+        store.record_quota({"alice": 1.5})
+        store.record_terminal("exp-000001", "done", 124.0)
+        store.close()
+
+        replayed = DurableStore(tmp_path / "service").replay()
+        assert replayed.quarantined == 0
+        assert replayed.quota == {"alice": 1.5}
+        [exp] = replayed.experiments
+        assert (exp.id, exp.client, exp.priority, exp.created) == (
+            "exp-000001", "alice", 2, 123.0,
+        )
+        assert exp.spec_payload == spec.to_dict()
+        assert exp.settles["k1"] == {"ok": True, "source": "run", "failure": None}
+        assert exp.settles["k2"]["failure"] == {"kind": "error"}
+        assert exp.terminal["status"] == "done" and exp.status == "done"
+
+    def test_corrupt_and_truncated_lines_are_quarantined(self, tmp_path):
+        from repro.service import DurableStore
+
+        store = DurableStore(tmp_path / "service")
+        store.record_submit("exp-000001", "a", 0, 1.0, make_spec().to_dict())
+        store.record_settle("exp-000001", "k1", True, "run")
+        store.close()
+        with open(store.journal_path, "a", encoding="utf-8") as fh:
+            fh.write("this is not json\n")
+            fh.write('{"type": "settle", "id": "exp-000001"\n')  # torn tail
+
+        fresh = DurableStore(tmp_path / "service")
+        replayed = fresh.replay()
+        assert replayed.quarantined == 2
+        assert fresh.quarantine_path.exists()
+        assert len(fresh.quarantine_path.read_text().splitlines()) == 2
+        [exp] = replayed.experiments  # intact prefix fully recovered
+        assert exp.settles == {"k1": {"ok": True, "source": "run", "failure": None}}
+
+    def test_evict_drops_experiment_and_events(self, tmp_path):
+        from repro.service import DurableStore
+
+        store = DurableStore(tmp_path / "service")
+        store.record_submit("exp-000001", "a", 0, 1.0, make_spec().to_dict())
+        store.append_event("exp-000001", {"id": 1, "event": "status", "data": {}})
+        assert store.event_count("exp-000001") == 1
+        store.record_evict("exp-000001")
+        assert not store.events_path("exp-000001").exists()
+        assert store.replay().experiments == []
+
+    def test_compact_collapses_and_sweeps_orphans(self, tmp_path):
+        from repro.service import DurableStore
+
+        store = DurableStore(tmp_path / "service")
+        spec = make_spec()
+        store.record_submit("exp-000001", "a", 0, 1.0, spec.to_dict())
+        store.record_submit("exp-000002", "a", 0, 2.0, spec.to_dict())
+        store.record_settle("exp-000001", "k1", True, "run")
+        store.record_terminal("exp-000001", "done", 3.0)
+        store.record_evict("exp-000002")
+        store.record_quota({"a": 2.0})
+        store.record_quota({"a": 1.0})  # last snapshot wins
+        store.append_event("exp-000001", {"id": 1, "event": "status", "data": {}})
+        store.append_event("exp-gone", {"id": 1, "event": "status", "data": {}})
+        assert store.compact() == 1
+        assert not list(store.root.glob("*.tmp-*"))
+        assert not store.events_path("exp-gone").exists()
+        assert store.events_path("exp-000001").exists()
+
+        replayed = DurableStore(tmp_path / "service").replay()
+        [exp] = replayed.experiments
+        assert exp.id == "exp-000001" and exp.status == "done"
+        assert replayed.quota == {"a": 1.0}
+        # compacted journal is minimal: submit + settle + terminal + quota
+        lines = store.journal_path.read_text().splitlines()
+        assert len(lines) == 4
+
+    def test_event_spill_reads_back_in_order(self, tmp_path):
+        from repro.service import DurableStore
+
+        store = DurableStore(tmp_path / "service")
+        for i in range(1, 5):
+            store.append_event("exp-000001", {"id": i, "event": "job", "data": {"n": i}})
+        events = store.load_events("exp-000001")
+        assert [e["id"] for e in events] == [1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# Recovery on boot
+# ---------------------------------------------------------------------------
+
+
+class TestRecovery:
+    def test_restart_serves_finished_experiment_without_resimulating(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        spec = make_spec(kernels=("gzip", "mcf"))
+        with BackgroundServer(workers=0, cache_dir=cache_dir) as first:
+            client = Client(first.url)
+            sub = client.submit(spec)
+            client.wait(sub["id"])
+            before_report = client.result(sub["id"])
+            before_events = list(client.events(sub["id"]))
+
+        with BackgroundServer(workers=0, cache_dir=cache_dir) as second:
+            client = Client(second.url)
+            status = client.status(sub["id"])  # original id survives
+            assert status["status"] == "done"
+            assert client.result(sub["id"]) == before_report
+            assert list(client.events(sub["id"])) == before_events
+            stats = client.stats()
+            assert stats["durability"]["recovered"]["experiments"] == 1
+            assert second.bench.simulations_run == 0  # nothing re-ran
+
+    def test_mid_sweep_crash_recovery_is_bit_identical(self, tmp_path):
+        # Forge the exact on-disk state a kill -9 mid-sweep leaves behind:
+        # the submission journaled, one of three jobs settled (and its
+        # result in the run cache), no terminal entry.
+        from repro.experiments.cache import RunCache
+        from repro.service import DurableStore, default_store_dir
+
+        cache_dir = tmp_path / "cache"
+        spec = make_spec(kernels=("gzip", "mcf", "gcc"))
+        bench = Workbench(workers=0, cache=RunCache(cache_dir))
+        jobs = spec.jobs(bench)
+        bench.prefetch([jobs[0]])  # pre-crash: first job finished + cached
+
+        store = DurableStore(default_store_dir(cache_dir))
+        store.record_submit("exp-000007", "alice", 0, 100.0, spec.to_dict())
+        store.record_settle("exp-000007", job_key(jobs[0]), True, "run")
+        store.close()
+
+        with BackgroundServer(workers=0, cache_dir=cache_dir) as server:
+            client = Client(server.url)
+            final = client.wait("exp-000007")
+            assert final["status"] == "done"
+            assert final["jobs"]["total"] == 3 and final["jobs"]["failed"] == 0
+            report = client.result("exp-000007")
+            # only the two residual jobs simulate; the settled one rides
+            # the cache
+            assert server.bench.simulations_run == 2
+            stats = client.stats()
+            assert stats["durability"]["recovered"] == {
+                "experiments": 1, "requeued_jobs": 2,
+            }
+            # recovered ids stay authoritative: the next submission does
+            # not collide
+            fresh = client.submit(make_spec(name="after", kernels=("gcc",)))
+            assert fresh["id"] == "exp-000008"
+
+        serial = run_spec(Workbench(workers=0), spec)
+        assert json.dumps(report["figure"], sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )
+
+    def test_submit_only_journal_reruns_everything(self, tmp_path):
+        # Crash before any settle: recovery owes the whole sweep.
+        from repro.service import DurableStore, default_store_dir
+
+        cache_dir = tmp_path / "cache"
+        spec = make_spec(kernels=("gzip", "mcf"))
+        store = DurableStore(default_store_dir(cache_dir))
+        store.record_submit("exp-000001", "a", 0, 1.0, spec.to_dict())
+        store.close()
+
+        with BackgroundServer(workers=0, cache_dir=cache_dir) as server:
+            client = Client(server.url)
+            assert client.wait("exp-000001")["status"] == "done"
+            assert server.bench.simulations_run == 2
+
+    def test_corrupted_settle_is_quarantined_and_recomputed(self, tmp_path):
+        from repro.service import DurableStore, default_store_dir
+
+        cache_dir = tmp_path / "cache"
+        spec = make_spec(kernels=("gzip", "mcf"))
+        store = DurableStore(default_store_dir(cache_dir))
+        store.record_submit("exp-000001", "a", 0, 1.0, spec.to_dict())
+        store.close()
+        with open(store.journal_path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "settle", "id": "exp-000001", "key": "k1"')  # torn
+
+        with BackgroundServer(workers=0, cache_dir=cache_dir) as server:
+            client = Client(server.url)
+            assert client.wait("exp-000001")["status"] == "done"
+            assert server.bench.simulations_run == 2  # damaged settle recomputed
+            assert server.store.quarantine_path.exists()
+            assert client.stats()["durability"]["store"]["quarantined"] == 1
+
+    def test_sse_last_event_id_replays_across_restart(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        spec = make_spec(kernels=("gzip", "mcf"))
+        with BackgroundServer(workers=0, cache_dir=cache_dir) as first:
+            client = Client(first.url)
+            sub = client.submit(spec)
+            client.wait(sub["id"])
+            full = list(client.events(sub["id"]))
+            assert len(full) >= 4
+
+        with BackgroundServer(workers=0, cache_dir=cache_dir) as second:
+            client = Client(second.url)
+            # reconnect mid-journal, exactly as a dropped SSE client would
+            resumed = list(client.events(sub["id"], after=full[1]["id"]))
+            assert resumed == full[2:]
+            assert list(client.events(sub["id"])) == full
+
+    def test_quota_balances_survive_restart(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        spec = make_spec(clusters=(1, 2))  # cost 2
+        with BackgroundServer(workers=0, cache_dir=cache_dir, quota=3) as first:
+            client = Client(first.url, client_id="alice")
+            sub = client.submit(spec)
+            client.wait(sub["id"])
+
+        with BackgroundServer(workers=0, cache_dir=cache_dir, quota=3) as second:
+            client = Client(second.url, client_id="alice")
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(spec)  # restart is not a free refill
+            assert excinfo.value.code == "quota_exhausted"
+            assert excinfo.value.detail["available"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain
+# ---------------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_drain_sheds_503_checkpoints_and_resumes_after_restart(self, tmp_path):
+        import time as _time
+
+        cache_dir = tmp_path / "cache"
+        spec = make_spec(name="drained", kernels=("gzip", "mcf"))
+        chaos.install(
+            chaos.ChaosConfig(
+                rules=(chaos.FaultRule(mode="hang", match={"kernel": "gzip"}),),
+                hang_seconds=1.5,
+            )
+        )
+        try:
+            with BackgroundServer(workers=0, cache_dir=cache_dir) as server:
+                client = Client(server.url)
+                sub = client.submit(spec)
+                deadline = _time.monotonic() + 10
+                while (
+                    client.status(sub["id"])["status"] == "queued"
+                    and _time.monotonic() < deadline
+                ):
+                    _time.sleep(0.02)
+                server.request_drain()
+                while (
+                    client.readyz()["status"] != "draining"
+                    and _time.monotonic() < deadline
+                ):
+                    _time.sleep(0.02)
+                ready = client.readyz()
+                assert ready["status"] == "draining" and ready["draining"]
+                health = client.healthz()  # liveness stays green
+                assert health["status"] == "ok" and health["draining"]
+                with pytest.raises(ServiceError) as excinfo:
+                    client.submit(make_spec(name="late"))
+                err = excinfo.value
+                assert err.code == "draining" and err.status == 503
+                assert err.detail["retry_after"] > 0
+                validate_error(err.to_payload())
+        finally:
+            chaos.uninstall()
+
+        # The drained server checkpointed: restart finishes the sweep
+        # under its original id, bit-identical to an uninterrupted run.
+        with BackgroundServer(workers=0, cache_dir=cache_dir) as server:
+            client = Client(server.url)
+            final = client.wait(sub["id"])
+            assert final["status"] == "done" and final["jobs"]["failed"] == 0
+            report = client.result(sub["id"])
+            assert server.bench.simulations_run <= 1  # gzip settled pre-drain
+        serial = run_spec(Workbench(workers=0), spec)
+        assert json.dumps(report["figure"], sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_state_machine_open_half_open_close(self):
+        from repro.experiments.executor import CircuitBreaker
+
+        now = [0.0]
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0, clock=lambda: now[0])
+        assert breaker.allow() and breaker.state == "closed"
+        assert breaker.record_failure() is None
+        assert breaker.record_failure() == "open"
+        assert not breaker.allow()  # cooling down
+        assert breaker.retry_after() == pytest.approx(10.0)
+        now[0] += 10.0
+        assert breaker.allow() and breaker.state == "half_open"
+        assert not breaker.allow()  # one probe at a time
+        assert breaker.record_failure() == "open"  # probe failed: back to open
+        now[0] += 10.0
+        assert breaker.allow()
+        assert breaker.record_success() == "close"
+        assert breaker.state == "closed" and breaker.failures == 0
+        assert breaker.opens_total == 2
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed" and snap["opens_total"] == 2
+
+    def test_success_resets_consecutive_count(self):
+        from repro.experiments.executor import CircuitBreaker
+
+        breaker = CircuitBreaker(threshold=3, cooldown=1.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # not consecutive any more
+        assert breaker.record_failure() is None
+        assert breaker.state == "closed"
+
+
+class _FakeExecutor:
+    """Scriptable Executor for breaker unit tests."""
+
+    def __init__(self, name="fake"):
+        self.name = name
+        self.calls = 0
+        self.outcomes: list = []
+        self.raise_exc: Exception | None = None
+        self.closed = False
+
+    def execute(self, jobs, **kwargs):
+        self.calls += 1
+        if self.raise_exc is not None:
+            raise self.raise_exc
+        return list(self.outcomes) or [
+            SimpleNamespace(failure=None) for _ in jobs
+        ]
+
+    def close(self):
+        self.closed = True
+
+
+class _FakeTracer:
+    def __init__(self):
+        self.events: list[tuple[str, dict]] = []
+
+    def event(self, name, **meta):
+        self.events.append((name, meta))
+
+
+class TestBreakerExecutor:
+    def test_connect_failures_open_and_fall_back(self):
+        from repro.experiments.executor import BreakerExecutor, CircuitBreaker
+        from repro.experiments.outcomes import ExecutorUnavailable
+
+        now = [0.0]
+        primary, fallback, tracer = _FakeExecutor("distributed"), _FakeExecutor("local"), _FakeTracer()
+        primary.raise_exc = ExecutorUnavailable("endpoint down")
+        wrapped = BreakerExecutor(
+            primary,
+            fallback=fallback,
+            breaker=CircuitBreaker(threshold=2, cooldown=5.0, clock=lambda: now[0]),
+            tracer=tracer,
+        )
+        jobs = [object(), object()]
+        assert wrapped.execute(jobs) is not None  # failure 1: falls back
+        assert wrapped.execute(jobs) is not None  # failure 2: trips open
+        assert wrapped.breaker.state == "open"
+        assert primary.calls == 2
+        wrapped.execute(jobs)  # open: straight to fallback, primary untouched
+        assert primary.calls == 2 and fallback.calls == 3
+        assert [n for n, _ in tracer.events] == ["service.breaker.open"]
+
+        now[0] += 5.0  # cooldown over: half-open probe reaches primary
+        primary.raise_exc = None
+        wrapped.execute(jobs)
+        assert primary.calls == 3
+        assert wrapped.breaker.state == "closed"
+        names = [n for n, _ in tracer.events]
+        assert names == [
+            "service.breaker.open",
+            "service.breaker.half_open",
+            "service.breaker.close",
+        ]
+        wrapped.close()
+        assert primary.closed and fallback.closed
+
+    def test_worker_lost_outcomes_count_as_failures(self):
+        from repro.experiments.executor import BreakerExecutor, CircuitBreaker
+
+        primary = _FakeExecutor("distributed")
+        primary.outcomes = [
+            SimpleNamespace(failure=SimpleNamespace(error_type="WorkerLost"))
+        ]
+        wrapped = BreakerExecutor(
+            primary,
+            fallback=_FakeExecutor("local"),
+            breaker=CircuitBreaker(threshold=1, cooldown=60.0),
+        )
+        wrapped.execute([object()])
+        assert wrapped.breaker.state == "open"
+
+    def test_open_without_fallback_raises_unavailable(self):
+        from repro.experiments.executor import BreakerExecutor, CircuitBreaker
+        from repro.experiments.outcomes import ExecutorUnavailable
+
+        primary = _FakeExecutor("distributed")
+        primary.raise_exc = ConnectionError("refused")
+        wrapped = BreakerExecutor(
+            primary, breaker=CircuitBreaker(threshold=1, cooldown=60.0)
+        )
+        with pytest.raises(ExecutorUnavailable):
+            wrapped.execute([object()])
+        assert wrapped.breaker.state == "open"
+
+    def test_hold_mode_respects_should_stop(self):
+        from repro.experiments.executor import BreakerExecutor, CircuitBreaker
+        from repro.experiments.outcomes import ExecutionInterrupted
+
+        primary = _FakeExecutor("distributed")
+        breaker = CircuitBreaker(threshold=1, cooldown=60.0)
+        breaker.record_failure()  # already open
+        wrapped = BreakerExecutor(primary, breaker=breaker, hold_poll=0.01)
+        with pytest.raises(ExecutionInterrupted):
+            wrapped.execute([object()], should_stop=lambda: True)
+        assert primary.calls == 0  # never reached the dead backend
+
+    def test_unreachable_workers_endpoint_degrades_to_local(self, tmp_path):
+        # Service-level: bind the endpoint port first so the distributed
+        # coordinator cannot (EADDRINUSE), then watch the breaker open and
+        # the sweep complete on the local fallback regardless.
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            with BackgroundServer(
+                workers=0,
+                cache_dir=tmp_path / "cache",
+                executor="distributed",
+                workers_endpoint=f"127.0.0.1:{port}",
+                breaker_threshold=1,
+                breaker_cooldown=300.0,
+            ) as server:
+                client = Client(server.url)
+                spec = make_spec(kernels=("gzip", "mcf"))
+                report = client.run(spec)
+                assert report["totals"].get("failed", 0) == 0
+                snap = client.stats()["durability"]["breaker"]
+                assert snap["state"] == "open" and snap["opens_total"] == 1
+                ready = client.readyz()  # degraded but still ready
+                assert ready["status"] == "ready"
+                assert ready["breaker"]["state"] == "open"
+        finally:
+            blocker.close()
+
+        serial = run_spec(Workbench(workers=0), spec)
+        assert json.dumps(report["figure"], sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_controller_caps_and_force(self):
+        from repro.service import AdmissionController
+
+        control = AdmissionController(max_queue_depth=2, max_client_inflight=1)
+        control.admit("a")
+        with pytest.raises(ServiceError) as excinfo:
+            control.admit("a")  # per-client cap
+        assert excinfo.value.code == "overloaded"
+        assert excinfo.value.detail["reason"] == "client_inflight"
+        control.admit("b")
+        with pytest.raises(ServiceError) as excinfo:
+            control.admit("c")  # global cap
+        assert excinfo.value.detail["reason"] == "queue_full"
+        control.admit("c", force=True)  # recovery bypasses caps but counts
+        assert control.inflight == 3
+        snap = control.snapshot()
+        assert snap["enabled"] and snap["inflight"] == 3
+        control.release("a")
+        with pytest.raises(ServiceError):
+            control.admit("a")  # forced slot still occupies the queue
+        control.release("c")
+        control.admit("a")  # slot freed
+        assert control.inflight == 2
+        assert control.shed_total == 3
+
+    def test_per_client_inflight_cap_sheds_503(self, tmp_path):
+        chaos.install(
+            chaos.ChaosConfig(
+                rules=(chaos.FaultRule(mode="hang", match={"kernel": "gzip"}),),
+                hang_seconds=1.5,
+            )
+        )
+        try:
+            with BackgroundServer(
+                workers=0, cache_dir=tmp_path / "cache", max_client_inflight=1
+            ) as server:
+                client = Client(server.url, client_id="greedy")
+                slow = client.submit(make_spec(name="slow", kernels=("gzip",)))
+                with pytest.raises(ServiceError) as excinfo:
+                    client.submit(make_spec(name="eager", kernels=("mcf",)))
+                err = excinfo.value
+                assert err.code == "overloaded" and err.status == 503
+                assert err.detail["reason"] == "client_inflight"
+                validate_error(err.to_payload())
+                # other tenants are unaffected by one client's backlog
+                other = Client(server.url, client_id="patient")
+                sub = other.submit(make_spec(name="other", kernels=("gcc",)))
+                client.wait(slow["id"])
+                other.wait(sub["id"])
+                # terminal experiments release their slot
+                retry = client.submit(make_spec(name="eager2", kernels=("mcf",)))
+                assert client.wait(retry["id"])["status"] == "done"
+        finally:
+            chaos.uninstall()
+
+
+# ---------------------------------------------------------------------------
+# Bounded event journal (memory spill + read-through)
+# ---------------------------------------------------------------------------
+
+
+class TestEventBound:
+    def test_journal_spills_to_store_and_replays_through(self, tmp_path):
+        with BackgroundServer(
+            workers=0, cache_dir=tmp_path / "cache", max_events_memory=2
+        ) as server:
+            client = Client(server.url)
+            spec = make_spec(kernels=("gzip", "mcf", "gcc"))
+            sub = client.submit(spec)
+            client.wait(sub["id"])
+
+            record = server._records[sub["id"]]
+            assert record.events_total >= 5  # status x2, 3 jobs, done
+            assert len(record.events) <= 2  # memory stays bounded
+            assert record.events_base == record.events_total - len(record.events)
+            assert server.store.event_count(sub["id"]) == record.events_total
+
+            full = list(client.events(sub["id"]))
+            assert [e["id"] for e in full] == list(range(1, record.events_total + 1))
+            # Last-Event-ID landing inside the spilled prefix reads through
+            resumed = list(client.events(sub["id"], after=1))
+            assert resumed == full[1:]
+            # status payload counts the whole journal, not just memory
+            assert client.status(sub["id"])["events"] == record.events_total
+
+
+# ---------------------------------------------------------------------------
+# SIGKILL acceptance: crash mid-sweep, restart, bit-identical completion
+# ---------------------------------------------------------------------------
+
+
+def _journal_settles(journal_path) -> set[str]:
+    if not journal_path.exists():
+        return set()
+    keys = set()
+    for line in journal_path.read_text().splitlines():
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and entry.get("type") == "settle":
+            keys.add(entry["key"])
+    return keys
+
+
+class TestSigkillRecovery:
+    def _spawn(self, cache_dir):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONUNBUFFERED"] = "1"
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--cache-dir", str(cache_dir)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        line = proc.stdout.readline()
+        assert "repro service listening on " in line, line
+        url = line.split("repro service listening on ", 1)[1].split()[0]
+        return proc, url
+
+    def test_kill_9_mid_sweep_restart_completes_bit_identical(self, tmp_path):
+        import os
+        import signal
+        import time as _time
+
+        from repro.service import default_store_dir
+
+        cache_dir = tmp_path / "cache"
+        journal = default_store_dir(cache_dir) / "journal.jsonl"
+        spec = make_spec(
+            name="killed",
+            kernels=("gzip", "mcf", "gcc"),
+            clusters=(1, 2),
+            instructions=8000,
+        )
+        total = 6
+
+        proc, url = self._spawn(cache_dir)
+        try:
+            client = Client(url, client_id="chaos-monkey")
+            client.wait_ready(timeout=30)
+            sub = client.submit(spec)
+            exp_id = sub["id"]
+            deadline = _time.monotonic() + 120
+            while len(_journal_settles(journal)) < 2:
+                assert _time.monotonic() < deadline, "sweep never reached 2 settles"
+                assert proc.poll() is None, "server died on its own"
+                _time.sleep(0.01)
+            os.kill(proc.pid, signal.SIGKILL)  # no goodbye
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        settled = _journal_settles(journal)
+        assert settled and len(settled) < total + 1
+
+        proc, url = self._spawn(cache_dir)
+        try:
+            client = Client(url, client_id="chaos-monkey")
+            client.wait_ready(timeout=30)
+            final = client.wait(exp_id, timeout=300, poll=0.1)
+            assert final["status"] == "done"
+            assert final["jobs"]["total"] == total
+            assert final["jobs"]["failed"] == 0
+            report = client.result(exp_id)
+            stats = client.stats()
+            # exactly-once across the crash: settled jobs are cache hits,
+            # only the residue simulates again
+            assert stats["simulations_run"] <= total - len(settled)
+            assert stats["durability"]["recovered"]["experiments"] == 1
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=30)
+            except Exception:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        serial = run_spec(Workbench(workers=0), spec)
+        assert json.dumps(report["figure"], sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )
